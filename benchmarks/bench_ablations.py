@@ -1,0 +1,141 @@
+"""Ablation benchmarks for Sieve's design choices (DESIGN.md §5).
+
+Not figures from the paper, but measurements backing its design
+arguments:
+
+* the call-graph restriction shrinks the Granger search space
+  (Section 3.3's argument against the naive all-pairs approach);
+* the metric reduction multiplies that saving;
+* Jaro name-similarity initialization converges k-Shape in fewer
+  iterations than random initialization (Section 3.2);
+* the variance pre-filter removes a meaningful share of metrics before
+  clustering;
+* the bidirectional-edge filter drops mutually-causal (spurious)
+  relations.
+"""
+
+import numpy as np
+
+from repro.causality.pairwise import extract_dependencies, naive_pair_count
+from repro.clustering import kshape, name_based_labels
+from repro.clustering.model_selection import sbd_matrix
+from repro.stats.timeseries_ops import znormalize
+
+from conftest import print_table
+
+
+def test_ablation_callgraph_restriction(benchmark, sharelatex_result):
+    """How much search space the call graph + reduction save."""
+    result = sharelatex_result
+
+    def compute():
+        n_components = len(result.clusterings)
+        mean_metrics = np.mean([
+            c.total_metrics for c in result.clusterings.values()
+        ])
+        mean_reps = np.mean([
+            c.n_clusters for c in result.clusterings.values()
+        ])
+        naive = naive_pair_count(n_components, int(mean_metrics))
+        reduced_metrics_only = naive_pair_count(n_components,
+                                                int(round(mean_reps)))
+        edges = len(result.run.call_graph.communicating_pairs())
+        actual = int(edges * mean_reps * mean_reps * 2)
+        return naive, reduced_metrics_only, actual
+
+    naive, reduced, actual = benchmark.pedantic(compute, rounds=1,
+                                                iterations=1)
+    rows = [
+        ["naive all-pairs, all metrics", f"{naive:,}", "1x"],
+        ["all pairs, representatives only", f"{reduced:,}",
+         f"{naive / reduced:.0f}x"],
+        ["call-graph edges, representatives", f"{actual:,}",
+         f"{naive / actual:.0f}x"],
+    ]
+    print_table("Ablation: Granger search space",
+                ["Configuration", "Pairwise tests", "Saving"], rows)
+    assert actual < reduced < naive
+
+
+def _metric_families(seed=0, n_families=4, per_family=6, length=160):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 6 * np.pi, length)
+    data, names = [], []
+    for f in range(n_families):
+        base = np.sin((0.7 + 0.9 * f) * t)
+        for i in range(per_family):
+            data.append(znormalize(base + rng.normal(0, 0.2, length)))
+            names.append(f"family{f}_metric_{i}")
+    return np.vstack(data), names
+
+
+def test_ablation_name_initialization(benchmark):
+    """Jaro name init converges in fewer iterations than random init."""
+    data, names = _metric_families()
+    k = 4
+
+    def run_both():
+        random_iters, seeded_iters = [], []
+        for seed in range(5):
+            random_iters.append(
+                kshape(data, k, seed=seed).iterations
+            )
+            init = name_based_labels(names, k)
+            seeded_iters.append(
+                kshape(data, k, initial_labels=init, seed=seed).iterations
+            )
+        return float(np.mean(random_iters)), float(np.mean(seeded_iters))
+
+    random_mean, seeded_mean = benchmark.pedantic(run_both, rounds=1,
+                                                  iterations=1)
+    print_table(
+        "Ablation: k-Shape initialization",
+        ["Initialization", "Mean iterations to converge"],
+        [["random", f"{random_mean:.1f}"],
+         ["Jaro name similarity", f"{seeded_mean:.1f}"]],
+    )
+    assert seeded_mean <= random_mean
+
+
+def test_ablation_variance_filter(benchmark, sharelatex_result):
+    """Share of metrics the variance pre-filter removes."""
+    result = sharelatex_result
+
+    def compute():
+        filtered = sum(len(c.filtered_metrics)
+                       for c in result.clusterings.values())
+        total = sum(c.total_metrics for c in result.clusterings.values())
+        return filtered, total
+
+    filtered, total = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Ablation: variance pre-filter",
+        ["Quantity", "Value"],
+        [["metrics before filter", total],
+         ["filtered as unvarying", filtered],
+         ["share", f"{100.0 * filtered / total:.1f} %"]],
+    )
+    assert 0 < filtered < total
+
+
+def test_ablation_bidirectional_filter(benchmark, sharelatex_result):
+    """Relations admitted without the bidirectional (spuriousness) filter."""
+    result = sharelatex_result
+    run = result.run
+
+    def compute():
+        unfiltered = extract_dependencies(
+            run.frame, run.call_graph, result.clusterings,
+            filter_bidirectional=False,
+        )
+        return len(result.dependency_graph), len(unfiltered)
+
+    kept, unfiltered = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Ablation: bidirectional-edge filter",
+        ["Configuration", "Metric relations"],
+        [["filter on (Sieve)", kept],
+         ["filter off", unfiltered],
+         ["suppressed as spurious", unfiltered - kept]],
+    )
+    assert unfiltered >= kept

@@ -1,0 +1,36 @@
+"""Figure 4 / Section 6.1.2: metrics before vs after Sieve's reduction.
+
+Paper: 889 unique ShareLatex metrics reduce to 65 representative
+metrics on average (per-component bars in Figure 4); reduction is an
+order of magnitude or more (10-100x across applications).
+"""
+
+from conftest import print_table
+
+PAPER_BEFORE, PAPER_AFTER = 889, 65
+
+
+def test_fig4_metric_reduction(benchmark, sharelatex_result):
+    result = sharelatex_result
+
+    def compute():
+        return result.reduction_by_component()
+
+    per_component = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        [component, before, after]
+        for component, (before, after) in sorted(per_component.items())
+    ]
+    total_before = result.total_metrics()
+    total_after = result.total_representatives()
+    rows.append(["TOTAL", total_before, total_after])
+    rows.append(["(paper)", PAPER_BEFORE, PAPER_AFTER])
+    print_table("Figure 4: metrics before/after clustering per component",
+                ["Component", "Before", "After"], rows)
+    print(f"reduction factor: {result.reduction_factor():.1f}x "
+          f"(paper: {PAPER_BEFORE / PAPER_AFTER:.1f}x)")
+
+    assert total_after < total_before / 5
+    for component, (before, after) in per_component.items():
+        assert after <= 7, component

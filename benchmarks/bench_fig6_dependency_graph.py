@@ -1,0 +1,43 @@
+"""Figure 6: the ShareLatex dependency graph from Granger causality.
+
+Paper: the extracted graph connects the components along the call
+topology, and the metric appearing in the most relations (dashed edges
+in the figure) is ``http-requests_Project_id_GET_mean`` on ``web`` --
+the metric the autoscaling case study then uses.
+"""
+
+from conftest import print_table
+
+
+def test_fig6_dependency_graph(benchmark, sharelatex_result):
+    result = sharelatex_result
+
+    def compute():
+        graph = result.dependency_graph
+        return {
+            "edges": graph.component_edges(),
+            "hub": graph.most_connected_metric(component="web"),
+            "hub_global": graph.most_connected_metric(),
+            "relations": len(graph),
+        }
+
+    stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [[src, dst, count] for src, dst, count in stats["edges"]]
+    print_table("Figure 6: ShareLatex dependency graph (component edges)",
+                ["Caller side", "Callee side", "# metric relations"], rows)
+    hub_component, hub_metric = stats["hub"]
+    print(f"most connected web metric: {hub_component}/{hub_metric}")
+    print(f"paper's highlighted metric: web/http-requests_Project_id_"
+          f"GET_mean")
+    print(f"total metric relations: {stats['relations']}")
+
+    edge_pairs = {(src, dst) for src, dst, _ in stats["edges"]}
+    # The spine of the architecture must be present.
+    assert any("web" in pair for pair in edge_pairs)
+    assert any("mongodb" in pair for pair in edge_pairs)
+    assert any("redis" in pair for pair in edge_pairs)
+    # The guiding metric is one of web's request statistics, like the
+    # paper's http-requests_Project_id_GET_mean.
+    assert hub_component == "web"
+    assert stats["relations"] > 20

@@ -1,0 +1,80 @@
+"""Figure 7: cluster novelty, edge novelty and implicated state vs the
+similarity threshold.
+
+Paper: (a) the novel metrics concentrate in 27 of 67 clusters;
+(b) raising the similarity threshold shrinks the novel-edge set
+(42 edges at no threshold, 24 at 0.50); (c) the implicated state
+shrinks from 13 components / 29 clusters / 221 metrics (threshold 0)
+to 10 / 16 / 163 (threshold 0.50).
+"""
+
+from repro.rca import RCAEngine
+
+from conftest import print_table
+
+THRESHOLDS = (0.0, 0.5, 0.6, 0.7)
+PAPER_7C = {0.0: (13, 29, 221), 0.5: (10, 16, 163),
+            0.6: (7, 10, 121), 0.7: (3, 5, 68)}
+
+
+def test_fig7_novelty_similarity(benchmark, openstack_pair):
+    correct, faulty = openstack_pair
+
+    def compare():
+        return RCAEngine(thresholds=THRESHOLDS).compare(
+            correct, faulty, threshold=0.5
+        )
+
+    report = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    # (a) cluster novelty histogram.
+    histogram = report.cluster_novelty_histogram()
+    rows_a = [
+        ["New", histogram.get("new", 0)],
+        ["Discarded", histogram.get("discarded", 0)],
+        ["New and discarded", histogram.get("new_and_discarded", 0)],
+        ["Changed", histogram.get("changed", 0)],
+        ["Unchanged", histogram.get("unchanged", 0)],
+        ["Total", histogram.get("total", 0)],
+    ]
+    print_table("Figure 7(a): cluster novelty categories",
+                ["Category", "# clusters"], rows_a)
+
+    # (b) edge classes per threshold.
+    rows_b = []
+    for threshold in THRESHOLDS:
+        counts = report.edge_classifications[threshold].counts()
+        rows_b.append([threshold, counts["new"], counts["discarded"],
+                       counts["lag_changed"], counts["novel_endpoint"],
+                       counts["unchanged"]])
+    print_table("Figure 7(b): edge novelty vs similarity threshold",
+                ["Threshold", "New", "Discarded", "Lag change",
+                 "Novel endpoint", "Unchanged"], rows_b)
+
+    # (c) implicated components / clusters / metrics per threshold.
+    rows_c = []
+    for threshold in THRESHOLDS:
+        state = report.implicated_state(threshold)
+        paper = PAPER_7C[threshold]
+        rows_c.append([
+            threshold, state["components"], state["clusters"],
+            state["metrics"],
+            f"{paper[0]}/{paper[1]}/{paper[2]}",
+        ])
+    print_table("Figure 7(c): implicated state vs similarity threshold",
+                ["Threshold", "Components", "Clusters", "Metrics",
+                 "Paper (c/cl/m)"], rows_c)
+
+    # Shape: novel clusters exist but are a minority; the filter
+    # monotonically shrinks the implicated state.
+    novel = (histogram.get("new", 0) + histogram.get("discarded", 0)
+             + histogram.get("new_and_discarded", 0))
+    assert 0 < novel < histogram["total"]
+    metrics_series = [report.implicated_state(t)["metrics"]
+                      for t in THRESHOLDS]
+    assert all(a >= b for a, b in zip(metrics_series, metrics_series[1:]))
+    edges_series = [
+        len(report.edge_classifications[t].interesting_edges())
+        for t in THRESHOLDS
+    ]
+    assert all(a >= b for a, b in zip(edges_series, edges_series[1:]))

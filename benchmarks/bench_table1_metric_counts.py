@@ -1,0 +1,45 @@
+"""Table 1: metrics exposed by microservices-based applications.
+
+Paper values: ShareLatex 889 metrics, OpenStack 17 608 metrics (plus
+industry anecdotes: Netflix/Quantcast ~2M, Uber ~500M).  We report the
+metric surface of our two application models.
+"""
+
+from repro.apps import (
+    build_openstack_application,
+    build_sharelatex_application,
+    full_metric_catalog,
+)
+from repro.workload import constant_rate
+
+from conftest import print_table
+
+PAPER = {"sharelatex": 889, "openstack": 17_608}
+
+
+def _count_metrics() -> dict[str, int]:
+    sharelatex = build_sharelatex_application()
+    run = sharelatex.load(constant_rate(25.0), duration=30.0, seed=0)
+    openstack_live = build_openstack_application()
+    run_os = openstack_live.load(constant_rate(20.0), duration=30.0, seed=0)
+    return {
+        "sharelatex": run.metric_count(),
+        "openstack (live control plane)": run_os.metric_count(),
+        "openstack (full telemetry catalog)": len(full_metric_catalog()),
+    }
+
+
+def test_table1_metric_counts(benchmark):
+    counts = benchmark.pedantic(_count_metrics, rounds=1, iterations=1)
+    rows = [
+        ["ShareLatex", counts["sharelatex"], PAPER["sharelatex"]],
+        ["OpenStack (live 16-component plane)",
+         counts["openstack (live control plane)"], "--"],
+        ["OpenStack (full telemetry catalog)",
+         counts["openstack (full telemetry catalog)"],
+         PAPER["openstack"]],
+    ]
+    print_table("Table 1: metrics exposed per application",
+                ["Application", "Measured", "Paper"], rows)
+    assert 700 <= counts["sharelatex"] <= 1000
+    assert counts["openstack (full telemetry catalog)"] == 17_608

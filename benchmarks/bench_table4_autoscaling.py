@@ -1,0 +1,111 @@
+"""Table 4: autoscaling with CPU usage vs Sieve's metric selection.
+
+Paper (1 h WorldCup'98 trace, SLA: p90 latency < 1000 ms):
+
+    Mean CPU usage per component:   5.98 -> 9.26   (+54.8%)
+    SLA violations (of 1400):       188  -> 70     (-62.8%)
+    Scaling actions:                32   -> 21     (-34.4%)
+
+Thresholds come from the iterative peak-window calibration of §6.2
+(their refined values: CPU 21%/1%, latency metric 1400 ms/1120 ms).
+Our replay uses a shorter trace (30 min) to keep the suite fast; the
+reported quantities are the same three rows.
+"""
+
+from repro.apps import build_sharelatex_application
+from repro.autoscaling import (
+    SLACondition,
+    ScalingRule,
+    calibrate_thresholds,
+    run_autoscaling,
+)
+from repro.workload import WorldCupTrace, constant_rate
+
+from conftest import print_table
+
+TRACE_DURATION = 1800.0
+REPLAY_SEEDS = (21, 22, 23)
+SCALED = "web"
+PAPER = {
+    "cpu": {"mean_cpu": 5.98, "violations": 188, "actions": 32},
+    "sieve": {"mean_cpu": 9.26, "violations": 70, "actions": 21},
+}
+
+
+def _run_with_metric(metric_component: str, metric: str, seed: int):
+    trace = WorldCupTrace(duration=TRACE_DURATION, seed=seed)
+    application = build_sharelatex_application()
+    peak_start, _ = trace.peak_window()
+    peak = constant_rate(trace.rate(peak_start + 1.0))
+    thresholds = calibrate_thresholds(
+        application, peak, SCALED, metric_component, metric,
+        sla=SLACondition(), duration=45.0, seed=seed,
+    )
+    totals = {"mean_cpu": 0.0, "violations": 0, "actions": 0, "samples": 0}
+    for replay_seed in REPLAY_SEEDS:
+        rule = ScalingRule(
+            component=SCALED, metric_component=metric_component,
+            metric=metric,
+            scale_up_threshold=thresholds.scale_up,
+            scale_down_threshold=thresholds.scale_down,
+            min_instances=1, max_instances=10,
+        )
+        outcome = run_autoscaling(
+            build_sharelatex_application(),
+            WorldCupTrace(duration=TRACE_DURATION, seed=replay_seed),
+            rule, duration=TRACE_DURATION, seed=replay_seed,
+        )
+        totals["mean_cpu"] += outcome.mean_cpu_per_component
+        totals["violations"] += outcome.sla_violations
+        totals["actions"] += outcome.scaling_actions
+        totals["samples"] += outcome.sla_samples
+    totals["mean_cpu"] /= len(REPLAY_SEEDS)
+    return thresholds, totals
+
+
+def test_table4_autoscaling(benchmark):
+    def run_experiment():
+        cpu = _run_with_metric(SCALED, "cpu_usage", seed=7)
+        sieve = _run_with_metric(
+            SCALED, "http-requests_Project_id_GET_mean", seed=7
+        )
+        return cpu, sieve
+
+    (cpu_thresholds, cpu), (sieve_thresholds, sieve) = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    def diff(a, b):
+        return f"{100.0 * (b - a) / a:+.1f} %" if a else "n/a"
+
+    rows = [
+        ["Mean CPU usage per component",
+         f"{cpu['mean_cpu']:.2f}", f"{sieve['mean_cpu']:.2f}",
+         diff(cpu["mean_cpu"], sieve["mean_cpu"]), "+54.8 %"],
+        [f"SLA violations (of {cpu['samples']})",
+         cpu["violations"], sieve["violations"],
+         diff(cpu["violations"], sieve["violations"])
+         if cpu["violations"] else "n/a", "-62.8 %"],
+        ["Number of scaling actions",
+         cpu["actions"], sieve["actions"],
+         diff(cpu["actions"], sieve["actions"]), "-34.4 %"],
+    ]
+    print_table("Table 4: CPU-usage trigger vs Sieve's metric",
+                ["Metric", "CPU usage", "Sieve", "Diff", "Paper diff"],
+                rows)
+    print(f"calibrated CPU thresholds: up {cpu_thresholds.scale_up:.1f}% "
+          f"/ down {cpu_thresholds.scale_down:.1f}% "
+          f"(paper: 21% / 1%)")
+    print(f"calibrated Sieve thresholds: up {sieve_thresholds.scale_up:.0f}"
+          f"ms / down {sieve_thresholds.scale_down:.0f}ms "
+          f"(paper: 1400ms / 1120ms)")
+
+    # Shape assertions: Sieve's metric needs far fewer scaling actions,
+    # keeps the SLA essentially intact (violation counts at this scale
+    # are single digits out of thousands of samples -- we bound the
+    # rate rather than compare noise-level counts), and matches or
+    # beats the CPU rule's efficiency.
+    assert sieve["actions"] < cpu["actions"]
+    assert sieve["violations"] <= max(cpu["violations"],
+                                      0.01 * sieve["samples"])
+    assert sieve["mean_cpu"] >= 0.95 * cpu["mean_cpu"]

@@ -1,0 +1,75 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation (Section 6) and prints the rows/series the paper reports.
+Heavy pipeline runs are shared through session-scoped fixtures so the
+whole suite stays minutes, not hours.
+
+Run everything:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    build_openstack_application,
+    build_sharelatex_application,
+    openstack_fault_plan,
+)
+from repro.core import Sieve
+from repro.workload import RallyRunner, RandomWorkload
+
+#: Load duration of the shared ShareLatex runs (seconds of simulated time).
+SHARELATEX_DURATION = 150.0
+
+#: Rally iterations for the OpenStack runs (paper: 100).
+RALLY_ITERATIONS = 20
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one experiment table to stdout (the bench 'figure')."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows), 4)
+        for i in range(len(header))
+    ] if rows else [len(h) for h in header]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def sharelatex_result():
+    """One full Sieve pipeline run on ShareLatex (random workload)."""
+    sieve = Sieve(build_sharelatex_application())
+    workload = RandomWorkload(duration=SHARELATEX_DURATION, seed=1)
+    return sieve.run(workload, duration=SHARELATEX_DURATION, seed=1,
+                     workload_name="random-1")
+
+
+@pytest.fixture(scope="session")
+def sharelatex_repeated_runs():
+    """Three independent randomized loads (Figure 3 consistency runs)."""
+    runs = []
+    for seed in (1, 2, 3):
+        sieve = Sieve(build_sharelatex_application())
+        workload = RandomWorkload(duration=SHARELATEX_DURATION, seed=seed)
+        loaded = sieve.load(workload, duration=SHARELATEX_DURATION,
+                            seed=seed, workload_name=f"random-{seed}")
+        runs.append((sieve, loaded))
+    return runs
+
+
+@pytest.fixture(scope="session")
+def openstack_pair():
+    """Correct and faulty OpenStack Sieve results (RCA experiments)."""
+    sieve = Sieve(build_openstack_application())
+    rally = RallyRunner(times=RALLY_ITERATIONS, concurrency=5, seed=11)
+    duration = min(rally.duration, 180.0)
+    correct = sieve.run(rally, duration=duration, seed=11,
+                        workload_name="rally-correct")
+    faulty = sieve.run(rally, duration=duration, seed=11,
+                       fault_plan=openstack_fault_plan(),
+                       workload_name="rally-faulty")
+    return correct, faulty

@@ -1,0 +1,33 @@
+"""Reproduction of "Sieve: Actionable Insights from Monitored Metrics
+in Distributed Systems" (Thalheim et al., Middleware 2017).
+
+Sieve turns the flood of metrics a microservices application exports
+into actionable insight in three steps -- load the application while
+recording metrics and the call graph, reduce each component's metrics
+to representatives with k-Shape clustering, and identify dependencies
+between communicating components with Granger causality.  Two engines
+consume the dependency graph: autoscaling orchestration and root cause
+analysis.
+
+Entry points:
+
+>>> from repro.apps import build_sharelatex_application
+>>> from repro.core import Sieve
+>>> from repro.workload import RandomWorkload
+>>> sieve = Sieve(build_sharelatex_application())
+>>> result = sieve.run(RandomWorkload(duration=60, seed=1),
+...                    duration=60, seed=1)   # doctest: +SKIP
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "Thalheim et al., 'Sieve: Actionable Insights from Monitored "
+    "Metrics in Distributed Systems', ACM/IFIP/USENIX Middleware 2017, "
+    "doi:10.1145/3135974.3135977"
+)

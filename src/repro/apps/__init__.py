@@ -1,0 +1,36 @@
+"""Application models used in the paper's evaluation.
+
+* :mod:`repro.apps.sharelatex` -- ShareLatex, the collaborative LaTeX
+  editor of case study #1: a KV-store (redis), a load balancer
+  (haproxy), two databases (mongodb, postgresql) and 11 node.js
+  components (paper Section 4.1).
+* :mod:`repro.apps.openstack` -- OpenStack as deployed by Kolla for
+  case study #2, with the 16 dependency-graph components of Table 5 and
+  the fault analog of Launchpad bug #1533942 (the Neutron Open vSwitch
+  agent crash that leaves VM launches failing).
+* :mod:`repro.apps.nginx` -- the single-component static-file web
+  server used by the Figure 5 tracing-overhead experiment.
+"""
+
+from repro.apps.nginx import build_nginx_application, run_ab_benchmark
+from repro.apps.openstack import (
+    OPENSTACK_COMPONENTS,
+    build_openstack_application,
+    full_metric_catalog,
+    openstack_fault_plan,
+)
+from repro.apps.sharelatex import (
+    SHARELATEX_COMPONENTS,
+    build_sharelatex_application,
+)
+
+__all__ = [
+    "OPENSTACK_COMPONENTS",
+    "SHARELATEX_COMPONENTS",
+    "build_nginx_application",
+    "build_openstack_application",
+    "build_sharelatex_application",
+    "full_metric_catalog",
+    "openstack_fault_plan",
+    "run_ab_benchmark",
+]

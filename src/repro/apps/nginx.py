@@ -1,0 +1,106 @@
+"""nginx static-file model for the tracing-overhead experiment (Fig. 5).
+
+The paper measures the worst-case overhead of the call-graph capture
+techniques by serving 10 000 requests for a small static file with
+Apache Benchmark against nginx (Section 6.1.3): serving such a file is
+so cheap that any per-request tracing cost is maximally visible.
+
+This module reproduces the experiment on the discrete-event kernel: a
+closed-loop client with fixed concurrency issues requests against a
+single web-server component; each request's service time is inflated by
+the tracing technique's cost model.  The reported quantity is the wall
+time to complete the request batch, as in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.app import Application
+from repro.simulator.component import ComponentSpec, EndpointSpec
+from repro.simulator.kernel import EventLoop
+from repro.tracing.overhead import TRACING_TECHNIQUES, TracingTechnique
+
+#: Mean service time of nginx for a small static file, seconds.  With
+#: concurrency 8 this yields ~10k requests in ~0.35 s, the regime of
+#: the paper's Figure 5.
+NGINX_STATIC_FILE_SERVICE_TIME = 0.00028
+
+
+def build_nginx_application() -> Application:
+    """A single-component nginx application (for API completeness)."""
+    spec = ComponentSpec(
+        name="nginx", kind="webserver",
+        endpoints=(EndpointSpec("static_GET",
+                                service_time=NGINX_STATIC_FILE_SERVICE_TIME),),
+        concurrency=8,
+    )
+    return Application("nginx", [spec])
+
+
+@dataclass(frozen=True)
+class ABResult:
+    """Outcome of one Apache-Benchmark-style closed-loop run."""
+
+    technique: str
+    n_requests: int
+    concurrency: int
+    completion_time: float
+    mean_latency: float
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second over the whole run."""
+        return self.n_requests / self.completion_time
+
+
+def run_ab_benchmark(
+    technique: TracingTechnique | str = "native",
+    n_requests: int = 10_000,
+    concurrency: int = 8,
+    base_service_time: float = NGINX_STATIC_FILE_SERVICE_TIME,
+    seed: int = 0,
+) -> ABResult:
+    """Serve ``n_requests`` under ``technique`` and time the batch.
+
+    A closed loop: ``concurrency`` workers each hold one request in
+    flight; when a request completes the worker immediately issues the
+    next.  Service times are log-normal around the (technique-inflated)
+    base, matching the heavy right tail of real static-file serving.
+    """
+    if isinstance(technique, str):
+        technique = TRACING_TECHNIQUES[technique]
+    if n_requests < 1 or concurrency < 1:
+        raise ValueError("n_requests and concurrency must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    loop = EventLoop()
+    state = {"issued": 0, "done": 0, "latency_sum": 0.0}
+    effective_base = base_service_time \
+        + technique.request_overhead(base_service_time)
+
+    def issue_request() -> None:
+        if state["issued"] >= n_requests:
+            return
+        state["issued"] += 1
+        service = effective_base * float(rng.lognormal(0.0, 0.25))
+        state["latency_sum"] += service
+        loop.schedule(service, complete_request)
+
+    def complete_request() -> None:
+        state["done"] += 1
+        issue_request()
+
+    for _ in range(min(concurrency, n_requests)):
+        issue_request()
+    loop.run()
+
+    return ABResult(
+        technique=technique.name,
+        n_requests=n_requests,
+        concurrency=concurrency,
+        completion_time=loop.now,
+        mean_latency=state["latency_sum"] / n_requests,
+    )

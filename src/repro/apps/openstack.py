@@ -1,0 +1,582 @@
+"""OpenStack application model (case study #2, RCA).
+
+The paper deploys OpenStack with Kolla (7 main components + auxiliaries,
+47 microservices total) and evaluates root cause analysis on Launchpad
+bug #1533942: a configuration error crashes the Neutron Open vSwitch
+agent, after which VM launches fail with 'No valid host was found',
+instances land in ERROR state and Neutron ports stay DOWN (paper
+Section 6.3).
+
+This model reproduces the 16 components of the paper's dependency
+graphs (Table 5) with the *boot_and_delete* control-plane topology, and
+injects the bug analog through the shared simulation environment: the
+flag ``vm_launch_failing`` flips the state-dependent metrics exactly the
+way the real bug did --
+
+* metrics that exist only while launches succeed (instances in ACTIVE
+  state, libvirt per-domain statistics, ports becoming ACTIVE, ...)
+  disappear in the faulty version ("discarded" metrics);
+* failure metrics (instances in ERROR state, ports stuck DOWN, scheduler
+  retries, ...) appear only in the faulty version ("new" metrics).
+
+The per-component counts of exported / new / discarded metrics are
+calibrated to Table 5 of the paper (e.g. Nova API: 59 metrics, 7 new,
+22 discarded), so the RCA engine faces the same novelty structure the
+authors measured.  The *dynamics* of every metric still come from the
+fluid simulation, so clusters, dependency edges and rankings are
+computed, not scripted.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulator.app import Application
+from repro.simulator.component import (
+    CallSpec,
+    Component,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.simulator.faults import EnvFlag, FaultPlan
+
+#: The 16 dependency-graph components of Table 5 ("other 3 components"
+#: are keystone, memcached and mariadb in this model).
+OPENSTACK_COMPONENTS = (
+    "nova-api", "nova-libvirt", "nova-scheduler", "neutron-server",
+    "rabbitmq", "neutron-l3-agent", "nova-novncproxy", "glance-api",
+    "neutron-dhcp-agent", "nova-compute", "glance-registry", "haproxy",
+    "nova-conductor", "keystone", "memcached", "mariadb",
+)
+
+#: Environment key toggled by the injected fault.
+FAULT_FLAG = "vm_launch_failing"
+
+
+def _healthy_gauge(scale: float, phase: float = 0.0):
+    """Metric exported only while VM launches succeed."""
+    def fn(component: Component, now: float) -> float | None:
+        if component.env.get(FAULT_FLAG):
+            return None
+        rate = component.total_request_rate()
+        return scale * rate + 0.4 * scale * math.sin(0.05 * now + phase)
+    return fn
+
+
+def _faulty_gauge(scale: float, phase: float = 0.0):
+    """Metric that appears only once VM launches fail."""
+    def fn(component: Component, now: float) -> float | None:
+        if not component.env.get(FAULT_FLAG):
+            return None
+        rate = component.total_request_rate()
+        return scale * rate + 0.4 * scale * math.sin(0.05 * now + phase)
+    return fn
+
+
+def _pad_gauge(kind: str, scale: float, phase: float = 0.0):
+    """Always-exported filler metric tied to one of the state signals.
+
+    ``kind`` selects the driving signal so pads cluster naturally with
+    the related base metrics: ``rate``, ``cpu``, ``memory`` or ``wave``
+    (slow periodic housekeeping activity).
+    """
+    def fn(component: Component, now: float) -> float:
+        if kind == "rate":
+            base = component.total_request_rate() * scale
+        elif kind == "cpu":
+            base = component.cpu_usage * scale
+        elif kind == "memory":
+            base = component.memory_mb * scale
+        elif kind == "wave":
+            base = scale * (1.0 + math.sin(0.02 * now + phase))
+        else:  # pragma: no cover - guarded by the factory call sites
+            raise ValueError(f"unknown pad kind {kind!r}")
+        return base + 0.05 * scale * math.sin(0.6 * now + phase * 3.1)
+    return fn
+
+
+def _named(names: list[str], factory, *args) -> tuple:
+    """Build ``(name, fn)`` custom-metric tuples with spread phases."""
+    return tuple(
+        (name, factory(*args, phase=0.7 * i)) for i, name in enumerate(names)
+    )
+
+
+def _pads(names: list[str]) -> tuple:
+    """Pad metrics cycling through the driving-signal kinds."""
+    kinds = ("rate", "cpu", "memory", "wave")
+    return tuple(
+        (name, _pad_gauge(kinds[i % 4], 1.0 + 0.3 * i, phase=0.9 * i))
+        for i, name in enumerate(names)
+    )
+
+
+def _nova_api_metrics() -> tuple:
+    """Nova API: 7 new / 22 discarded / 6 pads (Table 5 row 1)."""
+    discarded = (
+        ["nova_instances_in_state_ACTIVE", "nova_instances_in_state_BUILD",
+         "nova_instance_boot_time_mean", "nova_instance_boot_time_p90"]
+        + [f"nova_instance_vcpus_domain{i}" for i in range(6)]
+        + [f"nova_instance_memory_mb_domain{i}" for i in range(6)]
+        + [f"nova_instance_disk_gb_domain{i}" for i in range(6)]
+    )
+    new = [
+        "nova_instances_in_state_ERROR",
+        "nova_boot_failures_total",
+        "nova_no_valid_host_errors",
+        "nova_api_fault_responses_500",
+        "nova_api_fault_responses_409",
+        "nova_instance_spawn_retries",
+        "nova_quota_rollback_count",
+    ]
+    pads = ["nova_api_request_queue_depth", "nova_api_token_cache_size",
+            "nova_api_workers_busy", "nova_api_db_session_count",
+            "nova_api_paste_pipeline_time", "nova_api_wsgi_connections"]
+    return (_named(discarded, _healthy_gauge, 2.0)
+            + _named(new, _faulty_gauge, 2.0) + _pads(pads))
+
+
+def _nova_libvirt_metrics() -> tuple:
+    """Nova libvirt: 21 discarded, 0 new, 8 pads (Table 5 row 2).
+
+    No VM ever boots in the faulty version, so every per-domain libvirt
+    statistic disappears.
+    """
+    discarded = (
+        [f"libvirt_domain{i}_cpu_time" for i in range(7)]
+        + [f"libvirt_domain{i}_memory_rss" for i in range(7)]
+        + [f"libvirt_domain{i}_vcpu_count" for i in range(7)]
+    )
+    pads = ["libvirt_connections", "libvirt_storage_pool_allocation",
+            "libvirt_storage_pool_capacity", "libvirt_network_bridges",
+            "libvirt_host_cpu_time", "libvirt_host_memory_used",
+            "libvirt_events_total", "libvirt_api_call_time_mean"]
+    return _named(discarded, _healthy_gauge, 1.5) + _pads(pads)
+
+
+def _nova_scheduler_metrics() -> tuple:
+    """Nova scheduler: 7 new / 7 discarded / 1 pad (Table 5 row 3)."""
+    discarded = ["scheduler_host_selected_total",
+                 "scheduler_placement_success_rate",
+                 "scheduler_filter_pass_ComputeFilter",
+                 "scheduler_filter_pass_RamFilter",
+                 "scheduler_filter_pass_DiskFilter",
+                 "scheduler_weighed_hosts_mean",
+                 "scheduler_claim_success_total"]
+    new = ["scheduler_no_valid_host_total",
+           "scheduler_retries_exhausted",
+           "scheduler_filter_fail_ComputeFilter",
+           "scheduler_filter_fail_RamFilter",
+           "scheduler_filter_fail_DiskFilter",
+           "scheduler_placement_failures",
+           "scheduler_claim_abort_total"]
+    pads = ["scheduler_run_interval_drift"]
+    return (_named(discarded, _healthy_gauge, 1.0)
+            + _named(new, _faulty_gauge, 1.0) + _pads(pads))
+
+
+def _neutron_server_metrics() -> tuple:
+    """Neutron server: 2 new / 10 discarded / 9 pads (Table 5 row 4)."""
+    discarded = (
+        ["neutron_ports_in_status_ACTIVE", "neutron_port_binding_success",
+         "neutron_ovs_agent_heartbeats", "neutron_ovs_agent_flows"]
+        + [f"neutron_port_tx_bytes_port{i}" for i in range(3)]
+        + [f"neutron_port_rx_bytes_port{i}" for i in range(3)]
+    )
+    new = ["neutron_ports_in_status_DOWN", "neutron_port_binding_failures"]
+    pads = ["neutron_networks_total", "neutron_subnets_total",
+            "neutron_security_groups", "neutron_api_workers_busy",
+            "neutron_rpc_pool_size", "neutron_db_retries",
+            "neutron_router_count", "neutron_floatingip_count",
+            "neutron_quota_usage_ports"]
+    return (_named(discarded, _healthy_gauge, 1.8)
+            + _named(new, _faulty_gauge, 1.8) + _pads(pads))
+
+
+def _rabbitmq_metrics() -> tuple:
+    """RabbitMQ: 5 new / 6 discarded / 30 pads (Table 5 row 5)."""
+    discarded = ["queue_compute_consumers_active",
+                 "queue_network_vif_plugged_events",
+                 "queue_notifications_instance_create_end",
+                 "queue_notifications_port_create_end",
+                 "queue_ovs_agent_report_state",
+                 "queue_scheduler_ack_rate"]
+    new = ["queue_notifications_instance_create_error",
+           "queue_messages_unacked_backlog",
+           "queue_dead_letter_total",
+           "queue_scheduler_retry_messages",
+           "queue_compute_requeue_total"]
+    per_queue = ["nova", "neutron", "glance", "conductor", "scheduler",
+                 "dhcp_agent", "l3_agent", "notifications", "reply", "cert"]
+    pads = (
+        [f"queue_{q}_depth" for q in per_queue]
+        + [f"queue_{q}_publish_rate" for q in per_queue]
+        + [f"queue_{q}_deliver_rate" for q in per_queue]
+    )
+    return (_named(discarded, _healthy_gauge, 2.5)
+            + _named(new, _faulty_gauge, 2.5) + _pads(pads))
+
+
+def _simple_fault_metrics(discarded: list[str], new: list[str],
+                          pads: list[str]) -> tuple:
+    """Helper for the remaining components."""
+    return (_named(discarded, _healthy_gauge, 1.0)
+            + _named(new, _faulty_gauge, 1.0) + _pads(pads))
+
+
+def openstack_specs() -> list[ComponentSpec]:
+    """Component specs for the 16-component OpenStack control plane."""
+    return [
+        ComponentSpec(
+            name="haproxy", kind="loadbalancer", metric_profile="tiny",
+            export_errors="never",
+            endpoints=(EndpointSpec("public_api", service_time=0.002),),
+            calls=(
+                CallSpec("nova-api", ratio=0.45, delay=0.5),
+                CallSpec("keystone", ratio=0.20, delay=0.5),
+                CallSpec("glance-api", ratio=0.12, delay=0.5),
+                CallSpec("neutron-server", ratio=0.18, delay=0.5),
+                CallSpec("nova-novncproxy", ratio=0.05, delay=0.5),
+            ),
+            concurrency=64,
+            custom_metrics=_simple_fault_metrics(
+                ["lb_backend_nova_api_2xx"], ["lb_backend_nova_api_5xx"],
+                ["lb_frontend_sessions_rate", "lb_backend_queue_time"],
+            ),
+        ),
+        ComponentSpec(
+            name="nova-api", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(
+                EndpointSpec("servers_POST", service_time=0.080, weight=2.0),
+                EndpointSpec("servers_DELETE", service_time=0.050,
+                             weight=1.5),
+                EndpointSpec("servers_detail_GET", service_time=0.030,
+                             weight=3.0),
+                EndpointSpec("flavors_GET", service_time=0.010, weight=1.0),
+            ),
+            calls=(
+                CallSpec("keystone", ratio=0.9, delay=0.4),
+                CallSpec("rabbitmq", ratio=1.4, delay=0.4),
+                CallSpec("neutron-server", ratio=0.7, delay=0.5),
+                CallSpec("glance-api", ratio=0.4, delay=0.5),
+                CallSpec("nova-conductor", ratio=0.5, delay=0.5),
+            ),
+            instances=2, concurrency=16,
+            custom_metrics=_nova_api_metrics(),
+        ),
+        ComponentSpec(
+            name="nova-scheduler", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(EndpointSpec("select_destinations",
+                                    service_time=0.040),),
+            calls=(CallSpec("rabbitmq", ratio=0.5, delay=0.5),),
+            custom_metrics=_nova_scheduler_metrics(),
+        ),
+        ComponentSpec(
+            name="nova-conductor", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(EndpointSpec("build_instances", service_time=0.030),),
+            calls=(
+                CallSpec("mariadb", ratio=1.6, delay=0.4),
+                CallSpec("rabbitmq", ratio=0.4, delay=0.5),
+            ),
+            custom_metrics=_simple_fault_metrics(
+                ["conductor_build_success_writes",
+                 "conductor_instance_mapping_updates"],
+                [],
+                ["conductor_rpc_workers_busy", "conductor_db_pool_used",
+                 "conductor_object_backport_calls",
+                 "conductor_cell_mapping_cache",
+                 "conductor_periodic_task_time",
+                 "conductor_rpc_reply_time_mean",
+                 "conductor_db_retry_total", "conductor_rpc_timeout_total",
+                 "conductor_instance_updates_rate",
+                 "conductor_heartbeat_interval",
+                 "conductor_rpc_queue_depth",
+                 "conductor_version_cache_entries"],
+            ),
+        ),
+        ComponentSpec(
+            name="nova-compute", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(
+                EndpointSpec("spawn", service_time=0.120, weight=2.0),
+                EndpointSpec("destroy", service_time=0.060, weight=1.0),
+            ),
+            calls=(
+                CallSpec("nova-libvirt", ratio=1.2, delay=0.5),
+                CallSpec("neutron-server", ratio=0.6, delay=0.6),
+                CallSpec("glance-api", ratio=0.5, delay=0.5),
+                CallSpec("rabbitmq", ratio=0.5, delay=0.5),
+            ),
+            custom_metrics=_simple_fault_metrics(
+                ["compute_vif_plug_time_mean",
+                 "compute_instances_running",
+                 "compute_spawn_success_total"],
+                [],
+                _compute_pads(),
+            ),
+        ),
+        ComponentSpec(
+            name="nova-libvirt", kind="generic", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("domain_ops", service_time=0.050),),
+            custom_metrics=_nova_libvirt_metrics(),
+        ),
+        ComponentSpec(
+            name="nova-novncproxy", kind="generic", metric_profile="tiny",
+            export_errors="never",
+            endpoints=(EndpointSpec("console_GET", service_time=0.015),),
+            calls=(CallSpec("nova-api", ratio=0.3, delay=0.5),),
+            custom_metrics=_simple_fault_metrics(
+                [f"novnc_session_bytes_domain{i}" for i in range(4)]
+                + ["novnc_sessions_active", "novnc_session_duration_mean",
+                   "novnc_handshake_success"],
+                [], [],
+            ),
+        ),
+        ComponentSpec(
+            name="neutron-server", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(
+                EndpointSpec("ports_POST", service_time=0.060, weight=2.0),
+                EndpointSpec("ports_DELETE", service_time=0.040, weight=1.0),
+                EndpointSpec("networks_GET", service_time=0.020, weight=1.5),
+            ),
+            calls=(
+                CallSpec("mariadb", ratio=1.8, delay=0.4),
+                CallSpec("rabbitmq", ratio=0.8, delay=0.5),
+                CallSpec("keystone", ratio=0.4, delay=0.4),
+            ),
+            instances=2,
+            custom_metrics=_neutron_server_metrics(),
+        ),
+        ComponentSpec(
+            name="neutron-l3-agent", kind="generic", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("router_sync", service_time=0.030),),
+            calls=(
+                CallSpec("rabbitmq", ratio=0.3, delay=0.5),
+                CallSpec("neutron-server", ratio=0.3, delay=0.6),
+            ),
+            custom_metrics=_simple_fault_metrics(
+                [f"l3_router{i}_tx_packets" for i in range(4)]
+                + ["l3_floating_ip_active", "l3_nat_rules_applied",
+                   "l3_gateway_ports_up"],
+                [],
+                ["l3_agent_sync_time", "l3_agent_routers_total",
+                 "l3_agent_namespaces", "l3_agent_rpc_loop_time",
+                 "l3_agent_ha_state_changes", "l3_agent_keepalived_procs",
+                 "l3_agent_iptables_apply_time", "l3_agent_port_updates",
+                 "l3_agent_fullsync_total", "l3_agent_pd_subnets",
+                 "l3_agent_fip_nat_entries", "l3_agent_qos_rules",
+                 "l3_agent_config_reloads", "l3_agent_external_gw_checks",
+                 "l3_agent_radvd_procs", "l3_agent_metering_labels",
+                 "l3_agent_cpu_share", "l3_agent_memory_share",
+                 "l3_agent_dvr_updates", "l3_agent_arp_entries",
+                 "l3_agent_snat_ports", "l3_agent_router_updates_rate"],
+            ),
+        ),
+        ComponentSpec(
+            name="neutron-dhcp-agent", kind="generic", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("dhcp_sync", service_time=0.020),),
+            calls=(
+                CallSpec("rabbitmq", ratio=0.3, delay=0.5),
+                CallSpec("neutron-server", ratio=0.3, delay=0.6),
+            ),
+            custom_metrics=_simple_fault_metrics(
+                ["dhcp_leases_active", "dhcp_offers_sent",
+                 "dhcp_acks_sent", "dhcp_port_reservations"],
+                [],
+                ["dhcp_agent_networks_total", "dhcp_agent_sync_time",
+                 "dhcp_agent_dnsmasq_procs", "dhcp_agent_hosts_entries",
+                 "dhcp_agent_rpc_loop_time", "dhcp_agent_port_updates",
+                 "dhcp_agent_resync_total", "dhcp_agent_namespaces",
+                 "dhcp_agent_config_reloads", "dhcp_agent_lease_duration",
+                 "dhcp_agent_relay_packets", "dhcp_agent_option_sets",
+                 "dhcp_agent_subnet_count", "dhcp_agent_static_routes",
+                 "dhcp_agent_mtu_overrides", "dhcp_agent_ipv6_subnets",
+                 "dhcp_agent_bindings_rate", "dhcp_agent_cache_entries",
+                 "dhcp_agent_cleanup_runs", "dhcp_agent_errors_logged",
+                 "dhcp_agent_queue_depth"],
+            ),
+        ),
+        ComponentSpec(
+            name="glance-api", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(
+                EndpointSpec("images_GET", service_time=0.025, weight=2.0),
+                EndpointSpec("image_data_GET", service_time=0.200,
+                             weight=1.0),
+            ),
+            calls=(
+                CallSpec("glance-registry", ratio=0.8, delay=0.4),
+                CallSpec("keystone", ratio=0.4, delay=0.4),
+            ),
+            request_bytes=120_000.0,
+            custom_metrics=_simple_fault_metrics(
+                ["glance_image_downloads_success",
+                 "glance_image_download_time_mean",
+                 "glance_cache_hits_boot",
+                 "glance_image_serves_active",
+                 "glance_bandwidth_to_compute"],
+                [],
+                ["glance_images_total", "glance_cache_size_mb",
+                 "glance_api_workers_busy", "glance_upload_rate"],
+            ),
+        ),
+        ComponentSpec(
+            name="glance-registry", kind="generic", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("image_meta_GET", service_time=0.012),),
+            calls=(CallSpec("mariadb", ratio=1.1, delay=0.4),),
+            custom_metrics=_simple_fault_metrics(
+                ["registry_image_status_active_updates",
+                 "registry_member_lookups_boot",
+                 "registry_location_updates"],
+                [],
+                ["registry_db_queries_rate", "registry_cache_entries",
+                 "registry_api_time_mean", "registry_workers_busy",
+                 "registry_schema_loads", "registry_auth_checks",
+                 "registry_list_requests", "registry_detail_requests",
+                 "registry_update_requests", "registry_rpc_time_mean"],
+            ),
+        ),
+        ComponentSpec(
+            name="rabbitmq", kind="queue", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("amqp", service_time=0.003),),
+            calls=(
+                CallSpec("nova-scheduler", ratio=0.30, delay=0.5),
+                CallSpec("nova-compute", ratio=0.35, delay=0.5),
+                CallSpec("nova-conductor", ratio=0.25, delay=0.5),
+                CallSpec("neutron-l3-agent", ratio=0.15, delay=0.6),
+                CallSpec("neutron-dhcp-agent", ratio=0.15, delay=0.6),
+            ),
+            concurrency=96,
+            custom_metrics=_rabbitmq_metrics(),
+        ),
+        ComponentSpec(
+            name="keystone", kind="python", metric_profile="slim",
+            export_errors="always",
+            endpoints=(
+                EndpointSpec("tokens_POST", service_time=0.030, weight=2.0),
+                EndpointSpec("validate_GET", service_time=0.008, weight=3.0),
+            ),
+            calls=(
+                CallSpec("mariadb", ratio=0.7, delay=0.4),
+                CallSpec("memcached", ratio=1.5, delay=0.3),
+            ),
+            custom_metrics=_pads(["keystone_tokens_issued_rate",
+                                  "keystone_fernet_rotations"]),
+        ),
+        ComponentSpec(
+            name="memcached", kind="kv-store", metric_profile="slim",
+            export_errors="never",
+            endpoints=(EndpointSpec("cache_ops", service_time=0.0005),),
+            concurrency=128,
+            custom_metrics=_pads(["memcached_curr_items",
+                                  "memcached_expired_unfetched",
+                                  "memcached_cas_hits",
+                                  "memcached_conn_yields"]),
+        ),
+        ComponentSpec(
+            name="mariadb", kind="database", metric_profile="slim",
+            export_errors="never",
+            endpoints=(
+                EndpointSpec("select", service_time=0.004, weight=3.0),
+                EndpointSpec("dml", service_time=0.007, weight=1.0),
+            ),
+            concurrency=64, baseline_memory_mb=1400.0,
+        ),
+    ]
+
+
+def _compute_pads() -> list[str]:
+    """Filler metric names for nova-compute (20 pads)."""
+    return [
+        "compute_resource_tracker_time", "compute_claims_total",
+        "compute_allocations_total", "compute_image_cache_size",
+        "compute_vcpus_used", "compute_memory_used_mb",
+        "compute_disk_used_gb", "compute_periodic_sync_time",
+        "compute_rpc_workers_busy", "compute_bdm_operations",
+        "compute_volume_attachments", "compute_network_info_cache",
+        "compute_heal_instance_info", "compute_power_state_syncs",
+        "compute_reboot_requests", "compute_migration_count",
+        "compute_hypervisor_load", "compute_host_cpu_frequency",
+        "compute_host_disk_latency", "compute_pci_requests",
+    ]
+
+
+def build_openstack_application() -> Application:
+    """The OpenStack control plane with haproxy + agents as entry points.
+
+    The Neutron agents poll on their own (report-state loops), so a
+    small fraction of 'external' load lands on them directly; everything
+    else arrives through haproxy (the public API endpoint Rally hits).
+    """
+    return Application(
+        "openstack", openstack_specs(),
+        entrypoints={
+            "haproxy": 0.90,
+            "neutron-l3-agent": 0.05,
+            "neutron-dhcp-agent": 0.05,
+        },
+    )
+
+
+def openstack_fault_plan(at_time: float = 0.0) -> FaultPlan:
+    """The bug #1533942 analog: VM launches fail from ``at_time`` on.
+
+    The underlying crash (Neutron Open vSwitch agent) is outside the 16
+    dependency-graph components; its *observable footprint* -- the flag
+    every state-dependent metric reacts to -- is what the RCA engine
+    must localize.
+    """
+    return FaultPlan(faults=[EnvFlag(FAULT_FLAG, True, at_time=at_time)])
+
+
+# -- Table 1: the full monitoring surface ------------------------------
+
+_TELEMETRY_SERVICES = {
+    # service -> (resource kinds, resources per kind, fields per resource)
+    "nova": (8, 40, 12),
+    "neutron": (10, 35, 11),
+    "cinder": (6, 30, 10),
+    "glance": (4, 25, 9),
+    "keystone": (4, 20, 8),
+    "ceilometer": (12, 45, 10),
+    "heat": (5, 22, 9),
+    "swift": (7, 30, 10),
+    "ironic": (4, 18, 8),
+    "horizon": (3, 12, 6),
+}
+
+
+def full_metric_catalog() -> list[str]:
+    """The potential metric space of a full OpenStack deployment.
+
+    Table 1 of the paper counts 17 608 metrics for OpenStack, obtained
+    from the API references and telemetry documentation [17, 19]: every
+    response parameter of every resource of every service is a
+    monitorable series.  This function enumerates a modelled catalog of
+    that surface (service x resource-kind x resource x field); its size
+    (17 608) matches the paper's count.
+    """
+    catalog: list[str] = []
+    for service, (kinds, resources, fields) in _TELEMETRY_SERVICES.items():
+        for kind in range(kinds):
+            for resource in range(resources):
+                for field in range(fields):
+                    catalog.append(
+                        f"{service}.kind{kind}.res{resource}.field{field}"
+                    )
+    # Trim/extend deterministically to the documented count.
+    target = 17_608
+    if len(catalog) > target:
+        return catalog[:target]
+    extra = (f"ceilometer.derived.metric{i}"
+             for i in range(target - len(catalog)))
+    return catalog + list(extra)

@@ -1,0 +1,367 @@
+"""ShareLatex application model (case study #1).
+
+ShareLatex is "structured as a microservices-based application,
+delegating tasks to multiple well-defined components that include a
+KV-store, load balancer, two databases and 11 node.js based components"
+(paper Section 4.1) -- fifteen components in total, the ones named in
+Figures 3, 4 and 6:
+
+    chat, clsi, contacts, doc-updater, docstore, filestore, haproxy,
+    mongodb, postgresql, real-time, redis, spelling, tags,
+    track-changes, web
+
+The topology below follows ShareLatex's architecture: haproxy fronts
+``web`` (the HTTP API) and ``real-time`` (the websocket editor
+channel); ``web`` fans out to the feature services; document editing
+flows through ``doc-updater`` into redis/mongo; ``clsi`` (the LaTeX
+compiler) hits postgresql and filestore.  The ``web`` endpoint set
+includes ``Project_id_GET``, whose latency statistic
+``http-requests_Project_id_GET_mean`` is the metric Sieve ends up
+selecting as the autoscaling trigger (paper Section 6.2, Figure 6).
+
+The real deployment exported 889 unique metrics (Table 1); this model
+exports a comparable number (~55-70 per component) from the same metric
+families.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.simulator.app import Application
+from repro.simulator.component import (
+    CallSpec,
+    Component,
+    ComponentSpec,
+    EndpointSpec,
+)
+
+#: Component names in the paper's figures.
+SHARELATEX_COMPONENTS = (
+    "chat", "clsi", "contacts", "doc-updater", "docstore", "filestore",
+    "haproxy", "mongodb", "postgresql", "real-time", "redis", "spelling",
+    "tags", "track-changes", "web",
+)
+
+
+def _runtime_pad(kind: str, scale: float, phase: float):
+    """One always-exported runtime metric tied to a state signal.
+
+    Real node.js services expose dozens of process/runtime series per
+    component (event-loop timers, per-route counters, connection-pool
+    gauges); these pads model that surface so the application's total
+    metric count lands near the 889 the paper measured (Table 1).
+    """
+    def fn(component: Component, now: float) -> float:
+        if kind == "rate":
+            base = component.total_request_rate() * scale
+        elif kind == "cpu":
+            base = component.cpu_usage * scale
+        elif kind == "memory":
+            base = component.memory_mb * scale
+        elif kind == "latency":
+            base = component.mean_latency() * 1000.0 * scale
+        else:  # "wave": slow periodic housekeeping (timers, cron jobs)
+            base = scale * (1.0 + math.sin(0.015 * now + phase))
+        return base + 0.04 * scale * math.sin(0.7 * now + 2.3 * phase)
+    return fn
+
+
+#: Per-process runtime metric families exported by every node.js
+#: component (express + prom-client style naming).
+_NODEJS_RUNTIME_METRICS = (
+    "process_cpu_seconds_rate", "process_resident_memory_bytes",
+    "process_heap_bytes", "process_external_memory_bytes",
+    "eventloop_latency_p50", "eventloop_latency_p99",
+    "http_request_duration_sum", "http_request_duration_count",
+    "http_request_size_mean", "http_response_size_mean",
+    "tcp_connections_open", "tcp_connections_rate",
+    "dns_lookups_rate", "socket_io_packets_rate",
+    "express_middleware_time_mean", "express_router_time_mean",
+    "promclient_scrape_duration", "logger_lines_rate",
+    "settings_reload_count", "healthcheck_latency_ms",
+    "module_cache_entries", "timers_active", "immediate_queue_depth",
+    "uptime_seconds",
+)
+
+_PAD_KINDS = ("rate", "cpu", "memory", "latency", "wave")
+
+
+def _component_pads(names=_NODEJS_RUNTIME_METRICS) -> tuple:
+    """Custom-metric tuples for one component's runtime surface."""
+    return tuple(
+        (name, _runtime_pad(_PAD_KINDS[i % len(_PAD_KINDS)],
+                            1.0 + 0.25 * i, phase=0.8 * i))
+        for i, name in enumerate(names)
+    )
+
+
+def _web_endpoints() -> tuple[EndpointSpec, ...]:
+    """The HTTP surface of the ``web`` component.
+
+    ``Project_id_GET`` is the hot path (opening a project) and carries
+    most of the traffic -- it must dominate so its latency statistic
+    becomes the most connected metric of the dependency graph.
+    """
+    return (
+        EndpointSpec("Project_id_GET", service_time=0.24, weight=5.0),
+        EndpointSpec("project_POST", service_time=0.30, weight=0.8),
+        EndpointSpec("project_id_settings_POST", service_time=0.15,
+                     weight=0.5),
+        EndpointSpec("login_POST", service_time=0.35, weight=0.6),
+        EndpointSpec("register_POST", service_time=0.40, weight=0.1),
+        EndpointSpec("user_settings_GET", service_time=0.12, weight=0.4),
+        EndpointSpec("project_id_download_GET", service_time=0.60,
+                     weight=0.3),
+        EndpointSpec("static_assets_GET", service_time=0.02, weight=2.0),
+    )
+
+
+#: Storage-engine metric families of the stateful components.
+_MONGODB_RUNTIME_METRICS = tuple(
+    f"wiredtiger_{name}" for name in (
+        "cache_bytes_in", "cache_bytes_out", "cache_dirty_bytes",
+        "cache_pages_evicted", "checkpoint_time", "txn_begins",
+        "txn_commits", "txn_rollbacks", "block_reads", "block_writes",
+        "log_bytes_written", "log_syncs", "cursor_count", "session_count",
+    )
+) + (
+    "oplog_window_hours", "repl_lag_seconds", "asserts_regular",
+    "asserts_warning", "page_faults_rate", "ttl_deleted_rate",
+    "index_hits_rate", "index_misses_rate", "document_inserted_rate",
+    "document_returned_rate", "connections_available",
+    "network_num_requests",
+)
+
+_POSTGRES_RUNTIME_METRICS = (
+    "pg_xact_commit_rate", "pg_xact_rollback_rate", "pg_blks_read_rate",
+    "pg_blks_hit_rate", "pg_tup_returned_rate", "pg_tup_fetched_rate",
+    "pg_tup_inserted_rate", "pg_tup_updated_rate", "pg_tup_deleted_rate",
+    "pg_temp_bytes_rate", "pg_deadlocks_total", "pg_checkpoints_timed",
+    "pg_checkpoints_req", "pg_buffers_checkpoint", "pg_buffers_clean",
+    "pg_buffers_backend", "pg_wal_bytes_rate", "pg_autovacuum_runs",
+    "pg_locks_granted", "pg_locks_waiting", "pg_bgwriter_maxwritten",
+    "pg_stat_activity_idle",
+)
+
+_REDIS_RUNTIME_METRICS = (
+    "redis_connected_clients", "redis_blocked_clients",
+    "redis_instantaneous_ops", "redis_total_net_input_rate",
+    "redis_total_net_output_rate", "redis_rejected_connections",
+    "redis_expired_keys_rate", "redis_keyspace_hit_ratio",
+    "redis_rdb_changes_since_save", "redis_aof_rewrite_time",
+    "redis_pubsub_channels", "redis_pubsub_patterns",
+    "redis_latest_fork_usec", "redis_mem_fragmentation_ratio",
+    "redis_loading_flag", "redis_master_repl_offset",
+)
+
+_HAPROXY_RUNTIME_METRICS = (
+    "haproxy_scur", "haproxy_smax", "haproxy_slim", "haproxy_stot_rate",
+    "haproxy_ereq_rate", "haproxy_econ_rate", "haproxy_eresp_rate",
+    "haproxy_wretr_rate", "haproxy_wredis_rate", "haproxy_qcur",
+    "haproxy_qmax", "haproxy_rate_max", "haproxy_hrsp_2xx_rate",
+    "haproxy_hrsp_4xx_rate", "haproxy_hrsp_5xx_rate",
+)
+
+#: Per-kind runtime surface attached to every ShareLatex component.
+_KIND_PADS = {
+    "nodejs": _NODEJS_RUNTIME_METRICS,
+    "database": _POSTGRES_RUNTIME_METRICS,   # mongodb overridden below
+    "kv-store": _REDIS_RUNTIME_METRICS,
+    "loadbalancer": _HAPROXY_RUNTIME_METRICS,
+}
+
+
+def sharelatex_specs() -> list[ComponentSpec]:
+    """Component specs for the 15-component ShareLatex topology."""
+    specs = _sharelatex_base_specs()
+    enriched = []
+    for spec in specs:
+        if spec.name == "mongodb":
+            names = _MONGODB_RUNTIME_METRICS
+        else:
+            names = _KIND_PADS.get(spec.kind, ())
+        if names:
+            spec = replace(spec, custom_metrics=spec.custom_metrics
+                           + _component_pads(names))
+        enriched.append(spec)
+    return enriched
+
+
+def _sharelatex_base_specs() -> list[ComponentSpec]:
+    """Topology and endpoint surface, before runtime-metric enrichment."""
+    return [
+        ComponentSpec(
+            name="haproxy", kind="loadbalancer",
+            endpoints=(
+                EndpointSpec("frontend_http", service_time=0.0015,
+                             weight=4.0),
+                EndpointSpec("frontend_websocket", service_time=0.0010,
+                             weight=1.0),
+            ),
+            calls=(
+                CallSpec("web", ratio=0.80, delay=0.5),
+                CallSpec("real-time", ratio=0.20, delay=0.5),
+            ),
+            concurrency=64, baseline_cpu=1.5, cpu_per_unit_load=35.0,
+        ),
+        ComponentSpec(
+            name="web", kind="nodejs",
+            endpoints=_web_endpoints(),
+            calls=(
+                CallSpec("chat", ratio=0.15, delay=0.5),
+                CallSpec("clsi", ratio=0.12, delay=0.8),
+                CallSpec("contacts", ratio=0.08, delay=0.5),
+                CallSpec("docstore", ratio=0.45, delay=0.5),
+                CallSpec("doc-updater", ratio=0.35, delay=0.5),
+                CallSpec("filestore", ratio=0.10, delay=0.6),
+                CallSpec("spelling", ratio=0.10, delay=0.5),
+                CallSpec("tags", ratio=0.07, delay=0.5),
+                CallSpec("track-changes", ratio=0.12, delay=0.5),
+                CallSpec("postgresql", ratio=0.30, delay=0.4),
+                CallSpec("mongodb", ratio=0.60, delay=0.4),
+            ),
+            instances=2, concurrency=56, baseline_cpu=3.0,
+        ),
+        ComponentSpec(
+            name="real-time", kind="nodejs",
+            endpoints=(
+                EndpointSpec("applyUpdate_POST", service_time=0.012,
+                             weight=3.0),
+                EndpointSpec("joinProject_POST", service_time=0.020,
+                             weight=1.0),
+                EndpointSpec("cursor_POST", service_time=0.004, weight=2.0),
+            ),
+            calls=(
+                CallSpec("doc-updater", ratio=0.70, delay=0.5),
+                CallSpec("redis", ratio=1.50, delay=0.4),
+            ),
+            concurrency=24,
+        ),
+        ComponentSpec(
+            name="chat", kind="nodejs",
+            endpoints=(
+                EndpointSpec("messages_GET", service_time=0.015, weight=2.0),
+                EndpointSpec("messages_POST", service_time=0.020, weight=1.0),
+                EndpointSpec("threads_GET", service_time=0.012, weight=0.8),
+            ),
+            calls=(CallSpec("mongodb", ratio=1.2, delay=0.4),),
+        ),
+        ComponentSpec(
+            name="clsi", kind="nodejs",
+            endpoints=(
+                EndpointSpec("compile_POST", service_time=0.350, weight=2.0),
+                EndpointSpec("compile_status_GET", service_time=0.008,
+                             weight=1.0),
+                EndpointSpec("output_GET", service_time=0.040, weight=1.0),
+            ),
+            calls=(
+                CallSpec("postgresql", ratio=0.8, delay=0.4),
+                CallSpec("filestore", ratio=0.6, delay=0.6),
+            ),
+            instances=2, concurrency=4, cpu_per_unit_load=85.0,
+        ),
+        ComponentSpec(
+            name="contacts", kind="nodejs",
+            endpoints=(
+                EndpointSpec("contacts_GET", service_time=0.010, weight=2.0),
+                EndpointSpec("contacts_POST", service_time=0.014, weight=1.0),
+            ),
+            calls=(CallSpec("mongodb", ratio=1.0, delay=0.4),),
+        ),
+        ComponentSpec(
+            name="doc-updater", kind="nodejs",
+            endpoints=(
+                EndpointSpec("applyUpdate_POST", service_time=0.018,
+                             weight=3.0),
+                EndpointSpec("flushDoc_POST", service_time=0.030, weight=1.0),
+                EndpointSpec("getDoc_GET", service_time=0.010, weight=2.0),
+            ),
+            calls=(
+                CallSpec("redis", ratio=2.2, delay=0.4),
+                CallSpec("mongodb", ratio=0.5, delay=0.5),
+                CallSpec("track-changes", ratio=0.4, delay=0.6),
+            ),
+            instances=2, concurrency=16,
+        ),
+        ComponentSpec(
+            name="docstore", kind="nodejs",
+            endpoints=(
+                EndpointSpec("doc_GET", service_time=0.012, weight=3.0),
+                EndpointSpec("doc_POST", service_time=0.018, weight=1.0),
+                EndpointSpec("archive_POST", service_time=0.050, weight=0.2),
+            ),
+            calls=(CallSpec("mongodb", ratio=1.4, delay=0.4),),
+        ),
+        ComponentSpec(
+            name="filestore", kind="nodejs",
+            endpoints=(
+                EndpointSpec("file_GET", service_time=0.030, weight=2.0),
+                EndpointSpec("file_POST", service_time=0.055, weight=1.0),
+            ),
+            request_bytes=48_000.0,
+        ),
+        ComponentSpec(
+            name="spelling", kind="nodejs",
+            endpoints=(
+                EndpointSpec("check_POST", service_time=0.022, weight=3.0),
+                EndpointSpec("learn_POST", service_time=0.010, weight=0.3),
+            ),
+            calls=(CallSpec("mongodb", ratio=0.3, delay=0.5),),
+        ),
+        ComponentSpec(
+            name="tags", kind="nodejs",
+            endpoints=(
+                EndpointSpec("tags_GET", service_time=0.008, weight=2.0),
+                EndpointSpec("tags_POST", service_time=0.012, weight=1.0),
+            ),
+            calls=(CallSpec("mongodb", ratio=1.0, delay=0.4),),
+        ),
+        ComponentSpec(
+            name="track-changes", kind="nodejs",
+            endpoints=(
+                EndpointSpec("updates_GET", service_time=0.016, weight=1.5),
+                EndpointSpec("updates_POST", service_time=0.020, weight=1.0),
+                EndpointSpec("diff_GET", service_time=0.045, weight=0.5),
+            ),
+            calls=(CallSpec("mongodb", ratio=1.1, delay=0.4),),
+        ),
+        ComponentSpec(
+            name="mongodb", kind="database",
+            endpoints=(
+                EndpointSpec("find", service_time=0.0035, weight=4.0),
+                EndpointSpec("insert", service_time=0.0050, weight=1.5),
+                EndpointSpec("update", service_time=0.0060, weight=1.5),
+                EndpointSpec("aggregate", service_time=0.0150, weight=0.5),
+            ),
+            concurrency=48, cpu_per_unit_load=70.0,
+            baseline_memory_mb=900.0,
+        ),
+        ComponentSpec(
+            name="postgresql", kind="database",
+            endpoints=(
+                EndpointSpec("select", service_time=0.0030, weight=3.0),
+                EndpointSpec("insert", service_time=0.0055, weight=1.0),
+            ),
+            concurrency=32, baseline_memory_mb=600.0,
+        ),
+        ComponentSpec(
+            name="redis", kind="kv-store",
+            endpoints=(
+                EndpointSpec("get", service_time=0.0004, weight=3.0),
+                EndpointSpec("set", service_time=0.0006, weight=2.0),
+                EndpointSpec("publish", service_time=0.0005, weight=1.0),
+            ),
+            concurrency=96, baseline_cpu=1.0, cpu_per_unit_load=45.0,
+            baseline_memory_mb=250.0,
+        ),
+    ]
+
+
+def build_sharelatex_application() -> Application:
+    """The ShareLatex application with haproxy as the single entry point."""
+    return Application(
+        "sharelatex", sharelatex_specs(), entrypoints={"haproxy": 1.0},
+        sla_path=("haproxy", "web", "mongodb"),
+    )

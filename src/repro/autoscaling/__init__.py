@@ -1,0 +1,29 @@
+"""Case study #1: orchestration of autoscaling (paper Sections 4.1, 6.2).
+
+Sieve's dependency graph tells the developer *which metric to scale on*:
+the metric appearing most often in Granger relations.  The engine here
+is the Kapacitor analog -- it streams the guiding metric during a live
+run and applies threshold scaling rules (+/- one instance).
+
+* :mod:`repro.autoscaling.sla` -- the SLA condition (90th percentile of
+  request latencies below 1000 ms) and violation counting.
+* :mod:`repro.autoscaling.rules` -- threshold scaling rules with
+  hysteresis and cooldown.
+* :mod:`repro.autoscaling.calibration` -- iterative threshold
+  refinement against a peak-load sample (paper Section 6.2).
+* :mod:`repro.autoscaling.engine` -- the streaming evaluator and the
+  Table 4 experiment driver.
+"""
+
+from repro.autoscaling.calibration import calibrate_thresholds
+from repro.autoscaling.engine import AutoscalingOutcome, run_autoscaling
+from repro.autoscaling.rules import ScalingRule
+from repro.autoscaling.sla import SLACondition
+
+__all__ = [
+    "AutoscalingOutcome",
+    "ScalingRule",
+    "SLACondition",
+    "calibrate_thresholds",
+    "run_autoscaling",
+]

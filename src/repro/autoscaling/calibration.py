@@ -1,0 +1,266 @@
+"""Threshold calibration against peak-load samples (Section 6.2).
+
+"To calculate the threshold values to trigger autoscaling, we used a
+5-minute sample from the peak load of our HTTP trace and iteratively
+refined the values to stay within the SLA condition."
+
+Two phases reproduce that procedure:
+
+1. **Level sweep** -- simulate the peak window at every instance count
+   and record the guiding metric's level plus whether the SLA held.
+   The scale-up threshold lands between the best *violating* level and
+   the worst *satisfying* one; the initial scale-down threshold sits
+   just below the worst satisfying level (a tight hysteresis band).
+2. **Iterative refinement** -- replay a mid-load window with the
+   candidate rule active.  If the rule itself causes SLA violations
+   (scale-down flapping: the metric falls below the band after an
+   upscale and the rule gives capacity back too eagerly), the
+   scale-down threshold is halved and the window replayed, until the
+   SLA holds.
+
+Phase 2 is what separates metric qualities in the paper: a latency-like
+application metric is *backlog-aware* and convex near saturation, so
+the tight band survives refinement; CPU usage scales inversely with the
+instance count and saturates, so refinement keeps cutting its
+scale-down threshold (the paper ended at 1%), which later costs
+efficiency (instances are never returned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.autoscaling.rules import ScalingRule
+from repro.autoscaling.sla import SLACondition
+from repro.simulator.app import Application
+
+
+@dataclass(frozen=True)
+class CalibratedThresholds:
+    """Calibration outcome for one guiding metric."""
+
+    metric_component: str
+    metric: str
+    scale_up: float
+    scale_down: float
+    refinement_rounds: int
+    levels: dict[int, tuple[float, bool]]
+    """instance count -> (metric level, SLA satisfied)."""
+
+
+def _observe_level(
+    application: Application,
+    rate_fn,
+    component: str,
+    instances: int,
+    metric_component: str,
+    metric: str,
+    duration: float,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run a load window at a fixed instance count.
+
+    Returns (guiding-metric samples, end-to-end latency samples).
+    """
+    sim, _tracer = application.build_simulation(rate_fn, seed=seed)
+    sim.component(component).set_instances(instances)
+    sim.run(5.0)  # warmup
+    metric_samples: list[float] = []
+    latency_samples: list[float] = []
+    next_sample = sim.now
+
+    def on_step(s) -> None:
+        nonlocal next_sample
+        while next_sample <= s.now:
+            value = s.component(metric_component) \
+                .sample_metrics(next_sample).get(metric)
+            if value is not None:
+                metric_samples.append(value)
+            latency_samples.append(application.end_to_end_latency(s))
+            next_sample += 0.5
+
+    sim.run(duration, on_step=on_step)
+    return np.asarray(metric_samples), np.asarray(latency_samples)
+
+
+def calibrate_thresholds(
+    application: Application,
+    peak_rate_fn,
+    component: str,
+    metric_component: str,
+    metric: str,
+    sla: SLACondition,
+    duration: float = 60.0,
+    max_instances: int = 10,
+    seed: int = 0,
+    mid_rate_fn=None,
+    max_refinements: int = 6,
+    refinement_duration: float | None = None,
+) -> CalibratedThresholds:
+    """Find scale-up/down thresholds for ``metric`` (see module doc).
+
+    ``mid_rate_fn`` is the moderate-load window used by the refinement
+    phase; it defaults to 55% of the peak rate.  Refinement replays run
+    for ``refinement_duration`` (default 4x the sweep ``duration``) so
+    ramps are gentle enough that a well-placed trigger *can* keep up.
+    """
+    levels: dict[int, tuple[float, bool]] = {}
+    for instances in range(1, max_instances + 1):
+        metric_vals, latencies = _observe_level(
+            application, peak_rate_fn, component, instances,
+            metric_component, metric, duration, seed + instances,
+        )
+        if metric_vals.size == 0:
+            continue
+        levels[instances] = (
+            float(np.mean(metric_vals)),
+            not sla.violated(latencies),
+        )
+
+    satisfying = [lvl for lvl, ok in levels.values() if ok]
+    violating = [lvl for lvl, ok in levels.values() if not ok]
+    if not satisfying:
+        raise RuntimeError(
+            "SLA unsatisfiable at every instance count; calibration failed"
+        )
+
+    # The metric's *idle floor*: its reading when wildly overprovisioned.
+    # A latency metric never reads below the base service time, CPU never
+    # below the baseline -- any scale-down threshold at or below the
+    # floor can never trigger and silently disables downscaling.
+    floor_vals, _ = _observe_level(
+        application, _scaled_rate(peak_rate_fn, 0.2), component,
+        max_instances, metric_component, metric, duration, seed + 777,
+    )
+    floor = float(np.mean(floor_vals)) if floor_vals.size else 0.0
+
+    # The guiding metric is assumed load-increasing (latency, CPU, rate
+    # all rise with pressure): violating levels sit above satisfying.
+    # The band hugs the highest satisfying level ("worst ok", the
+    # efficient operating point): scale up a quarter above it, scale
+    # down at it -- the 1.25 : 1.0 band ratio of the paper's refined
+    # thresholds (1400 ms / 1120 ms).  When the first violating level
+    # sits close above, the midpoint keeps the trigger below it.
+    worst_ok = max(satisfying)
+    scale_up = worst_ok * 1.25
+    if violating:
+        boundary = min(violating)
+        if boundary > worst_ok:
+            scale_up = min(scale_up, 0.5 * (worst_ok + boundary))
+        else:  # overlapping levels: stay just above worst_ok
+            scale_up = worst_ok * 1.1
+    scale_down = floor + 0.35 * max(worst_ok - floor, 0.0)
+    if scale_down >= scale_up:
+        scale_down = scale_up * 0.8
+
+    # Phase 2: iterative refinement.  Two failure modes are checked and
+    # repaired until the SLA holds (or the round budget runs out):
+    #
+    # * *flapping* -- at moderate steady load the rule gives capacity
+    #   back and immediately overloads; repaired by halving the
+    #   scale-down threshold (how the paper's CPU rule ended at 1%);
+    # * *late triggering* -- on a ramp towards peak load the rule fires
+    #   only after the backlog has formed; repaired by moving the
+    #   scale-up threshold towards the scale-down one (how the paper's
+    #   CPU rule ended at an eager 21%).
+    if refinement_duration is None:
+        refinement_duration = 4.0 * duration
+    if mid_rate_fn is None:
+        # Moderate load with a slow swing: the regime where a flappy
+        # rule hands back capacity at the trough and overloads at the
+        # crest.  Real traces wiggle; a flat check window would hide
+        # this failure mode entirely.
+        mid_rate_fn = _swinging_rate(peak_rate_fn, low=0.35, high=0.75,
+                                     period=120.0)
+    ramp_rate_fn = _ramp_to_peak(peak_rate_fn, refinement_duration)
+    adequate = min(
+        (n for n, (_lvl, ok) in levels.items() if ok),
+        default=max_instances,
+    )
+    rounds = 0
+    for rounds in range(max_refinements + 1):
+        rule = ScalingRule(
+            component=component,
+            metric_component=metric_component,
+            metric=metric,
+            scale_up_threshold=scale_up,
+            scale_down_threshold=scale_down,
+            min_instances=1,
+            max_instances=max_instances,
+        )
+        flapping = _rule_causes_violations(
+            application, mid_rate_fn, rule, sla, refinement_duration,
+            seed + 997 + rounds, start_instances=adequate,
+        )
+        if flapping:
+            # Back the scale-down threshold off towards (never below)
+            # the idle floor: flap-downs were handing capacity back too
+            # eagerly.
+            scale_down = floor + 0.5 * max(scale_down - floor, 0.0)
+            continue
+        late = _rule_causes_violations(
+            application, ramp_rate_fn, rule, sla, refinement_duration,
+            seed + 499 + rounds, start_instances=1,
+        )
+        if late and scale_up > scale_down * 1.1:
+            scale_up = scale_down + 0.7 * (scale_up - scale_down)
+            continue
+        break
+
+    return CalibratedThresholds(
+        metric_component=metric_component,
+        metric=metric,
+        scale_up=scale_up,
+        scale_down=scale_down,
+        refinement_rounds=rounds,
+        levels=levels,
+    )
+
+
+def _scaled_rate(rate_fn, factor: float):
+    """A rate function scaled by ``factor``."""
+    return lambda now: factor * rate_fn(now)
+
+
+def _swinging_rate(peak_rate_fn, low: float, high: float, period: float):
+    """A slow sinusoid between ``low`` and ``high`` fractions of peak."""
+    mid = 0.5 * (low + high)
+    amplitude = 0.5 * (high - low)
+    def fn(now: float) -> float:
+        frac = mid + amplitude * np.sin(2.0 * np.pi * now / period)
+        return peak_rate_fn(now) * frac
+    return fn
+
+
+def _ramp_to_peak(peak_rate_fn, duration: float):
+    """A ramp from 30% of peak up to full peak over ``duration``."""
+    def fn(now: float) -> float:
+        frac = min(max(now / max(duration, 1e-9), 0.0), 1.0)
+        return peak_rate_fn(now) * (0.3 + 0.7 * frac)
+    return fn
+
+
+def _rule_causes_violations(
+    application: Application,
+    rate_fn,
+    rule: ScalingRule,
+    sla: SLACondition,
+    duration: float,
+    seed: int,
+    sla_window: int = 5,
+    start_instances: int | None = None,
+) -> bool:
+    """Replay a window with the rule active; any SLA violation fails it.
+
+    Imported lazily to avoid an import cycle with the engine module.
+    """
+    from repro.autoscaling.engine import run_autoscaling
+
+    outcome = run_autoscaling(
+        application, rate_fn, replace(rule), duration=duration,
+        sla=sla, sla_window=sla_window, seed=seed,
+        start_instances=start_instances,
+    )
+    return outcome.sla_violations > 0

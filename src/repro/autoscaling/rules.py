@@ -1,0 +1,62 @@
+"""Threshold-based scaling rules (paper Section 4.1).
+
+A rule binds a *guiding metric* to scale-in/out actions: when the
+metric's windowed value exceeds the scale-up threshold, the target
+component gains one instance; below the scale-down threshold it loses
+one (subject to bounds and a cooldown so one burst does not trigger a
+staircase of actions).  This is the rule family every cloud provider's
+autoscaler offers and the one the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ScalingRule:
+    """One threshold scaling rule for one component."""
+
+    component: str
+    metric_component: str
+    metric: str
+    scale_up_threshold: float
+    scale_down_threshold: float
+    min_instances: int = 1
+    max_instances: int = 10
+    cooldown: float = 15.0
+    """Seconds between consecutive actions."""
+
+    window: float = 10.0
+    """Averaging window of the guiding metric, seconds."""
+
+    _last_action_time: float = -float("inf")
+
+    def __post_init__(self) -> None:
+        if self.scale_down_threshold >= self.scale_up_threshold:
+            raise ValueError(
+                "scale_down_threshold must lie below scale_up_threshold"
+            )
+        if self.min_instances < 1 or self.max_instances < self.min_instances:
+            raise ValueError("invalid instance bounds")
+
+    def decide(self, now: float, metric_window,
+               current_instances: int) -> int:
+        """Return the instance delta (-1, 0 or +1) for this evaluation."""
+        if now - self._last_action_time < self.cooldown:
+            return 0
+        values = np.asarray(metric_window, dtype=float)
+        if values.size == 0:
+            return 0
+        value = float(values.mean())
+        if (value > self.scale_up_threshold
+                and current_instances < self.max_instances):
+            self._last_action_time = now
+            return 1
+        if (value < self.scale_down_threshold
+                and current_instances > self.min_instances):
+            self._last_action_time = now
+            return -1
+        return 0

@@ -1,0 +1,47 @@
+"""Service-level agreement conditions (paper Section 6.2).
+
+The autoscaling case study uses: "90th percentile of all request
+latencies should be below 1000 ms".  Violations are counted over fixed
+evaluation windows, matching the paper's "SLA violations (out of 1400
+samples)" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SLACondition:
+    """A percentile-latency service-level condition."""
+
+    percentile: float = 90.0
+    threshold: float = 1.0
+    """Latency bound in seconds (paper: 1000 ms)."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile < 100:
+            raise ValueError("percentile must lie in (0, 100)")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def violated(self, latencies) -> bool:
+        """True when the window's percentile latency breaks the bound."""
+        arr = np.asarray(latencies, dtype=float)
+        if arr.size == 0:
+            return False
+        return float(np.percentile(arr, self.percentile)) > self.threshold
+
+    def count_violations(self, latencies, window: int) -> tuple[int, int]:
+        """Evaluate consecutive windows; returns (violations, windows)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        arr = np.asarray(latencies, dtype=float)
+        n_windows = arr.size // window
+        violations = 0
+        for i in range(n_windows):
+            if self.violated(arr[i * window:(i + 1) * window]):
+                violations += 1
+        return violations, n_windows

@@ -1,0 +1,29 @@
+"""Dependency extraction via Granger causality (Sieve Step #3).
+
+Sieve compares the representative metrics of *communicating* components
+(call-graph neighbours only) with pairwise Granger causality tests
+(paper Section 3.3): metric X Granger-causes metric Y when the history
+of X improves the prediction of Y beyond Y's own history.  The
+machinery:
+
+* :mod:`repro.causality.granger` -- the test itself: stationarity
+  handling (ADF + first difference), the two nested OLS models, the
+  F-test, and lag selection around Sieve's conservative 500 ms.
+* :mod:`repro.causality.depgraph` -- the resulting dependency graph:
+  metric-level relations aggregated into component-level edges.
+* :mod:`repro.causality.pairwise` -- the driver walking the call graph
+  and the representative metrics, including the bidirectional-edge
+  filter for spurious relations.
+"""
+
+from repro.causality.depgraph import DependencyGraph, MetricRelation
+from repro.causality.granger import GrangerResult, granger_test
+from repro.causality.pairwise import extract_dependencies
+
+__all__ = [
+    "DependencyGraph",
+    "GrangerResult",
+    "MetricRelation",
+    "extract_dependencies",
+    "granger_test",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflows:
+
+* ``pipeline`` -- run Load -> Reduce -> Identify on an application and
+  print the reduction and dependency summary (optionally write a JSON
+  snapshot);
+* ``rca`` -- run the OpenStack correct/faulty comparison and print the
+  ranked root-cause candidates;
+* ``trace-overhead`` -- the Figure 5 tracing-technique comparison;
+* ``catalog`` -- list the components and metric counts of an
+  application model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import (
+    build_openstack_application,
+    build_sharelatex_application,
+    openstack_fault_plan,
+    run_ab_benchmark,
+)
+from repro.core import Sieve, save_snapshot
+from repro.rca import RCAEngine
+from repro.workload import RallyRunner, RandomWorkload
+
+APPLICATIONS = {
+    "sharelatex": build_sharelatex_application,
+    "openstack": build_openstack_application,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds of load")
+
+
+def cmd_pipeline(args) -> int:
+    application = APPLICATIONS[args.app]()
+    sieve = Sieve(application)
+    workload = RandomWorkload(duration=args.duration, seed=args.seed)
+    result = sieve.run(workload, duration=args.duration, seed=args.seed,
+                       workload_name="random")
+    summary = result.summary()
+    for key, value in summary.items():
+        print(f"{key:>18}: {value}")
+    hub = result.dependency_graph.most_connected_metric()
+    if hub is not None:
+        print(f"{'guiding metric':>18}: {hub[0]}/{hub[1]}")
+    if args.snapshot:
+        save_snapshot(result, args.snapshot)
+        print(f"{'snapshot':>18}: written to {args.snapshot}")
+    return 0
+
+
+def cmd_rca(args) -> int:
+    application = build_openstack_application()
+    sieve = Sieve(application)
+    rally = RallyRunner(times=args.iterations, concurrency=5,
+                        seed=args.seed)
+    duration = min(rally.duration, args.duration)
+    correct = sieve.run(rally, duration=duration, seed=args.seed,
+                        workload_name="rally-correct")
+    faulty = sieve.run(rally, duration=duration, seed=args.seed,
+                       fault_plan=openstack_fault_plan(),
+                       workload_name="rally-faulty")
+    report = RCAEngine().compare(correct, faulty,
+                                 threshold=args.threshold)
+    print(f"{'rank':>4}  {'component':<22} {'novelty':>8}  key metrics")
+    for candidate in report.final_ranking:
+        highlights = [m for m in candidate.metrics
+                      if "ERROR" in m or "DOWN" in m or "fail" in m]
+        print(f"{candidate.rank:>4}  {candidate.component:<22} "
+              f"{candidate.novelty_score:>8}  "
+              f"{', '.join(highlights[:3]) or '-'}")
+    return 0
+
+
+def cmd_trace_overhead(args) -> int:
+    results = {
+        name: run_ab_benchmark(name, n_requests=args.requests,
+                               seed=args.seed)
+        for name in ("native", "tcpdump", "sysdig", "ptrace")
+    }
+    native = results["native"].completion_time
+    print(f"{'technique':<10} {'time [s]':>10} {'slowdown':>10}")
+    for name, outcome in results.items():
+        print(f"{name:<10} {outcome.completion_time:>10.3f} "
+              f"{outcome.completion_time / native:>10.3f}")
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    application = APPLICATIONS[args.app]()
+    print(f"{args.app}: {len(application.specs)} components")
+    for spec in application.specs:
+        calls = ", ".join(c.target for c in spec.calls) or "-"
+        print(f"  {spec.name:<20} kind={spec.kind:<13} "
+              f"endpoints={len(spec.endpoints)}  calls: {calls}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sieve reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_pipeline = sub.add_parser(
+        "pipeline", help="run the full Sieve pipeline on an application")
+    p_pipeline.add_argument("--app", choices=sorted(APPLICATIONS),
+                            default="sharelatex")
+    p_pipeline.add_argument("--snapshot", metavar="PATH",
+                            help="write the analysis snapshot as JSON")
+    _add_common(p_pipeline)
+    p_pipeline.set_defaults(func=cmd_pipeline)
+
+    p_rca = sub.add_parser(
+        "rca", help="OpenStack correct-vs-faulty root cause analysis")
+    p_rca.add_argument("--iterations", type=int, default=15,
+                       help="Rally boot_and_delete iterations")
+    p_rca.add_argument("--threshold", type=float, default=0.5,
+                       choices=[0.0, 0.5, 0.6, 0.7])
+    _add_common(p_rca)
+    p_rca.set_defaults(func=cmd_rca)
+
+    p_trace = sub.add_parser(
+        "trace-overhead", help="Figure 5 tracing-overhead comparison")
+    p_trace.add_argument("--requests", type=int, default=10_000)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.set_defaults(func=cmd_trace_overhead)
+
+    p_catalog = sub.add_parser(
+        "catalog", help="list an application model's components")
+    p_catalog.add_argument("--app", choices=sorted(APPLICATIONS),
+                           default="sharelatex")
+    p_catalog.set_defaults(func=cmd_catalog)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""The k-Shape time-series clustering algorithm.
+
+k-Shape (Paparrizos & Gravano, SIGMOD 2015) alternates two steps until
+the assignment stabilizes:
+
+* **assignment** -- every series joins the cluster whose centroid is
+  nearest under the shape-based distance (SBD, cross-correlation based,
+  shift-invariant);
+* **refinement ("shape extraction")** -- each cluster's centroid is the
+  maximizer of the summed squared normalized cross-correlation with its
+  members, which (after aligning members to the current centroid) is
+  the leading eigenvector of the centered Gram matrix -- equivalently
+  the top right singular vector of the row-centered member matrix,
+  which is how we compute it (an SVD over an ``n x L`` matrix instead
+  of an eigendecomposition of ``L x L``).
+
+Sieve runs k-Shape per component with metrics pre-normalized and
+pre-gridded (Section 3.2), seeding the assignment from metric-name
+similarity rather than at random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.correlation import sbd_with_shift
+from repro.stats.timeseries_ops import znormalize
+
+
+@dataclass
+class KShapeResult:
+    """Outcome of one k-Shape run."""
+
+    labels: np.ndarray
+    """Cluster index per input series."""
+
+    centroids: np.ndarray
+    """Cluster centroids, shape ``(k, series_length)``."""
+
+    iterations: int
+    """Iterations until convergence (or the cap)."""
+
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+
+def _align_to(series: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Shift ``series`` so it best aligns with ``reference`` (zero-pad)."""
+    _dist, shift = sbd_with_shift(series, reference)
+    if shift == 0:
+        return series
+    out = np.zeros_like(series)
+    if shift > 0:
+        out[shift:] = series[:-shift]
+    else:
+        out[:shift] = series[-shift:]
+    return out
+
+
+def _shape_extraction(members: np.ndarray,
+                      current_centroid: np.ndarray) -> np.ndarray:
+    """New centroid of one cluster (see module docstring)."""
+    if members.shape[0] == 0:
+        raise ValueError("cannot extract a shape from an empty cluster")
+    aligned = np.vstack([
+        _align_to(member, current_centroid) for member in members
+    ])
+    # Row-center; with z-normalized members this is nearly a no-op but
+    # keeps the optimization exactly the one of the k-Shape paper.
+    centered = aligned - aligned.mean(axis=1, keepdims=True)
+    try:
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    except np.linalg.LinAlgError:  # pragma: no cover - pathological input
+        return znormalize(aligned.mean(axis=0))
+    centroid = vt[0]
+    # SVD sign ambiguity: orient the centroid with the cluster mean.
+    if centroid @ aligned.sum(axis=0) < 0:
+        centroid = -centroid
+    return znormalize(centroid)
+
+
+def _assign(series: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment under SBD."""
+    n = series.shape[0]
+    labels = np.zeros(n, dtype=int)
+    for i in range(n):
+        distances = [
+            sbd_with_shift(series[i], centroid)[0] for centroid in centroids
+        ]
+        labels[i] = int(np.argmin(distances))
+    return labels
+
+
+def kshape(
+    series: np.ndarray,
+    k: int,
+    initial_labels: np.ndarray | None = None,
+    max_iterations: int = 30,
+    seed: int = 0,
+) -> KShapeResult:
+    """Cluster ``series`` (rows) into ``k`` clusters with k-Shape.
+
+    Input rows should be z-normalized and equal-length.  With
+    ``initial_labels=None`` the initial assignment is random (the
+    algorithm's default); Sieve passes name-similarity labels instead.
+    Empty clusters are repaired by stealing the series farthest from
+    its own centroid.
+    """
+    data = np.atleast_2d(np.asarray(series, dtype=float))
+    n, length = data.shape
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k > n:
+        raise ValueError(f"cannot form {k} clusters from {n} series")
+    if length < 2:
+        raise ValueError("series must have at least 2 observations")
+
+    rng = np.random.default_rng(seed)
+    if initial_labels is None:
+        labels = rng.integers(0, k, size=n)
+    else:
+        labels = np.asarray(initial_labels, dtype=int).copy()
+        if labels.shape != (n,):
+            raise ValueError("initial_labels must have one entry per series")
+        if labels.min() < 0 or labels.max() >= k:
+            raise ValueError("initial_labels out of range for k clusters")
+
+    centroids = np.zeros((k, length))
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # Refinement.
+        for cluster in range(k):
+            member_idx = np.flatnonzero(labels == cluster)
+            if member_idx.size == 0:
+                continue
+            reference = centroids[cluster]
+            if not reference.any():
+                reference = data[member_idx[0]]
+            centroids[cluster] = _shape_extraction(data[member_idx],
+                                                   reference)
+
+        # Repair empty clusters before assignment.
+        for cluster in range(k):
+            if not centroids[cluster].any():
+                donor = int(rng.integers(0, n))
+                centroids[cluster] = data[donor]
+
+        new_labels = _assign(data, centroids)
+
+        # Repair clusters emptied by the assignment: steal the series
+        # farthest from their assigned centroids, one distinct donor per
+        # empty cluster, never draining a cluster below one member.
+        empty = [c for c in range(k) if not np.any(new_labels == c)]
+        if empty:
+            distances = np.array([
+                sbd_with_shift(data[i], centroids[new_labels[i]])[0]
+                for i in range(n)
+            ])
+            for cluster in empty:
+                order = np.argsort(-distances)
+                for donor in order:
+                    donor = int(donor)
+                    if np.sum(new_labels == new_labels[donor]) > 1:
+                        new_labels[donor] = cluster
+                        distances[donor] = -np.inf
+                        break
+
+        if np.array_equal(new_labels, labels):
+            converged = True
+            break
+        labels = new_labels
+
+    return KShapeResult(
+        labels=labels,
+        centroids=centroids,
+        iterations=iteration,
+        converged=converged,
+    )

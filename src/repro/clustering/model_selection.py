@@ -1,0 +1,102 @@
+"""Choosing the number of clusters by silhouette (paper Section 3.2).
+
+k-Shape needs ``k`` up front; Sieve sweeps a small range (seven clusters
+per component sufficed for components with up to 300 metrics) and keeps
+the assignment with the best silhouette value, computed with SBD as the
+distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.kshape import KShapeResult, kshape
+from repro.clustering.preclustering import name_based_labels
+from repro.stats.correlation import sbd
+from repro.stats.silhouette import silhouette_score
+
+#: Paper Section 3.2: "seven clusters per component was sufficient".
+DEFAULT_MAX_K = 7
+
+
+@dataclass
+class KSelection:
+    """Best clustering found by the k sweep."""
+
+    result: KShapeResult
+    k: int
+    silhouette: float
+    scores: dict[int, float]
+    """Silhouette per attempted k."""
+
+
+def sbd_matrix(series: np.ndarray) -> np.ndarray:
+    """Pairwise SBD matrix of the input rows."""
+    data = np.atleast_2d(np.asarray(series, dtype=float))
+    n = data.shape[0]
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = sbd(data[i], data[j])
+            out[i, j] = d
+            out[j, i] = d
+    return out
+
+
+def select_k(
+    series: np.ndarray,
+    names: list[str] | None = None,
+    max_k: int = DEFAULT_MAX_K,
+    max_iterations: int = 30,
+    seed: int = 0,
+    distances: np.ndarray | None = None,
+) -> KSelection:
+    """Sweep ``k = 2 .. max_k`` and keep the best-silhouette clustering.
+
+    ``names`` enables the Jaro name-similarity initialization; without
+    names, initialization is random (seeded).  ``distances`` may pass a
+    precomputed SBD matrix (reused across the sweep either way).
+
+    Fewer than three series cannot be swept (silhouette needs at least
+    two clusters with content); they come back as one trivial cluster.
+    """
+    data = np.atleast_2d(np.asarray(series, dtype=float))
+    n = data.shape[0]
+    if names is not None and len(names) != n:
+        raise ValueError("one name per series required")
+
+    if n < 3:
+        trivial = kshape(data, 1, initial_labels=np.zeros(n, dtype=int),
+                         max_iterations=1, seed=seed)
+        return KSelection(result=trivial, k=1, silhouette=0.0,
+                          scores={1: 0.0})
+
+    if distances is None:
+        distances = sbd_matrix(data)
+
+    best: KShapeResult | None = None
+    best_k = 2
+    best_score = -np.inf
+    scores: dict[int, float] = {}
+    for k in range(2, min(max_k, n - 1) + 1):
+        if names is not None:
+            init = name_based_labels(names, k)
+        else:
+            init = None
+        result = kshape(data, k, initial_labels=init,
+                        max_iterations=max_iterations, seed=seed + k)
+        if np.unique(result.labels).size < 2:
+            continue
+        score = silhouette_score(distances, result.labels)
+        scores[k] = score
+        if score > best_score:
+            best, best_k, best_score = result, k, score
+
+    if best is None:  # every sweep degenerated; fall back to k=2 random
+        best = kshape(data, 2, max_iterations=max_iterations, seed=seed)
+        best_k = 2
+        best_score = float("nan")
+    return KSelection(result=best, k=best_k, silhouette=best_score,
+                      scores=scores)

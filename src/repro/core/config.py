@@ -1,0 +1,62 @@
+"""All Sieve tunables in one place, with the paper's defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SieveConfig:
+    """Configuration of the three-step Sieve pipeline.
+
+    Every default is the value the paper states (Section 3) or, where
+    the paper is silent, a documented standard choice.
+    """
+
+    # -- Step 1: loading ------------------------------------------------
+    grid_interval: float = 0.5
+    """Metric discretization interval, seconds (Section 3.2 uses 500 ms
+    instead of the k-Shape paper's 2 s)."""
+
+    simulation_dt: float = 0.1
+    """Fluid-simulation step, seconds."""
+
+    warmup: float = 5.0
+    """Seconds simulated before metric collection starts."""
+
+    callgraph_min_connections: int = 2
+    """Connections needed before a call-graph edge is trusted."""
+
+    # -- Step 2: reduction ----------------------------------------------
+    variance_threshold: float = 0.002
+    """Unvarying-metric filter threshold (Section 3.2: var <= 0.002)."""
+
+    max_clusters: int = 7
+    """Upper bound of the k sweep (Section 3.2: "seven clusters per
+    component was sufficient")."""
+
+    kshape_max_iterations: int = 30
+
+    # -- Step 3: dependencies --------------------------------------------
+    granger_alpha: float = 0.05
+    """Significance level for the Granger F-test (standard choice; the
+    paper only says "below a critical value")."""
+
+    granger_lags: tuple[int, ...] = (1, 2)
+    """Candidate lags in grid steps; 1 step = the paper's 500 ms."""
+
+    filter_bidirectional: bool = True
+    """Drop mutually-causal metric pairs (hidden-common-cause symptom)."""
+
+    extra: dict = field(default_factory=dict, compare=False)
+    """Free-form extension knobs for experiments."""
+
+    def __post_init__(self) -> None:
+        if self.grid_interval <= 0 or self.simulation_dt <= 0:
+            raise ValueError("intervals must be positive")
+        if not 0 < self.granger_alpha < 1:
+            raise ValueError("granger_alpha must lie in (0, 1)")
+        if self.max_clusters < 1:
+            raise ValueError("max_clusters must be >= 1")
+        if not self.granger_lags:
+            raise ValueError("need at least one candidate lag")

@@ -1,0 +1,139 @@
+"""Incremental re-analysis (the paper's §9 future work).
+
+"An interesting research challenge for the future would be to integrate
+Sieve into the continuous integration pipeline of an application
+development.  In this scenario, the dependency graph can be updated
+incrementally, which would speed up the analytics part."
+
+This module implements that extension: given the previous
+:class:`~repro.core.results.SieveResult` and a fresh
+:class:`~repro.simulator.app.LoadedRun`, only the components whose
+metric population actually changed (metrics appeared/disappeared -- the
+typical footprint of a deployed update) are re-clustered, and only the
+Granger comparisons touching re-clustered components are re-run.  For
+an update that touches one or two of fifteen components, this cuts the
+analysis time by roughly the fraction of untouched components.
+
+The shortcut is an approximation by design: unchanged components keep
+their clusters *and representative metrics* from the previous analysis,
+so slow drifts in metric behaviour (with an unchanged metric set) are
+not picked up until the next full analysis.  Run a full
+:meth:`repro.core.sieve.Sieve.analyze` periodically, incremental
+updates in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.causality.depgraph import DependencyGraph
+from repro.causality.pairwise import extract_dependencies
+from repro.clustering.reduction import reduce_component
+from repro.core.config import SieveConfig
+from repro.core.results import SieveResult
+from repro.simulator.app import LoadedRun
+from repro.tracing.callgraph import CallGraph
+
+
+@dataclass
+class IncrementalStats:
+    """What the incremental update actually had to recompute."""
+
+    reclustered: list[str]
+    reused: list[str]
+    edges_retested: int
+    edges_reused: int
+
+
+def changed_components(previous: SieveResult, run: LoadedRun) -> list[str]:
+    """Components whose exported metric set differs from last analysis."""
+    changed = []
+    for component in run.frame.components:
+        clustering = previous.clusterings.get(component)
+        if clustering is None:
+            changed.append(component)
+            continue
+        seen_before = {
+            metric
+            for cluster in clustering.clusters
+            for metric in cluster.metrics
+        } | set(clustering.filtered_metrics)
+        if set(run.frame.metrics_of(component)) != seen_before:
+            changed.append(component)
+    return changed
+
+
+def _restricted_call_graph(call_graph: CallGraph,
+                           components: set[str]) -> CallGraph:
+    """Only the call-graph edges touching ``components``."""
+    out = CallGraph()
+    for node in call_graph.components:
+        out.add_component(node)
+    for caller, callee, count in call_graph.edges():
+        if caller in components or callee in components:
+            out.record_call(caller, callee, count)
+    return out
+
+
+def analyze_incremental(
+    previous: SieveResult,
+    run: LoadedRun,
+    config: SieveConfig | None = None,
+    seed: int = 0,
+) -> tuple[SieveResult, IncrementalStats]:
+    """Update ``previous`` with a fresh run, recomputing only what moved.
+
+    Returns the updated result plus bookkeeping about the reuse.  The
+    returned result's ``run`` is the *new* run; clusterings of
+    unchanged components are carried over from ``previous``.
+    """
+    cfg = config or SieveConfig()
+    changed = set(changed_components(previous, run))
+
+    clusterings = {}
+    reused, reclustered = [], []
+    for component in run.frame.components:
+        if component in changed:
+            clusterings[component] = reduce_component(
+                component,
+                run.frame.component_view(component),
+                interval=cfg.grid_interval,
+                variance_threshold=cfg.variance_threshold,
+                max_k=cfg.max_clusters,
+                seed=seed,
+            )
+            reclustered.append(component)
+        else:
+            clusterings[component] = previous.clusterings[component]
+            reused.append(component)
+
+    # Re-test only the call-graph edges with at least one changed end;
+    # relations between untouched components carry over.
+    touched_graph = _restricted_call_graph(run.call_graph, changed)
+    fresh = extract_dependencies(
+        run.frame, touched_graph, clusterings,
+        alpha=cfg.granger_alpha, lags=cfg.granger_lags,
+        interval=cfg.grid_interval,
+        filter_bidirectional=cfg.filter_bidirectional,
+    )
+
+    merged = DependencyGraph(components=clusterings.keys())
+    edges_reused = 0
+    for relation in previous.dependency_graph.relations:
+        if relation.source_component in changed \
+                or relation.target_component in changed:
+            continue  # superseded by the fresh extraction
+        merged.add_relation(relation)
+        edges_reused += 1
+    for relation in fresh.relations:
+        merged.add_relation(relation)
+
+    result = SieveResult(run=run, clusterings=clusterings,
+                         dependency_graph=merged)
+    stats = IncrementalStats(
+        reclustered=sorted(reclustered),
+        reused=sorted(reused),
+        edges_retested=len(fresh),
+        edges_reused=edges_reused,
+    )
+    return result, stats

@@ -1,0 +1,69 @@
+"""The result object of one full Sieve pipeline run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.causality.depgraph import DependencyGraph
+from repro.clustering.reduction import ComponentClustering
+from repro.metrics.timeseries import MetricKey
+from repro.simulator.app import LoadedRun
+
+
+@dataclass
+class SieveResult:
+    """Outcome of Load -> Reduce -> Identify-dependencies."""
+
+    run: LoadedRun
+    clusterings: dict[str, ComponentClustering]
+    dependency_graph: DependencyGraph
+
+    # -- reduction statistics (Figure 4 / Section 6.1.2) ----------------
+
+    def total_metrics(self) -> int:
+        """Metrics recorded during the load."""
+        return self.run.metric_count()
+
+    def total_representatives(self) -> int:
+        """Metrics left after Sieve's reduction."""
+        return sum(c.n_clusters for c in self.clusterings.values())
+
+    def reduction_factor(self) -> float:
+        """How many-fold the metric space shrank."""
+        reps = self.total_representatives()
+        if reps == 0:
+            raise ValueError("no representatives; reduction undefined")
+        return self.total_metrics() / reps
+
+    def reduction_by_component(self) -> dict[str, tuple[int, int]]:
+        """component -> (metrics before, clusters after)."""
+        return {
+            name: (clustering.total_metrics, clustering.n_clusters)
+            for name, clustering in self.clusterings.items()
+        }
+
+    # -- monitoring-cost hooks (Table 3) ---------------------------------
+
+    def representative_keys(self) -> list[MetricKey]:
+        """The reduced metric set, as store keys for replay."""
+        return [
+            MetricKey(component, metric)
+            for component, clustering in self.clusterings.items()
+            for metric in clustering.representatives
+        ]
+
+    # -- convenience ------------------------------------------------------
+
+    def representatives_of(self, component: str) -> list[str]:
+        """Representative metrics of one component."""
+        return self.clusterings[component].representatives
+
+    def summary(self) -> dict:
+        """Compact description for logs and benchmark output."""
+        return {
+            "application": self.run.application,
+            "metrics_before": self.total_metrics(),
+            "metrics_after": self.total_representatives(),
+            "reduction_factor": round(self.reduction_factor(), 2),
+            **self.dependency_graph.summary(),
+        }

@@ -1,0 +1,169 @@
+"""Persisting Sieve analysis results as JSON snapshots.
+
+The CI-integration scenario of the paper's §9 needs analysis outputs
+that outlive the process: the dependency graph and cluster metadata of
+the last known-good build are the *correct* baseline the RCA engine
+compares a faulty build against.  A snapshot captures everything those
+workflows need -- cluster memberships, representatives, the dependency
+graph, and the per-component metric population -- without the raw
+sample data (which lives in the metrics store).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.causality.depgraph import DependencyGraph, MetricRelation
+from repro.clustering.reduction import Cluster, ComponentClustering
+from repro.core.results import SieveResult
+
+#: Schema version written into every snapshot.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(result: SieveResult) -> dict:
+    """Serialize a :class:`SieveResult` to a JSON-compatible dict."""
+    clusterings = {}
+    for component, clustering in result.clusterings.items():
+        clusterings[component] = {
+            "silhouette": clustering.silhouette,
+            "k_scores": {str(k): v for k, v in clustering.k_scores.items()},
+            "filtered_metrics": list(clustering.filtered_metrics),
+            "total_metrics": clustering.total_metrics,
+            "clusters": [
+                {
+                    "index": cluster.index,
+                    "metrics": list(cluster.metrics),
+                    "representative": cluster.representative,
+                    "centroid": [float(x) for x in cluster.centroid],
+                    "distances": {m: float(d)
+                                  for m, d in cluster.distances.items()},
+                }
+                for cluster in clustering.clusters
+            ],
+        }
+    relations = [
+        {
+            "source_component": r.source_component,
+            "source_metric": r.source_metric,
+            "target_component": r.target_component,
+            "target_metric": r.target_metric,
+            "lag": r.lag,
+            "p_value": r.p_value,
+            "f_statistic": r.f_statistic,
+        }
+        for r in result.dependency_graph.relations
+    ]
+    metrics_by_component = {
+        component: result.run.frame.metrics_of(component)
+        for component in result.run.frame.components
+    }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "run": {
+            "application": result.run.application,
+            "workload": result.run.workload,
+            "seed": result.run.seed,
+            "duration": result.run.duration,
+        },
+        "metrics_by_component": metrics_by_component,
+        "clusterings": clusterings,
+        "dependency_graph": {
+            "components": result.dependency_graph.components,
+            "relations": relations,
+        },
+    }
+
+
+@dataclass
+class AnalysisSnapshot:
+    """A loaded snapshot: the analysis outputs without the raw samples."""
+
+    application: str
+    workload: str
+    seed: int
+    duration: float
+    metrics_by_component: dict[str, list[str]]
+    clusterings: dict[str, ComponentClustering]
+    dependency_graph: DependencyGraph
+    version: int = SNAPSHOT_VERSION
+    raw: dict = field(default_factory=dict, repr=False)
+
+    def total_metrics(self) -> int:
+        return sum(len(m) for m in self.metrics_by_component.values())
+
+    def total_representatives(self) -> int:
+        return sum(c.n_clusters for c in self.clusterings.values())
+
+
+def from_snapshot(data: dict) -> AnalysisSnapshot:
+    """Rebuild the analysis objects from a snapshot dict."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    clusterings: dict[str, ComponentClustering] = {}
+    for component, payload in data["clusterings"].items():
+        clusters = [
+            Cluster(
+                index=int(c["index"]),
+                metrics=list(c["metrics"]),
+                representative=c["representative"],
+                centroid=np.asarray(c["centroid"], dtype=float),
+                distances={m: float(d)
+                           for m, d in c["distances"].items()},
+            )
+            for c in payload["clusters"]
+        ]
+        clusterings[component] = ComponentClustering(
+            component=component,
+            clusters=clusters,
+            silhouette=float(payload["silhouette"]),
+            k_scores={int(k): float(v)
+                      for k, v in payload["k_scores"].items()},
+            filtered_metrics=list(payload["filtered_metrics"]),
+            total_metrics=int(payload["total_metrics"]),
+        )
+    graph = DependencyGraph(
+        components=data["dependency_graph"]["components"]
+    )
+    for r in data["dependency_graph"]["relations"]:
+        graph.add_relation(MetricRelation(
+            source_component=r["source_component"],
+            source_metric=r["source_metric"],
+            target_component=r["target_component"],
+            target_metric=r["target_metric"],
+            lag=int(r["lag"]),
+            p_value=float(r["p_value"]),
+            f_statistic=float(r.get("f_statistic", 0.0)),
+        ))
+    run = data["run"]
+    return AnalysisSnapshot(
+        application=run["application"],
+        workload=run["workload"],
+        seed=int(run["seed"]),
+        duration=float(run["duration"]),
+        metrics_by_component={
+            c: list(m) for c, m in data["metrics_by_component"].items()
+        },
+        clusterings=clusterings,
+        dependency_graph=graph,
+        raw=data,
+    )
+
+
+def save_snapshot(result: SieveResult, path) -> None:
+    """Write a result's snapshot to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot(result), handle, indent=1, sort_keys=True)
+
+
+def load_snapshot(path) -> AnalysisSnapshot:
+    """Load a snapshot previously written by :func:`save_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_snapshot(json.load(handle))

@@ -1,0 +1,84 @@
+"""The Sieve pipeline orchestrator (paper Figure 1)."""
+
+from __future__ import annotations
+
+from repro.causality.pairwise import extract_dependencies
+from repro.clustering.reduction import reduce_frame
+from repro.core.config import SieveConfig
+from repro.core.results import SieveResult
+from repro.simulator.app import Application, LoadedRun
+from repro.simulator.faults import FaultPlan
+
+
+class Sieve:
+    """Runs Load -> Reduce -> Identify-dependencies for one application.
+
+    >>> from repro.apps import build_sharelatex_application
+    >>> from repro.workload import constant_rate
+    >>> sieve = Sieve(build_sharelatex_application())
+    >>> result = sieve.run(constant_rate(20.0), duration=60.0, seed=1)
+    >>> result.total_representatives() < result.total_metrics()
+    True
+    """
+
+    def __init__(self, application: Application,
+                 config: SieveConfig | None = None):
+        self.application = application
+        self.config = config or SieveConfig()
+
+    # -- Step 1 -----------------------------------------------------------
+
+    def load(self, workload_fn, duration: float, seed: int = 0,
+             fault_plan: FaultPlan | None = None,
+             workload_name: str = "custom") -> LoadedRun:
+        """Load the application, recording metrics and the call graph."""
+        cfg = self.config
+        run = self.application.load(
+            workload_fn,
+            duration=duration,
+            seed=seed,
+            dt=cfg.simulation_dt,
+            scrape_interval=cfg.grid_interval,
+            fault_plan=fault_plan,
+            workload_name=workload_name,
+            warmup=cfg.warmup,
+        )
+        run.call_graph = run.tracer.call_graph(
+            min_count=cfg.callgraph_min_connections
+        )
+        return run
+
+    # -- Steps 2 and 3 -----------------------------------------------------
+
+    def analyze(self, run: LoadedRun, seed: int = 0) -> SieveResult:
+        """Reduce metrics and extract dependencies from a recorded run."""
+        cfg = self.config
+        clusterings = reduce_frame(
+            run.frame,
+            interval=cfg.grid_interval,
+            variance_threshold=cfg.variance_threshold,
+            max_k=cfg.max_clusters,
+            seed=seed,
+        )
+        graph = extract_dependencies(
+            run.frame,
+            run.call_graph,
+            clusterings,
+            alpha=cfg.granger_alpha,
+            lags=cfg.granger_lags,
+            interval=cfg.grid_interval,
+            filter_bidirectional=cfg.filter_bidirectional,
+        )
+        return SieveResult(run=run, clusterings=clusterings,
+                           dependency_graph=graph)
+
+    # -- the full pipeline ---------------------------------------------------
+
+    def run(self, workload_fn, duration: float, seed: int = 0,
+            fault_plan: FaultPlan | None = None,
+            workload_name: str = "custom") -> SieveResult:
+        """Execute all three steps and return the result."""
+        loaded = self.load(workload_fn, duration, seed=seed,
+                           fault_plan=fault_plan,
+                           workload_name=workload_name)
+        return self.analyze(loaded, seed=seed)

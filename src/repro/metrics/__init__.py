@@ -1,0 +1,31 @@
+"""Monitoring infrastructure substrate (Telegraf / InfluxDB analogs).
+
+The original Sieve deployment collected metrics with Telegraf and stored
+them in InfluxDB; Table 3 of the paper reports the monitoring pipeline's
+own resource consumption (CPU time, database size, network in/out)
+before and after Sieve's metric reduction.  This subpackage provides:
+
+* :mod:`repro.metrics.timeseries` -- the :class:`TimeSeries` value type
+  and the :class:`MetricFrame` collection keyed by (component, metric).
+* :mod:`repro.metrics.accounting` -- meters for the CPU / storage /
+  network cost of running the monitoring pipeline itself.
+* :mod:`repro.metrics.store` -- an in-memory time-series database with
+  InfluxDB-style writes, queries and resource accounting.
+* :mod:`repro.metrics.collector` -- the scraping agent that moves
+  metric samples from application components into the store.
+"""
+
+from repro.metrics.accounting import CostModel, ResourceUsage
+from repro.metrics.collector import Collector
+from repro.metrics.store import MetricsStore
+from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
+
+__all__ = [
+    "Collector",
+    "CostModel",
+    "MetricFrame",
+    "MetricKey",
+    "MetricsStore",
+    "ResourceUsage",
+    "TimeSeries",
+]

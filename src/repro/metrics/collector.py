@@ -1,0 +1,86 @@
+"""Metric scraping agent (the Telegraf of this reproduction).
+
+The collector periodically samples every exporter it is attached to and
+appends the samples to a :class:`~repro.metrics.timeseries.MetricFrame`
+(and, optionally, a metered :class:`~repro.metrics.store.MetricsStore`).
+Exporters are anything with a ``name`` attribute and a
+``sample_metrics(now)`` method returning ``{metric_name: value}`` --
+the simulator's microservice components implement this protocol.
+
+Real collectors sample imperfectly: scrape cycles are jittered and
+occasionally drop (timeouts, lost packets).  Both effects are modelled
+here because Sieve's preprocessing (cubic-spline gap filling and 500 ms
+re-gridding, Section 3.2) exists precisely to undo them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.metrics.store import MetricsStore
+from repro.metrics.timeseries import MetricFrame
+
+
+class MetricExporter(Protocol):
+    """Anything the collector can scrape."""
+
+    name: str
+
+    def sample_metrics(self, now: float) -> dict[str, float]:
+        """Return the current value of every exported metric."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Collector:
+    """Scrapes exporters on a fixed interval with jitter and drops."""
+
+    def __init__(
+        self,
+        exporters: Sequence[MetricExporter],
+        interval: float = 0.5,
+        jitter: float = 0.05,
+        drop_probability: float = 0.01,
+        seed: int = 0,
+        store: MetricsStore | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError("scrape interval must be positive")
+        if not 0 <= drop_probability < 1:
+            raise ValueError("drop_probability must lie in [0, 1)")
+        self.exporters = list(exporters)
+        self.interval = interval
+        self.jitter = jitter
+        self.drop_probability = drop_probability
+        self.store = store
+        self.frame = MetricFrame()
+        self._rng = np.random.default_rng(seed)
+        self.scrapes = 0
+        self.dropped_scrapes = 0
+
+    def scrape_once(self, now: float) -> None:
+        """Sample every exporter at (jittered) time ``now``."""
+        for exporter in self.exporters:
+            if self._rng.random() < self.drop_probability:
+                self.dropped_scrapes += 1
+                continue
+            at = now + float(self._rng.uniform(0.0, self.jitter))
+            for metric, value in exporter.sample_metrics(at).items():
+                self.frame.series(exporter.name, metric).append(at, value)
+                if self.store is not None:
+                    self.store.write_point(exporter.name, metric, at, value)
+        self.scrapes += 1
+
+    def scrape_times(self, start: float, end: float) -> np.ndarray:
+        """The scheduled scrape instants for a ``[start, end]`` window."""
+        if end < start:
+            raise ValueError("window end precedes start")
+        n = int(np.floor((end - start) / self.interval)) + 1
+        return start + self.interval * np.arange(n)
+
+    def run(self, start: float, end: float) -> MetricFrame:
+        """Scrape the full window and return the collected frame."""
+        for t in self.scrape_times(start, end):
+            self.scrape_once(float(t))
+        return self.frame

@@ -1,0 +1,36 @@
+"""Case study #2: root cause analysis (paper Sections 4.2, 6.3).
+
+The RCA engine compares Sieve's outputs for a *correct* (C) and a
+*faulty* (F) version of an application and emits a ranked list of
+{component, metric list} pairs pointing at the root cause.  The five
+steps of Figure 2:
+
+1. **Metric analysis** -- new/discarded metrics between versions
+   (:mod:`repro.rca.novelty`);
+2. **Component rankings** -- by novelty score;
+3. **Cluster analysis** -- cluster novelty and the modified-Jaccard
+   cluster similarity of eq. 2 (:mod:`repro.rca.similarity`);
+4. **Edge filtering** -- new/discarded/lag-changed dependency-graph
+   edges gated by novelty and similarity (:mod:`repro.rca.edges`);
+5. **Final rankings** -- the ordered {component, metric list} output
+   (:mod:`repro.rca.engine`).
+"""
+
+from repro.rca.edges import ClusterEdge, EdgeClassification, classify_edges
+from repro.rca.engine import RCAEngine, RCAReport
+from repro.rca.novelty import ComponentDiff, metric_diff, rank_components
+from repro.rca.similarity import ClusterMatch, cluster_similarity, match_clusters
+
+__all__ = [
+    "ClusterEdge",
+    "ClusterMatch",
+    "ComponentDiff",
+    "EdgeClassification",
+    "RCAEngine",
+    "RCAReport",
+    "classify_edges",
+    "cluster_similarity",
+    "match_clusters",
+    "metric_diff",
+    "rank_components",
+]

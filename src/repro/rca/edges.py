@@ -1,0 +1,212 @@
+"""RCA step #4: dependency-graph edge filtering.
+
+Metric-level Granger relations are lifted to *cluster-level edges*
+(the clusters containing the two endpoint metrics).  Edges are then
+compared across versions; the paper's three events of interest
+(Table 2 / Section 4.2):
+
+1. edges involving at least one cluster with a high novelty score;
+2. appearance/disappearance of edges between clusters maintained with
+   high similarity;
+3. time-lag changes on edges between high-similarity clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.causality.depgraph import DependencyGraph
+from repro.clustering.reduction import ComponentClustering
+from repro.rca.similarity import ClusterMatch, ClusterNovelty
+
+
+@dataclass(frozen=True)
+class ClusterEdge:
+    """A dependency edge at cluster granularity."""
+
+    source_component: str
+    source_cluster: int
+    target_component: str
+    target_cluster: int
+    lag: int
+
+    @property
+    def key(self) -> tuple[str, int, str, int]:
+        """Identity ignoring the lag (lag changes are an *event*)."""
+        return (self.source_component, self.source_cluster,
+                self.target_component, self.target_cluster)
+
+
+def lift_to_cluster_edges(
+    graph: DependencyGraph,
+    clusterings: dict[str, ComponentClustering],
+) -> dict[tuple[str, int, str, int], ClusterEdge]:
+    """Aggregate metric relations into cluster-level edges.
+
+    When several relations connect the same cluster pair, the smallest
+    lag wins (the tightest coupling observed).
+    """
+    edges: dict[tuple[str, int, str, int], ClusterEdge] = {}
+    for relation in graph.relations:
+        src_clustering = clusterings.get(relation.source_component)
+        dst_clustering = clusterings.get(relation.target_component)
+        if src_clustering is None or dst_clustering is None:
+            continue
+        src_cluster = src_clustering.cluster_of(relation.source_metric)
+        dst_cluster = dst_clustering.cluster_of(relation.target_metric)
+        if src_cluster is None or dst_cluster is None:
+            continue
+        edge = ClusterEdge(
+            source_component=relation.source_component,
+            source_cluster=src_cluster.index,
+            target_component=relation.target_component,
+            target_cluster=dst_cluster.index,
+            lag=relation.lag,
+        )
+        existing = edges.get(edge.key)
+        if existing is None or edge.lag < existing.lag:
+            edges[edge.key] = edge
+    return edges
+
+
+@dataclass
+class EdgeClassification:
+    """Step-#4 outcome at one similarity threshold."""
+
+    threshold: float
+    new: list[ClusterEdge] = field(default_factory=list)
+    discarded: list[ClusterEdge] = field(default_factory=list)
+    lag_changed: list[tuple[ClusterEdge, ClusterEdge]] = field(
+        default_factory=list)
+    novel_endpoint: list[ClusterEdge] = field(default_factory=list)
+    """Edges maintained across versions whose endpoint cluster(s)
+    gained or lost metrics -- the paper's event 1.  The Figure-8 edge
+    (Nova API's instance-state cluster, where ACTIVE was replaced by
+    ERROR, joined to Neutron's port-status cluster) is of this kind."""
+
+    unchanged: list[ClusterEdge] = field(default_factory=list)
+
+    def interesting_edges(self) -> list[ClusterEdge]:
+        """Edges flagged by any of the three events."""
+        return (self.new + self.discarded + self.novel_endpoint
+                + [f_edge for _c, f_edge in self.lag_changed])
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "new": len(self.new),
+            "discarded": len(self.discarded),
+            "lag_changed": len(self.lag_changed),
+            "novel_endpoint": len(self.novel_endpoint),
+            "unchanged": len(self.unchanged),
+        }
+
+
+def _cluster_key_map(
+    matches_by_component: dict[str, list[ClusterMatch]],
+) -> tuple[dict[tuple[str, int], tuple[str, int]], dict[tuple[str, int], float]]:
+    """Map C-version cluster ids to F-version ids, with similarities.
+
+    Returns ``(c_to_f, similarity_of_c_cluster)``.
+    """
+    c_to_f: dict[tuple[str, int], tuple[str, int]] = {}
+    sims: dict[tuple[str, int], float] = {}
+    for component, matches in matches_by_component.items():
+        for match in matches:
+            if match.cluster_c is not None:
+                key_c = (component, match.cluster_c.index)
+                sims[key_c] = match.similarity
+                if match.cluster_f is not None:
+                    c_to_f[key_c] = (component, match.cluster_f.index)
+    return c_to_f, sims
+
+
+def classify_edges(
+    graph_c: DependencyGraph,
+    graph_f: DependencyGraph,
+    clusterings_c: dict[str, ComponentClustering],
+    clusterings_f: dict[str, ComponentClustering],
+    matches_by_component: dict[str, list[ClusterMatch]],
+    novelty_by_component: dict[str, list[ClusterNovelty]],
+    threshold: float = 0.5,
+) -> EdgeClassification:
+    """Compare cluster-level edges of the two versions.
+
+    An edge is only reported (in any class other than ``unchanged``)
+    when its endpoint clusters either carry novelty (event 1) or are
+    maintained across versions with similarity >= ``threshold``
+    (events 2 and 3); edges between low-similarity, non-novel clusters
+    are noise from re-clustering and are suppressed.
+    """
+    edges_c = lift_to_cluster_edges(graph_c, clusterings_c)
+    edges_f = lift_to_cluster_edges(graph_f, clusterings_f)
+    c_to_f, sims_c = _cluster_key_map(matches_by_component)
+    f_to_c = {v: k for k, v in c_to_f.items()}
+
+    # Novel clusters (>=1 novel metric) per version-specific key.
+    novel_c: set[tuple[str, int]] = set()
+    novel_f: set[tuple[str, int]] = set()
+    for component, annotations in novelty_by_component.items():
+        for ann in annotations:
+            if ann.discarded_metrics and ann.match.cluster_c is not None:
+                novel_c.add((component, ann.match.cluster_c.index))
+            if ann.new_metrics and ann.match.cluster_f is not None:
+                novel_f.add((component, ann.match.cluster_f.index))
+
+    def f_key_similarity(key: tuple[str, int]) -> float:
+        c_key = f_to_c.get(key)
+        return sims_c.get(c_key, 0.0) if c_key is not None else 0.0
+
+    def edge_passes(src_key, dst_key, novel_set, sim_fn) -> bool:
+        has_novelty = src_key in novel_set or dst_key in novel_set
+        high_similarity = (sim_fn(src_key) >= threshold
+                           and sim_fn(dst_key) >= threshold)
+        return has_novelty or high_similarity
+
+    # Translate C edges into F cluster coordinates for comparison.
+    result = EdgeClassification(threshold=threshold)
+    translated_c: dict[tuple, ClusterEdge] = {}
+    for edge in edges_c.values():
+        src_f = c_to_f.get((edge.source_component, edge.source_cluster))
+        dst_f = c_to_f.get((edge.target_component, edge.target_cluster))
+        if src_f is None or dst_f is None:
+            # Endpoint cluster vanished: a discarded edge if it passes.
+            src_key = (edge.source_component, edge.source_cluster)
+            dst_key = (edge.target_component, edge.target_cluster)
+            if edge_passes(src_key, dst_key, novel_c,
+                           lambda k: sims_c.get(k, 0.0)):
+                result.discarded.append(edge)
+            continue
+        translated_c[(src_f, dst_f)] = edge
+
+    seen_f_keys: set[tuple] = set()
+    for edge in edges_f.values():
+        src_key = (edge.source_component, edge.source_cluster)
+        dst_key = (edge.target_component, edge.target_cluster)
+        pair = (src_key, dst_key)
+        counterpart = translated_c.get(pair)
+        seen_f_keys.add(pair)
+        if counterpart is None:
+            if edge_passes(src_key, dst_key, novel_f, f_key_similarity):
+                result.new.append(edge)
+            continue
+        if counterpart.lag != edge.lag:
+            if edge_passes(src_key, dst_key, novel_f, f_key_similarity):
+                result.lag_changed.append((counterpart, edge))
+            else:
+                result.unchanged.append(edge)
+        elif src_key in novel_f or dst_key in novel_f:
+            # Event 1: the edge survived but an endpoint cluster's
+            # composition changed (metrics appeared/disappeared).
+            result.novel_endpoint.append(edge)
+        else:
+            result.unchanged.append(edge)
+
+    for pair, edge in translated_c.items():
+        if pair in seen_f_keys:
+            continue
+        src_key = (edge.source_component, edge.source_cluster)
+        dst_key = (edge.target_component, edge.target_cluster)
+        if edge_passes(src_key, dst_key, novel_c,
+                       lambda k: sims_c.get(k, 0.0)):
+            result.discarded.append(edge)
+    return result

@@ -1,0 +1,189 @@
+"""RCA step #5 and the engine tying all five steps together.
+
+The engine consumes the :class:`~repro.core.results.SieveResult` of a
+correct (C) and a faulty (F) run and produces an :class:`RCAReport`:
+component rankings, cluster-novelty statistics (Figure 7a), edge
+classifications per similarity threshold (Figures 7b/c), and the final
+ordered {component, metric list} pairs (Table 5's 'Final ranking').
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.results import SieveResult
+from repro.rca.edges import ClusterEdge, EdgeClassification, classify_edges
+from repro.rca.novelty import ComponentDiff, metric_diff, rank_components
+from repro.rca.similarity import (
+    ClusterNovelty,
+    annotate_novelty,
+    match_clusters,
+)
+
+
+@dataclass
+class RootCauseCandidate:
+    """One entry of the final ranked output."""
+
+    rank: int
+    component: str
+    metrics: list[str]
+    novelty_score: int
+
+
+@dataclass
+class RCAReport:
+    """Everything the five RCA steps produce."""
+
+    diffs: dict[str, ComponentDiff]
+    component_ranking: list[ComponentDiff]
+    cluster_novelty: dict[str, list[ClusterNovelty]]
+    edge_classifications: dict[float, EdgeClassification]
+    final_ranking: list[RootCauseCandidate]
+    threshold: float
+
+    def cluster_novelty_histogram(self) -> Counter:
+        """Figure 7(a): cluster counts per novelty category."""
+        histogram: Counter = Counter()
+        for annotations in self.cluster_novelty.values():
+            for ann in annotations:
+                histogram[ann.category] += 1
+                histogram["total"] += 1
+        return histogram
+
+    def implicated_state(self, threshold: float | None = None) -> dict:
+        """Figure 7(c): #components/#clusters/#metrics after filtering."""
+        threshold = self.threshold if threshold is None else threshold
+        classification = self.edge_classifications[threshold]
+        components: set[str] = set()
+        clusters: set[tuple[str, int]] = set()
+        for edge in classification.interesting_edges():
+            components.add(edge.source_component)
+            components.add(edge.target_component)
+            clusters.add((edge.source_component, edge.source_cluster))
+            clusters.add((edge.target_component, edge.target_cluster))
+        metrics = 0
+        for component, annotations in self.cluster_novelty.items():
+            for ann in annotations:
+                keys = set()
+                if ann.match.cluster_c is not None:
+                    keys.add((component, ann.match.cluster_c.index))
+                if ann.match.cluster_f is not None:
+                    keys.add((component, ann.match.cluster_f.index))
+                if keys & clusters:
+                    members: set[str] = set()
+                    if ann.match.cluster_f is not None:
+                        members |= ann.match.cluster_f.metric_set()
+                    elif ann.match.cluster_c is not None:
+                        members |= ann.match.cluster_c.metric_set()
+                    metrics += len(members)
+        return {
+            "components": len(components),
+            "clusters": len(clusters),
+            "metrics": metrics,
+        }
+
+
+class RCAEngine:
+    """Compares two Sieve results and ranks root-cause candidates."""
+
+    def __init__(self, thresholds=(0.0, 0.5, 0.6, 0.7)):
+        """``thresholds`` is the similarity sweep of Figure 7(b/c)."""
+        self.thresholds = tuple(thresholds)
+
+    def compare(self, result_c: SieveResult, result_f: SieveResult,
+                threshold: float = 0.5) -> RCAReport:
+        """Run the five RCA steps.
+
+        ``threshold`` selects the similarity cut used for the *final*
+        ranking; every value in ``self.thresholds`` is still evaluated
+        for the Figure 7 sweeps.
+        """
+        if threshold not in self.thresholds:
+            raise ValueError(
+                f"threshold {threshold} not in the configured sweep "
+                f"{self.thresholds}"
+            )
+        # Steps 1-2: metric novelty and component ranking.
+        diffs = metric_diff(result_c.run.frame, result_f.run.frame)
+        ranking = rank_components(diffs)
+
+        # Step 3: cluster matching + novelty annotation.
+        cluster_novelty: dict[str, list[ClusterNovelty]] = {}
+        matches = {}
+        components = sorted(
+            set(result_c.clusterings) | set(result_f.clusterings)
+        )
+        for component in components:
+            clustering_c = result_c.clusterings.get(component)
+            clustering_f = result_f.clusterings.get(component)
+            if clustering_c is None or clustering_f is None:
+                continue
+            component_matches = match_clusters(component, clustering_c,
+                                               clustering_f)
+            matches[component] = component_matches
+            cluster_novelty[component] = annotate_novelty(
+                component_matches, diffs[component]
+            )
+
+        # Step 4: edge filtering at every threshold of the sweep.
+        edge_classifications = {
+            t: classify_edges(
+                result_c.dependency_graph, result_f.dependency_graph,
+                result_c.clusterings, result_f.clusterings,
+                matches, cluster_novelty, threshold=t,
+            )
+            for t in self.thresholds
+        }
+
+        # Step 5: final {component, metric list} ranking.
+        final = self._final_ranking(
+            ranking, cluster_novelty, edge_classifications[threshold]
+        )
+        return RCAReport(
+            diffs=diffs,
+            component_ranking=ranking,
+            cluster_novelty=cluster_novelty,
+            edge_classifications=edge_classifications,
+            final_ranking=final,
+            threshold=threshold,
+        )
+
+    @staticmethod
+    def _final_ranking(
+        ranking: list[ComponentDiff],
+        cluster_novelty: dict[str, list[ClusterNovelty]],
+        classification: EdgeClassification,
+    ) -> list[RootCauseCandidate]:
+        """Order by step-2 rank, keep components surviving step 4."""
+        surviving: set[str] = set()
+        edge_clusters: set[tuple[str, int]] = set()
+        for edge in classification.interesting_edges():
+            surviving.add(edge.source_component)
+            surviving.add(edge.target_component)
+            edge_clusters.add((edge.source_component, edge.source_cluster))
+            edge_clusters.add((edge.target_component, edge.target_cluster))
+
+        candidates: list[RootCauseCandidate] = []
+        rank = 0
+        for diff in ranking:
+            if diff.component not in surviving:
+                continue
+            rank += 1
+            metrics: set[str] = set(diff.new) | set(diff.discarded)
+            for ann in cluster_novelty.get(diff.component, ()):
+                keys = set()
+                if ann.match.cluster_c is not None:
+                    keys.add((diff.component, ann.match.cluster_c.index))
+                if ann.match.cluster_f is not None:
+                    keys.add((diff.component, ann.match.cluster_f.index))
+                if keys & edge_clusters and ann.match.cluster_f is not None:
+                    metrics |= ann.match.cluster_f.metric_set()
+            candidates.append(RootCauseCandidate(
+                rank=rank,
+                component=diff.component,
+                metrics=sorted(metrics),
+                novelty_score=diff.novelty_score,
+            ))
+        return candidates

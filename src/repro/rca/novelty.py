@@ -1,0 +1,67 @@
+"""RCA steps #1 and #2: metric novelty and component rankings.
+
+"If a metric m is present in both C and F, it intuitively represents
+the maintenance of healthy behavior [...].  Conversely, the appearance
+of a new metric (or the disappearance of a previously existing metric)
+between versions is likely to be related with the anomaly"
+(Section 4.2).  Components are ranked by their total count of novel
+metrics -- Table 5's 'Changed (New/Discarded)' column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.timeseries import MetricFrame
+
+
+@dataclass(frozen=True)
+class ComponentDiff:
+    """Metric-presence differences of one component between versions."""
+
+    component: str
+    new: frozenset[str]
+    """Metrics present in F but not in C."""
+
+    discarded: frozenset[str]
+    """Metrics present in C but not in F."""
+
+    unchanged: frozenset[str]
+
+    @property
+    def novelty_score(self) -> int:
+        """Total novel metrics (the Table 5 'Changed' count)."""
+        return len(self.new) + len(self.discarded)
+
+    @property
+    def total_metrics(self) -> int:
+        """Union of metrics over both versions (Table 5 'Total')."""
+        return len(self.new) + len(self.discarded) + len(self.unchanged)
+
+
+def metric_diff(frame_c: MetricFrame,
+                frame_f: MetricFrame) -> dict[str, ComponentDiff]:
+    """Step #1: per-component new/discarded/unchanged metric sets."""
+    components = sorted(set(frame_c.components) | set(frame_f.components))
+    out: dict[str, ComponentDiff] = {}
+    for component in components:
+        metrics_c = set(frame_c.metrics_of(component))
+        metrics_f = set(frame_f.metrics_of(component))
+        out[component] = ComponentDiff(
+            component=component,
+            new=frozenset(metrics_f - metrics_c),
+            discarded=frozenset(metrics_c - metrics_f),
+            unchanged=frozenset(metrics_c & metrics_f),
+        )
+    return out
+
+
+def rank_components(diffs: dict[str, ComponentDiff]) -> list[ComponentDiff]:
+    """Step #2: components by descending novelty score.
+
+    Zero-novelty components are excluded (they get '-' in Table 5).
+    Ties break by component name for determinism.
+    """
+    interesting = [d for d in diffs.values() if d.novelty_score > 0]
+    return sorted(interesting,
+                  key=lambda d: (-d.novelty_score, d.component))

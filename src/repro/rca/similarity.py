@@ -1,0 +1,129 @@
+"""RCA step #3: cluster novelty and inter-version cluster similarity.
+
+Cluster similarity uses the paper's modified Jaccard coefficient
+(eq. 2):
+
+    S = |M_C  intersect  M_F| / |M_C|
+
+normalized by the *correct* cluster's size only, "to eliminate the
+penalty imposed by new metrics added to the faulty cluster".
+
+Clusters of one component are matched across versions greedily by
+best similarity; matches drive both the cluster-novelty categories of
+Figure 7(a) and the edge events of step #4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.reduction import Cluster, ComponentClustering
+from repro.rca.novelty import ComponentDiff
+
+
+def cluster_similarity(metrics_c: frozenset[str] | set[str],
+                       metrics_f: frozenset[str] | set[str]) -> float:
+    """The paper's eq. 2; 0.0 for an empty correct cluster."""
+    if not metrics_c:
+        return 0.0
+    return len(set(metrics_c) & set(metrics_f)) / len(metrics_c)
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """A matched (or half-matched) cluster pair of one component."""
+
+    component: str
+    cluster_c: Cluster | None
+    """None when the F cluster has no counterpart."""
+
+    cluster_f: Cluster | None
+    """None when the C cluster disappeared."""
+
+    similarity: float
+
+    @property
+    def is_matched(self) -> bool:
+        return self.cluster_c is not None and self.cluster_f is not None
+
+
+def match_clusters(component: str,
+                   clustering_c: ComponentClustering,
+                   clustering_f: ComponentClustering) -> list[ClusterMatch]:
+    """Greedy best-similarity matching of one component's clusters.
+
+    Every C cluster is matched to the remaining F cluster with the
+    highest eq.-2 similarity (ties broken by cluster index); leftover
+    clusters on either side become half-matches with similarity 0.
+    """
+    available_f = {c.index: c for c in clustering_f.clusters}
+    matches: list[ClusterMatch] = []
+
+    ordered_c = sorted(clustering_c.clusters, key=lambda c: -len(c.metrics))
+    for cluster_c in ordered_c:
+        best_f = None
+        best_sim = 0.0
+        for cluster_f in available_f.values():
+            sim = cluster_similarity(cluster_c.metric_set(),
+                                     cluster_f.metric_set())
+            if sim > best_sim or (sim == best_sim and best_f is None
+                                  and sim > 0):
+                best_f, best_sim = cluster_f, sim
+        if best_f is not None and best_sim > 0:
+            del available_f[best_f.index]
+            matches.append(ClusterMatch(component, cluster_c, best_f,
+                                        best_sim))
+        else:
+            matches.append(ClusterMatch(component, cluster_c, None, 0.0))
+
+    for cluster_f in available_f.values():
+        matches.append(ClusterMatch(component, None, cluster_f, 0.0))
+    return matches
+
+
+@dataclass(frozen=True)
+class ClusterNovelty:
+    """Novelty annotation of one cluster match (Figure 7(a) categories)."""
+
+    match: ClusterMatch
+    new_metrics: frozenset[str]
+    discarded_metrics: frozenset[str]
+
+    @property
+    def novelty_score(self) -> int:
+        return len(self.new_metrics) + len(self.discarded_metrics)
+
+    @property
+    def category(self) -> str:
+        """One of ``new``, ``discarded``, ``new_and_discarded``,
+        ``changed``, ``unchanged`` (Figure 7(a) bars)."""
+        has_new = bool(self.new_metrics)
+        has_discarded = bool(self.discarded_metrics)
+        if has_new and has_discarded:
+            return "new_and_discarded"
+        if has_new:
+            return "new"
+        if has_discarded:
+            return "discarded"
+        if self.match.is_matched and self.match.similarity < 1.0:
+            return "changed"
+        if not self.match.is_matched:
+            return "changed"  # re-shuffled without novel metrics
+        return "unchanged"
+
+
+def annotate_novelty(matches: list[ClusterMatch],
+                     diff: ComponentDiff) -> list[ClusterNovelty]:
+    """Attach new/discarded metric sets to every cluster match."""
+    out = []
+    for match in matches:
+        f_metrics = (match.cluster_f.metric_set()
+                     if match.cluster_f is not None else frozenset())
+        c_metrics = (match.cluster_c.metric_set()
+                     if match.cluster_c is not None else frozenset())
+        out.append(ClusterNovelty(
+            match=match,
+            new_metrics=frozenset(f_metrics & diff.new),
+            discarded_metrics=frozenset(c_metrics & diff.discarded),
+        ))
+    return out

@@ -1,0 +1,104 @@
+"""Human-readable rendering of Sieve's outputs.
+
+The paper's workflow ends with a developer reading the results: the
+dependency graph (Figure 6), the reduction summary (Figure 4) and the
+RCA candidate list (Table 5 / Figure 8).  This module renders all three
+as plain text for terminals, logs and CI job output.
+"""
+
+from __future__ import annotations
+
+from repro.causality.depgraph import DependencyGraph
+from repro.core.results import SieveResult
+from repro.rca.engine import RCAReport
+
+
+def render_dependency_graph(graph: DependencyGraph,
+                            max_relations_per_edge: int = 2) -> str:
+    """ASCII rendering of the component dependency graph.
+
+    Components are listed with their outgoing edges; each edge shows up
+    to ``max_relations_per_edge`` metric relations with lag annotation.
+    """
+    lines: list[str] = []
+    edges_by_source: dict[str, list] = {}
+    for relation in graph.relations:
+        edges_by_source.setdefault(relation.source_component,
+                                   []).append(relation)
+    for component in graph.components:
+        outgoing = edges_by_source.get(component, [])
+        if not outgoing:
+            continue
+        lines.append(component)
+        by_target: dict[str, list] = {}
+        for relation in outgoing:
+            by_target.setdefault(relation.target_component,
+                                 []).append(relation)
+        for target in sorted(by_target):
+            relations = sorted(by_target[target], key=lambda r: r.p_value)
+            lines.append(f"  --> {target} ({len(relations)} relations)")
+            for relation in relations[:max_relations_per_edge]:
+                lines.append(
+                    f"        {relation.source_metric} => "
+                    f"{relation.target_metric} "
+                    f"[lag {relation.lag}, p={relation.p_value:.2g}]"
+                )
+    return "\n".join(lines) if lines else "(no dependencies found)"
+
+
+def render_reduction_summary(result: SieveResult) -> str:
+    """Per-component before/after table plus totals (Figure 4 style)."""
+    lines = [f"{'component':<18} {'metrics':>8} {'clusters':>9} "
+             f"{'silhouette':>11}  representative sample"]
+    for component, clustering in sorted(result.clusterings.items()):
+        sample = ", ".join(clustering.representatives[:2])
+        if clustering.n_clusters > 2:
+            sample += ", ..."
+        lines.append(
+            f"{component:<18} {clustering.total_metrics:>8} "
+            f"{clustering.n_clusters:>9} {clustering.silhouette:>11.3f}"
+            f"  {sample}"
+        )
+    lines.append(
+        f"{'TOTAL':<18} {result.total_metrics():>8} "
+        f"{result.total_representatives():>9} "
+        f"{'':>11}  ({result.reduction_factor():.1f}x reduction)"
+    )
+    return "\n".join(lines)
+
+
+def render_rca_report(report: RCAReport, max_candidates: int = 10,
+                      max_metrics: int = 4) -> str:
+    """The RCA engine's final output as a readable candidate list."""
+    lines = [
+        f"similarity threshold: {report.threshold}",
+        f"components with novel metrics: {len(report.component_ranking)}",
+    ]
+    histogram = report.cluster_novelty_histogram()
+    lines.append(
+        "cluster novelty: "
+        + ", ".join(f"{k}={histogram[k]}" for k in
+                    ("new", "discarded", "new_and_discarded", "changed")
+                    if histogram.get(k))
+    )
+    state = report.implicated_state()
+    lines.append(
+        f"implicated state: {state['components']} components, "
+        f"{state['clusters']} clusters, {state['metrics']} metrics"
+    )
+    lines.append("")
+    lines.append("root-cause candidates:")
+    for candidate in report.final_ranking[:max_candidates]:
+        lines.append(
+            f"  #{candidate.rank} {candidate.component} "
+            f"(novelty {candidate.novelty_score}, "
+            f"{len(candidate.metrics)} metrics)"
+        )
+        interesting = sorted(
+            candidate.metrics,
+            key=lambda m: (0 if ("ERROR" in m or "DOWN" in m
+                                 or "fail" in m.lower()) else 1, m),
+        )
+        for metric in interesting[:max_metrics]:
+            lines.append(f"       - {metric}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Microservice application simulator.
+
+The paper evaluates Sieve on two real deployments (ShareLatex on a
+10-node cluster, OpenStack Kolla on EC2).  Neither is available here, so
+this subpackage provides the substrate that stands in for them:
+
+* :mod:`repro.simulator.kernel` -- a classic heap-based discrete-event
+  kernel, used where request-level granularity matters (the Figure 5
+  tracing-overhead experiment runs 10 000 individual HTTP requests).
+* :mod:`repro.simulator.component` -- the microservice model: a queueing
+  station with instances, endpoints, resource usage and a metric
+  exporter covering system-level and application-level metrics.
+* :mod:`repro.simulator.network` -- LAN latency model for inter-component
+  calls.
+* :mod:`repro.simulator.fluid` -- the time-stepped ("fluid") simulation
+  engine that advances every component's arrival/service dynamics on a
+  fixed step, propagates load along the call topology with realistic
+  delay, and emits connection events for the call-graph tracer.
+* :mod:`repro.simulator.faults` -- fault injection (component crashes,
+  degradations) used to produce the "faulty" OpenStack version of the
+  RCA case study.
+* :mod:`repro.simulator.app` -- the :class:`Application` bundle gluing
+  components, topology, workload and monitoring together.
+"""
+
+from repro.simulator.app import Application, LoadedRun
+from repro.simulator.component import (
+    CallSpec,
+    Component,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.simulator.faults import ComponentCrash, Degradation, FaultPlan
+from repro.simulator.fluid import FluidSimulation
+from repro.simulator.kernel import Event, EventLoop
+from repro.simulator.network import NetworkModel
+
+__all__ = [
+    "Application",
+    "CallSpec",
+    "Component",
+    "ComponentCrash",
+    "ComponentSpec",
+    "Degradation",
+    "EndpointSpec",
+    "Event",
+    "EventLoop",
+    "FaultPlan",
+    "FluidSimulation",
+    "LoadedRun",
+    "NetworkModel",
+]

@@ -1,0 +1,188 @@
+"""The :class:`Application` bundle: components + topology + monitoring.
+
+An ``Application`` is the static description of a microservices-based
+system (its component specs and entry points).  Calling :meth:`load`
+performs Sieve's Step #1 (paper Section 3.1): run the workload against
+the system while the collector records every exported metric and the
+sysdig tracer captures the call graph.  The outcome is a
+:class:`LoadedRun`, the input to the analysis steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.metrics.collector import Collector
+from repro.metrics.store import MetricsStore
+from repro.metrics.timeseries import MetricFrame
+from repro.simulator.component import ComponentSpec
+from repro.simulator.faults import FaultPlan
+from repro.simulator.fluid import FluidSimulation, WorkloadFn
+from repro.tracing.callgraph import CallGraph
+from repro.tracing.sysdig import SysdigTracer
+
+
+@dataclass
+class LoadedRun:
+    """Everything recorded while loading the application once."""
+
+    application: str
+    workload: str
+    seed: int
+    duration: float
+    frame: MetricFrame
+    call_graph: CallGraph
+    store: MetricsStore
+    tracer: SysdigTracer
+    sla_samples: list = field(default_factory=list, repr=False)
+    """Optional per-window (time, latency) samples recorded during the run."""
+
+    def metric_count(self) -> int:
+        """Number of distinct metrics recorded."""
+        return len(self.frame)
+
+    def component_metric_counts(self) -> dict[str, int]:
+        """Metrics recorded per component."""
+        return {
+            component: len(self.frame.metrics_of(component))
+            for component in self.frame.components
+        }
+
+
+class Application:
+    """A microservices application the Sieve pipeline can load."""
+
+    def __init__(self, name: str, specs: Sequence[ComponentSpec],
+                 entrypoints: Mapping[str, float] | None = None,
+                 sla_path: Sequence[str] | None = None):
+        """``entrypoints`` maps entry components to their share of
+        external traffic (normalized internally; default: first spec
+        takes all traffic).  ``sla_path`` lists the components whose
+        latencies sum to the user-perceived request latency (default:
+        the main entry component alone)."""
+        if not specs:
+            raise ValueError("an application needs at least one component")
+        self.name = name
+        self.specs = list(specs)
+        names = {spec.name for spec in self.specs}
+        if entrypoints is None:
+            entrypoints = {self.specs[0].name: 1.0}
+        unknown = set(entrypoints) - names
+        if unknown:
+            raise ValueError(f"entrypoints reference unknown components: "
+                             f"{sorted(unknown)}")
+        total = sum(entrypoints.values())
+        if total <= 0:
+            raise ValueError("entrypoint shares must sum to a positive value")
+        self.entrypoints = {k: v / total for k, v in entrypoints.items()}
+        if sla_path is None:
+            sla_path = [max(self.entrypoints, key=self.entrypoints.get)]
+        unknown = set(sla_path) - names
+        if unknown:
+            raise ValueError(f"sla_path references unknown components: "
+                             f"{sorted(unknown)}")
+        self.sla_path = list(sla_path)
+
+    @property
+    def component_names(self) -> list[str]:
+        """All component names, in spec order."""
+        return [spec.name for spec in self.specs]
+
+    def spec_of(self, name: str) -> ComponentSpec:
+        """Spec of one component (KeyError if unknown)."""
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"unknown component {name!r}")
+
+    def end_to_end_latency(self, sim: FluidSimulation) -> float:
+        """User-perceived latency: the sum along the SLA path, seconds."""
+        return sum(
+            sim.component(name).mean_latency() for name in self.sla_path
+        )
+
+    def _workload_fn(self, total_rate_fn) -> WorkloadFn:
+        """Split a scalar external rate over the entry components."""
+        def workload(now: float) -> dict[str, float]:
+            rate = max(float(total_rate_fn(now)), 0.0)
+            return {entry: rate * share
+                    for entry, share in self.entrypoints.items()}
+        return workload
+
+    def build_simulation(self, total_rate_fn, seed: int = 0,
+                         dt: float = 0.1,
+                         fault_plan: FaultPlan | None = None,
+                         tracer: SysdigTracer | None = None,
+                         ) -> tuple[FluidSimulation, SysdigTracer]:
+        """Construct the simulation and its attached tracer."""
+        tracer = tracer or SysdigTracer()
+        tracer.register_components(self.component_names)
+        sim = FluidSimulation(
+            self.specs,
+            self._workload_fn(total_rate_fn),
+            dt=dt,
+            seed=seed,
+            fault_plan=fault_plan,
+            trace_sink=tracer.sink,
+        )
+        return sim, tracer
+
+    def load(
+        self,
+        total_rate_fn,
+        duration: float,
+        seed: int = 0,
+        dt: float = 0.1,
+        scrape_interval: float = 0.5,
+        fault_plan: FaultPlan | None = None,
+        workload_name: str = "custom",
+        warmup: float = 5.0,
+    ) -> LoadedRun:
+        """Sieve Step #1: load the application and record everything.
+
+        ``total_rate_fn(t)`` gives the external request rate at time
+        ``t``; it is split over the entry components.  ``warmup``
+        seconds run before collection starts so queues and delay lines
+        reach their operating region.
+        """
+        sim, tracer = self.build_simulation(
+            total_rate_fn, seed=seed, dt=dt, fault_plan=fault_plan
+        )
+        store = MetricsStore()
+        collector = Collector(
+            sim.exporters(),
+            interval=scrape_interval,
+            seed=seed + 1,
+            store=store,
+        )
+
+        if warmup > 0:
+            sim.run(warmup)
+
+        next_scrape = sim.now
+        sla_samples: list[tuple[float, float]] = []
+
+        def on_step(s: FluidSimulation) -> None:
+            nonlocal next_scrape
+            while next_scrape <= s.now:
+                collector.scrape_once(next_scrape)
+                sla_samples.append(
+                    (next_scrape, self.end_to_end_latency(s))
+                )
+                next_scrape += collector.interval
+
+        sim.run(duration, on_step=on_step)
+        store.simulate_dashboard_reads()
+
+        return LoadedRun(
+            application=self.name,
+            workload=workload_name,
+            seed=seed,
+            duration=duration,
+            frame=collector.frame,
+            call_graph=tracer.call_graph(min_count=2),
+            store=store,
+            tracer=tracer,
+            sla_samples=sla_samples,
+        )

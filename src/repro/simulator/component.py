@@ -1,0 +1,469 @@
+"""The microservice component model.
+
+Each component is a multi-instance queueing station with named endpoints
+(its RPC/HTTP interface), outgoing call specifications (which other
+components it invokes per request, and how often), a resource-usage
+model, and a metric exporter.
+
+The exporter produces the two metric classes the paper distinguishes
+(Section 3.1):
+
+* **system metrics** -- CPU, memory, network and disk usage of the
+  process, including monotone byte *counters* (deliberately
+  non-stationary, to exercise Sieve's ADF-and-difference path);
+* **application metrics** -- per-endpoint request statistics in the
+  paper's naming convention (``http-requests_<endpoint>_<stat>``),
+  plus runtime-specific families (node.js garbage collection, database
+  query statistics, message-queue depths, ...) selected by the
+  component ``kind``.
+
+Metrics can be *conditional*: an error-state counter is only exported
+once errors actually occur.  This mirrors real collectors (Telegraf
+only reports series that exist) and is what produces the new/discarded
+metrics that drive the RCA case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+#: Runtime kinds with dedicated metric families.
+KNOWN_KINDS = (
+    "nodejs", "python", "database", "kv-store", "loadbalancer",
+    "queue", "webserver", "generic",
+)
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One entry point of a component's interface."""
+
+    name: str
+    service_time: float = 0.02
+    """Mean in-process service time per request, seconds."""
+
+    weight: float = 1.0
+    """Relative share of the component's direct traffic."""
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    """An outgoing dependency: this component calls ``target``."""
+
+    target: str
+    ratio: float = 1.0
+    """Downstream calls issued per request processed here."""
+
+    delay: float = 0.5
+    """Load-propagation delay to the target, seconds.  Covers network
+    latency plus queueing/batching before the callee sees the work;
+    Sieve's 500 ms Granger lag (paper Section 3.3) targets exactly this
+    scale."""
+
+
+CustomMetricFn = Callable[["Component", float], float | None]
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Static description of a microservice component."""
+
+    name: str
+    kind: str = "generic"
+    endpoints: tuple[EndpointSpec, ...] = (EndpointSpec("index_GET"),)
+    calls: tuple[CallSpec, ...] = ()
+    instances: int = 1
+    concurrency: int = 8
+    """Requests one instance can process concurrently."""
+
+    baseline_cpu: float = 2.0
+    """Idle CPU usage, percent."""
+
+    cpu_per_unit_load: float = 60.0
+    """CPU percent consumed at utilization 1.0 (per instance)."""
+
+    baseline_memory_mb: float = 120.0
+    memory_per_queued_mb: float = 0.8
+    request_bytes: float = 2200.0
+    """Mean wire bytes exchanged per request."""
+
+    error_base_rate: float = 0.0005
+    """Background fraction of failing requests."""
+
+    custom_metrics: tuple[tuple[str, CustomMetricFn], ...] = ()
+    """Extra exported metrics: (name, fn(component, now) -> value|None)."""
+
+    metric_profile: str = "full"
+    """How rich the exporter is: ``"full"`` (all system + 5 stats per
+    endpoint), ``"slim"`` (6 system metrics, 3 stats per endpoint --
+    typical of Telegraf service plugins), or ``"tiny"`` (2 system
+    metrics, 3 stats per endpoint -- thin sidecar processes)."""
+
+    export_errors: str = "seen"
+    """Error-metric policy: ``"seen"`` (export once errors occurred,
+    the Telegraf-like default), ``"always"``, or ``"never"``."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(f"unknown component kind {self.kind!r}")
+        if not self.endpoints:
+            raise ValueError(f"component {self.name!r} needs >= 1 endpoint")
+        if self.instances < 1 or self.concurrency < 1:
+            raise ValueError("instances and concurrency must be >= 1")
+        if self.metric_profile not in ("full", "slim", "tiny"):
+            raise ValueError(f"unknown metric_profile {self.metric_profile!r}")
+        if self.export_errors not in ("seen", "always", "never"):
+            raise ValueError(f"unknown export_errors {self.export_errors!r}")
+
+    def endpoint_weights(self) -> np.ndarray:
+        weights = np.array([e.weight for e in self.endpoints], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError(f"component {self.name!r} has zero total weight")
+        return weights / total
+
+
+class Component:
+    """Runtime state of one component inside a fluid simulation."""
+
+    def __init__(self, spec: ComponentSpec, seed: int = 0,
+                 env: dict | None = None):
+        self.spec = spec
+        self.name = spec.name
+        self.instances = spec.instances
+        self.env = env if env is not None else {}
+        self._rng = np.random.default_rng(seed)
+
+        # Continuous state advanced by step().
+        self.utilization = 0.0
+        self.queue_length = 0.0
+        self.crashed = False
+        self.degradation = 1.0  # service-time multiplier (faults raise it)
+
+        # Per-endpoint instantaneous rates and latencies.
+        self.endpoint_rates: dict[str, float] = {
+            e.name: 0.0 for e in spec.endpoints
+        }
+        self.endpoint_latency: dict[str, float] = {
+            e.name: e.service_time for e in spec.endpoints
+        }
+
+        # Monotone counters (non-stationary system metrics).
+        self.net_in_total = 0.0
+        self.net_out_total = 0.0
+        self.disk_read_total = 0.0
+        self.disk_write_total = 0.0
+        self.requests_total = 0.0
+        self.errors_total = 0.0
+
+        # Instantaneous gauges.
+        self.cpu_usage = spec.baseline_cpu
+        self.memory_mb = spec.baseline_memory_mb
+        self.error_rate = 0.0
+        self._memory_drift = 0.0
+        self._errors_seen = False
+        self._rebalance_latency = 0.0
+        self._cpu_wander = 0.0
+
+    # -- dynamics ------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        """Work units (request-seconds) the component can absorb per second."""
+        return float(self.instances * self.spec.concurrency)
+
+    def offered_work(self) -> float:
+        """Request-seconds of work arriving per second at current rates."""
+        work = 0.0
+        for endpoint in self.spec.endpoints:
+            rate = self.endpoint_rates[endpoint.name]
+            work += rate * endpoint.service_time * self.degradation
+        return work
+
+    def step(self, dt: float, incoming: Mapping[str, float]) -> None:
+        """Advance the component by ``dt`` seconds.
+
+        ``incoming`` maps endpoint name to arrival rate (requests/sec).
+        Unknown endpoint names are distributed over the declared
+        endpoints by weight -- upstream components address the component
+        as a whole unless a call targets a specific endpoint.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+
+        weights = self.spec.endpoint_weights()
+        rates = dict.fromkeys(self.endpoint_rates, 0.0)
+        for endpoint_name, rate in incoming.items():
+            if endpoint_name in rates:
+                rates[endpoint_name] += rate
+            else:
+                for e, w in zip(self.spec.endpoints, weights):
+                    rates[e.name] += rate * w
+        if self.crashed:
+            rates = dict.fromkeys(rates, 0.0)
+        self.endpoint_rates = rates
+
+        # Utilization and queue dynamics (fluid M/M/c approximation).
+        work = self.offered_work()
+        capacity = self.capacity
+        rho = work / capacity if capacity > 0 else np.inf
+        self.utilization = min(rho, 2.0)
+
+        overflow = max(work - capacity * 0.98, 0.0)
+        drain = max(capacity * 0.98 - work, 0.0)
+        self.queue_length = max(
+            self.queue_length + (overflow - drain * 0.5) * dt * 10.0, 0.0
+        )
+
+        # Latency: base service time inflated by congestion, plus the
+        # transient disruption of a recent scaling action (connection
+        # rebalancing, cache warmup) decaying over a few seconds.
+        congestion = 1.0 / max(1.0 - min(rho, 0.98), 0.02)
+        queue_penalty = self.queue_length / max(capacity, 1.0)
+        self._rebalance_latency *= float(np.exp(-dt / 4.0))
+        for endpoint in self.spec.endpoints:
+            base = endpoint.service_time * self.degradation
+            noise = float(self._rng.normal(0.0, 0.03 * base))
+            self.endpoint_latency[endpoint.name] = max(
+                base * (0.6 + 0.4 * congestion) + base * queue_penalty + noise,
+                base * 0.5,
+            ) + self._rebalance_latency
+
+        # Errors: background rate plus overload-induced failures.
+        overload_errors = max(rho - 1.0, 0.0) * 0.5
+        self.error_rate = min(self.spec.error_base_rate + overload_errors, 1.0)
+        if self.crashed:
+            self.error_rate = 1.0
+
+        total_rate = sum(rates.values())
+        self.requests_total += total_rate * dt
+        self.errors_total += total_rate * self.error_rate * dt
+        if self.errors_total > 0.5:
+            self._errors_seen = True
+
+        # Resource usage.
+        per_instance_load = rho  # utilization already folds in instances
+        target_cpu = (
+            self.spec.baseline_cpu
+            + self.spec.cpu_per_unit_load * min(per_instance_load, 1.5)
+        )
+        # Real per-process CPU readings are noisy at two time scales:
+        # fast sampling jitter, and a slow wander (GC cycles, background
+        # housekeeping, co-located tenants) that survives the averaging
+        # windows rule engines use.  The wander is an AR(1) process with
+        # a ~45 s correlation time and ~7% stationary amplitude -- the
+        # reason CPU makes a poor autoscaling trigger compared to
+        # application metrics (paper Section 6.2).
+        alpha = float(np.exp(-dt / 45.0))
+        self._cpu_wander = alpha * self._cpu_wander + float(
+            self._rng.normal(0.0, 12.0 * np.sqrt(1.0 - alpha * alpha))
+        )
+        cpu_noise = float(self._rng.normal(0.0, 2.5))
+        self.cpu_usage = float(np.clip(
+            0.7 * self.cpu_usage + 0.3 * (target_cpu + self._cpu_wander)
+            + cpu_noise,
+            0.0, 100.0,
+        ))
+        if self.crashed:
+            self.cpu_usage = float(np.clip(self._rng.normal(0.2, 0.1), 0, 1))
+
+        self._memory_drift += float(self._rng.normal(0.0, 0.15))
+        self.memory_mb = max(
+            self.spec.baseline_memory_mb
+            + self.spec.memory_per_queued_mb * self.queue_length
+            + self._memory_drift,
+            16.0,
+        )
+
+        bytes_per_s = total_rate * self.spec.request_bytes
+        self.net_in_total += bytes_per_s * dt
+        self.net_out_total += bytes_per_s * 1.4 * dt
+        self.disk_read_total += bytes_per_s * 0.1 * dt
+        self.disk_write_total += bytes_per_s * 0.25 * dt
+
+    def outgoing_rates(self) -> dict[str, float]:
+        """Current call rate towards each downstream target."""
+        if self.crashed:
+            return {call.target: 0.0 for call in self.spec.calls}
+        total_rate = sum(self.endpoint_rates.values())
+        successful = total_rate * (1.0 - self.error_rate)
+        return {
+            call.target: successful * call.ratio for call in self.spec.calls
+        }
+
+    def set_instances(self, n: int) -> None:
+        """Scale the component to ``n`` instances (autoscaling hook).
+
+        Changing the instance count is not free: the load balancer
+        rebalances connections and new instances start cold, briefly
+        inflating latency (more so under load).  This is why the number
+        of scaling actions is itself a quality metric (paper Table 4).
+        """
+        if n < 1:
+            raise ValueError("a component needs at least one instance")
+        if n != self.instances:
+            self._rebalance_latency += 0.7 * min(self.utilization, 1.2) \
+                * min(abs(n - self.instances), 3)
+        self.instances = n
+
+    # -- metric export --------------------------------------------------
+
+    def total_request_rate(self) -> float:
+        """Aggregate request arrival rate over all endpoints."""
+        return sum(self.endpoint_rates.values())
+
+    def mean_latency(self) -> float:
+        """Traffic-weighted mean endpoint latency (seconds)."""
+        total = self.total_request_rate()
+        if total <= 0:
+            weights = self.spec.endpoint_weights()
+            return float(sum(
+                w * self.endpoint_latency[e.name]
+                for e, w in zip(self.spec.endpoints, weights)
+            ))
+        return sum(
+            self.endpoint_rates[e.name] * self.endpoint_latency[e.name]
+            for e in self.spec.endpoints
+        ) / total
+
+    def sample_metrics(self, now: float) -> dict[str, float]:
+        """Export every currently-live metric (collector protocol)."""
+        rng = self._rng
+        profile = self.spec.metric_profile
+        out: dict[str, float] = {}
+
+        # System metrics; richness depends on the profile.
+        out["cpu_usage"] = self.cpu_usage
+        out["memory_usage"] = self.memory_mb
+        if profile in ("full", "slim"):
+            out["net_in_bytes_total"] = self.net_in_total
+            out["net_out_bytes_total"] = self.net_out_total
+            out["open_fds"] = 24.0 + 2.0 * self.instances \
+                + self.total_request_rate() * 0.4 + float(rng.normal(0, 0.5))
+            out["threads"] = float(4 * self.instances)
+        if profile == "full":
+            out["cpu_usage_percentile"] = float(
+                np.clip(self.cpu_usage * 1.15 + rng.normal(0, 0.5), 0, 100)
+            )
+            out["memory_rss"] = self.memory_mb * 0.92 \
+                + float(rng.normal(0, 1.0))
+            out["disk_read_bytes_total"] = self.disk_read_total
+            out["disk_write_bytes_total"] = self.disk_write_total
+
+        # Application metrics: per-endpoint request statistics.
+        for endpoint in self.spec.endpoints:
+            rate = self.endpoint_rates[endpoint.name]
+            latency_ms = self.endpoint_latency[endpoint.name] * 1000.0
+            prefix = f"http-requests_{endpoint.name}"
+            out[f"{prefix}_count"] = rate
+            out[f"{prefix}_mean"] = latency_ms
+            out[f"{prefix}_p90"] = latency_ms * 1.6 \
+                + float(rng.normal(0, 0.04 * latency_ms))
+            if profile == "full":
+                out[f"{prefix}_median"] = latency_ms * 0.9 \
+                    + float(rng.normal(0, 0.02 * latency_ms))
+                out[f"{prefix}_p99"] = latency_ms * 2.8 \
+                    + float(rng.normal(0, 0.08 * latency_ms))
+
+        out["queue_length"] = self.queue_length
+        if profile == "full":
+            out["active_connections"] = self.total_request_rate() * 1.8 \
+                + float(rng.normal(0, 0.3))
+            out["instances"] = float(self.instances)
+        if profile == "tiny":
+            del out["queue_length"]
+
+        # Error metrics according to the export policy.
+        policy = self.spec.export_errors
+        if policy == "always" or (policy == "seen" and self._errors_seen):
+            out["error_count_total"] = self.errors_total
+            out["error_rate"] = self.error_rate
+
+        out.update(self._kind_metrics(rng))
+
+        for name, fn in self.spec.custom_metrics:
+            value = fn(self, now)
+            if value is not None:
+                out[name] = float(value)
+        return out
+
+    def _kind_metrics(self, rng: np.random.Generator) -> dict[str, float]:
+        """Runtime-specific metric families, selected by ``spec.kind``."""
+        load = self.utilization
+        rate = self.total_request_rate()
+        kind = self.spec.kind
+        if kind == "nodejs":
+            heap = self.memory_mb * 0.6
+            return {
+                "nodejs_heap_used_mb": heap + float(rng.normal(0, 1.5)),
+                "nodejs_heap_total_mb": self.memory_mb * 0.75,
+                "nodejs_gc_pause_ms": max(
+                    0.4 + 6.0 * load + float(rng.normal(0, 0.3)), 0.0),
+                "nodejs_eventloop_lag_ms": max(
+                    0.1 + 9.0 * max(load - 0.6, 0.0)
+                    + float(rng.normal(0, 0.05)), 0.0),
+                "nodejs_active_handles": 10.0 + rate * 0.9,
+            }
+        if kind == "database":
+            return {
+                "db_queries_select_mean_ms": max(
+                    1.0 + 14.0 * load + float(rng.normal(0, 0.4)), 0.1),
+                "db_queries_insert_mean_ms": max(
+                    1.5 + 18.0 * load + float(rng.normal(0, 0.5)), 0.1),
+                "db_queries_count": rate * 2.4,
+                "db_connections_active": 4.0 + rate * 0.8
+                + float(rng.normal(0, 0.4)),
+                "db_cache_hit_ratio": float(np.clip(
+                    0.97 - 0.2 * max(load - 0.5, 0.0)
+                    + rng.normal(0, 0.004), 0.0, 1.0)),
+                "db_rows_returned": rate * 11.0,
+                "db_lock_waits": max(rate * max(load - 0.8, 0.0) * 0.5
+                                     + float(rng.normal(0, 0.02)), 0.0),
+            }
+        if kind == "kv-store":
+            return {
+                "kv_keys": 1500.0 + self.requests_total * 0.01,
+                "kv_hits": rate * 3.1,
+                "kv_misses": rate * 0.2 + float(rng.normal(0, 0.05)),
+                "kv_evictions": max(rate * max(load - 0.9, 0.0)
+                                    + float(rng.normal(0, 0.01)), 0.0),
+                "kv_used_memory_mb": self.memory_mb * 0.5,
+            }
+        if kind == "loadbalancer":
+            return {
+                "lb_backends_up": float(max(self.instances, 1)),
+                "lb_sessions": rate * 1.9 + float(rng.normal(0, 0.3)),
+                "lb_bytes_in_rate": rate * self.spec.request_bytes,
+                "lb_bytes_out_rate": rate * self.spec.request_bytes * 1.4,
+                "lb_retries": max(rate * self.error_rate * 0.5
+                                  + float(rng.normal(0, 0.01)), 0.0),
+            }
+        if kind == "queue":
+            backlog = self.queue_length * 12.0
+            return {
+                "messages": backlog + rate * 0.8 + float(rng.normal(0, 0.4)),
+                "messages_ack-diff": rate * 0.8 - backlog * 0.05
+                + float(rng.normal(0, 0.2)),
+                "messages_publish_rate": rate * 1.1,
+                "messages_deliver_rate": rate * 1.1 * (1 - self.error_rate),
+                "consumers": float(6 + self.instances),
+                "queue_memory_mb": self.memory_mb * 0.4 + backlog * 0.002,
+            }
+        if kind == "webserver":
+            return {
+                "ws_requests_rate": rate,
+                "ws_active_workers": min(rate * 0.6, 64.0)
+                + float(rng.normal(0, 0.2)),
+                "ws_keepalive_connections": rate * 1.3,
+            }
+        if kind == "python":
+            return {
+                "py_gc_collections": 2.0 + load * 6.0
+                + float(rng.normal(0, 0.2)),
+                "py_wsgi_workers_busy": min(load * self.capacity, 64.0),
+                "py_request_queue": self.queue_length,
+            }
+        return {}

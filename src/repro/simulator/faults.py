@@ -1,0 +1,97 @@
+"""Fault injection primitives.
+
+The RCA case study (paper Section 6.3) needs a *faulty* application
+version: OpenStack Kolla bug #1533942 crashes the Neutron Open vSwitch
+agent, after which VM launches fail with 'No valid host was found'.
+These primitives inject the analogous failures into a fluid simulation:
+
+* :class:`ComponentCrash` -- the component stops processing entirely
+  (its metrics freeze, downstream call rates drop to zero, every
+  request it would serve fails);
+* :class:`Degradation` -- the component's service time is multiplied by
+  a factor over a window (soft performance faults);
+* :class:`EnvFlag` -- sets an entry in the shared application
+  environment, which application models translate into state-dependent
+  metric changes (e.g. ``vm_launch_failing`` flips Nova's instance-state
+  metrics from ACTIVE to ERROR).
+
+A :class:`FaultPlan` bundles faults and is evaluated once per simulation
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.simulator.component import Component
+
+
+@dataclass(frozen=True)
+class ComponentCrash:
+    """Hard-crash ``component`` at ``at_time`` (never restarts)."""
+
+    component: str
+    at_time: float = 0.0
+
+    def apply(self, components: Mapping[str, Component], now: float,
+              env: dict) -> None:
+        if now >= self.at_time:
+            target = components.get(self.component)
+            if target is None:
+                raise KeyError(f"unknown component {self.component!r}")
+            target.crashed = True
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Multiply ``component``'s service time by ``factor`` in a window."""
+
+    component: str
+    factor: float = 3.0
+    at_time: float = 0.0
+    until: float = float("inf")
+
+    def apply(self, components: Mapping[str, Component], now: float,
+              env: dict) -> None:
+        target = components.get(self.component)
+        if target is None:
+            raise KeyError(f"unknown component {self.component!r}")
+        if self.at_time <= now < self.until:
+            target.degradation = self.factor
+        elif target.degradation == self.factor:
+            target.degradation = 1.0
+
+
+@dataclass(frozen=True)
+class EnvFlag:
+    """Set ``env[key] = value`` from ``at_time`` on."""
+
+    key: str
+    value: object = True
+    at_time: float = 0.0
+
+    def apply(self, components: Mapping[str, Component], now: float,
+              env: dict) -> None:
+        if now >= self.at_time:
+            env[self.key] = self.value
+
+
+@dataclass
+class FaultPlan:
+    """A set of faults evaluated at every simulation step."""
+
+    faults: list = field(default_factory=list)
+
+    def apply(self, components: Mapping[str, Component], now: float,
+              env: dict) -> None:
+        for fault in self.faults:
+            fault.apply(components, now, env)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (healthy run)."""
+        return cls(faults=[])

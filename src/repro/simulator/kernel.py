@@ -1,0 +1,90 @@
+"""Heap-based discrete-event simulation kernel.
+
+A deliberately small, classic DES core: events are (time, seq, callback)
+triples on a binary heap; the loop pops them in time order and invokes
+the callbacks, which may schedule further events.  The sequence number
+breaks ties deterministically, so two runs with the same seed replay
+identically.
+
+The request-level experiments (Figure 5: 10 000 HTTP requests against an
+nginx model under different tracers) run on this kernel; the large
+application models use the fluid engine instead, which is orders of
+magnitude cheaper for hour-long loads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventLoop:
+    """Discrete-event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Process the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        event.callback()
+        self.processed += 1
+        return True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Drain the queue, optionally bounded by time or event count.
+
+        With ``until`` set, events strictly after that time remain queued
+        and ``now`` advances to ``until``.
+        """
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                return
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return
+            self.step()
+            count += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

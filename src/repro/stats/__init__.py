@@ -1,0 +1,80 @@
+"""Statistics substrate for the Sieve reproduction.
+
+The original Sieve implementation leaned on ``statsmodels`` (OLS, F-test,
+Augmented Dickey-Fuller, Granger causality) and on the k-Shape reference
+implementation's distance computations.  Neither is available in this
+environment, so this subpackage implements the required statistical
+machinery from scratch on top of numpy/scipy:
+
+* :mod:`repro.stats.timeseries_ops` -- z-normalization, differencing,
+  variance filtering and related array utilities.
+* :mod:`repro.stats.interpolate` -- cubic-spline gap reconstruction and
+  resampling to an equidistant grid (Sieve uses a 500 ms grid).
+* :mod:`repro.stats.regression` -- ordinary least squares.
+* :mod:`repro.stats.hypothesis_tests` -- the F-test used by the Granger
+  procedure and the Augmented Dickey-Fuller stationarity test.
+* :mod:`repro.stats.correlation` -- FFT-based normalized cross-correlation
+  and the shape-based distance (SBD) of the k-Shape paper.
+* :mod:`repro.stats.information` -- entropy, mutual information and the
+  Adjusted Mutual Information score used for Figure 3.
+* :mod:`repro.stats.silhouette` -- silhouette scores under an arbitrary
+  pairwise distance (Sieve evaluates clusterings with SBD).
+* :mod:`repro.stats.strings` -- Jaro / Jaro-Winkler similarity used for
+  metric-name pre-clustering.
+"""
+
+from repro.stats.correlation import (
+    normalized_cross_correlation,
+    sbd,
+    sbd_with_shift,
+)
+from repro.stats.hypothesis_tests import (
+    ADFResult,
+    FTestResult,
+    adf_test,
+    f_test_nested,
+    is_stationary,
+)
+from repro.stats.information import (
+    adjusted_mutual_info,
+    entropy,
+    expected_mutual_info,
+    mutual_info,
+)
+from repro.stats.interpolate import resample_to_grid, spline_fill
+from repro.stats.regression import OLSResult, ols
+from repro.stats.silhouette import silhouette_samples, silhouette_score
+from repro.stats.strings import jaro, jaro_winkler
+from repro.stats.timeseries_ops import (
+    first_difference,
+    lag_matrix,
+    variance_filter_mask,
+    znormalize,
+)
+
+__all__ = [
+    "ADFResult",
+    "FTestResult",
+    "OLSResult",
+    "adf_test",
+    "adjusted_mutual_info",
+    "entropy",
+    "expected_mutual_info",
+    "f_test_nested",
+    "first_difference",
+    "is_stationary",
+    "jaro",
+    "jaro_winkler",
+    "lag_matrix",
+    "mutual_info",
+    "normalized_cross_correlation",
+    "ols",
+    "resample_to_grid",
+    "sbd",
+    "sbd_with_shift",
+    "silhouette_samples",
+    "silhouette_score",
+    "spline_fill",
+    "variance_filter_mask",
+    "znormalize",
+]

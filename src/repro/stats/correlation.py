@@ -1,0 +1,96 @@
+"""Normalized cross-correlation and the shape-based distance (SBD).
+
+The k-Shape clustering algorithm (Paparrizos & Gravano, SIGMOD 2015,
+adopted by Sieve in Section 3.2) measures time-series similarity with
+
+    SBD(x, y) = 1 - max_w NCC_w(x, y)
+
+where ``NCC`` is the cross-correlation normalized by the geometric mean
+of the two series' autocorrelations at lag zero, and ``w`` ranges over
+all alignments of ``x`` slid over ``y``.  Because the maximization runs
+over shifts, SBD recognizes two series that have the same shape but are
+displaced in time -- exactly the situation of metrics in communicating
+microservices, where effects propagate with network/processing delay.
+
+Cross-correlation is computed with FFTs (O(n log n)), as in the k-Shape
+paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cross_correlation_sequence",
+    "normalized_cross_correlation",
+    "sbd",
+    "sbd_with_shift",
+]
+
+
+def _next_pow_two(n: int) -> int:
+    return 1 << (int(n) - 1).bit_length()
+
+
+def cross_correlation_sequence(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Full cross-correlation ``CC_w(x, y)`` for all shifts via FFT.
+
+    Returns an array of length ``2n - 1`` where index ``n - 1`` is the
+    zero-shift correlation, lower indices shift ``x`` left of ``y`` and
+    higher indices shift it right.  Both inputs must share a length.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.ndim != 1 or ya.ndim != 1:
+        raise ValueError("cross-correlation expects 1-D inputs")
+    if xa.size != ya.size:
+        raise ValueError(
+            f"series lengths differ: {xa.size} vs {ya.size}; align them first"
+        )
+    n = xa.size
+    if n == 0:
+        raise ValueError("cannot correlate empty series")
+    size = _next_pow_two(2 * n - 1)
+    fx = np.fft.rfft(xa, size)
+    fy = np.fft.rfft(ya, size)
+    cc = np.fft.irfft(fx * np.conj(fy), size)
+    # Rearrange so index 0 is shift -(n-1) and index 2n-2 is shift n-1.
+    return np.concatenate([cc[-(n - 1):], cc[:n]]) if n > 1 else cc[:1]
+
+
+def normalized_cross_correlation(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """NCC_w(x, y) for every shift w (the "NCCc" coefficient of k-Shape).
+
+    Normalizes by ``sqrt((x . x) * (y . y))``, the geometric mean of the
+    two lag-zero autocorrelations.  If either series has zero energy the
+    correlation is defined as all zeros (two flat series are maximally
+    distant in shape space unless both are compared by value elsewhere).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    cc = cross_correlation_sequence(xa, ya)
+    denom = np.sqrt(float(xa @ xa) * float(ya @ ya))
+    if denom <= 1e-300:
+        return np.zeros_like(cc)
+    return cc / denom
+
+
+def sbd_with_shift(x: np.ndarray, y: np.ndarray) -> tuple[float, int]:
+    """Shape-based distance and the maximizing shift.
+
+    Returns ``(distance, shift)`` where ``distance = 1 - max_w NCC_w``
+    lies in ``[0, 2]`` and ``shift`` is the displacement of ``x``
+    relative to ``y`` at the maximum (positive: ``x`` lags ``y``).
+    """
+    ncc = normalized_cross_correlation(x, y)
+    idx = int(np.argmax(ncc))
+    n = (ncc.size + 1) // 2
+    distance = 1.0 - float(ncc[idx])
+    # Guard against floating-point excursions just outside [0, 2].
+    distance = min(max(distance, 0.0), 2.0)
+    return distance, idx - (n - 1)
+
+
+def sbd(x: np.ndarray, y: np.ndarray) -> float:
+    """Shape-based distance ``1 - max_w NCC_w(x, y)`` in ``[0, 2]``."""
+    return sbd_with_shift(x, y)[0]

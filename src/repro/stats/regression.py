@@ -1,0 +1,114 @@
+"""Ordinary least squares, the workhorse of Sieve's causality tests.
+
+The Granger procedure (paper Section 3.3) fits two nested linear models
+with OLS and compares them with an F-test; the Augmented Dickey-Fuller
+test is likewise an OLS regression whose t-statistic is compared against
+non-standard critical values.  This module provides the shared OLS core
+with the diagnostics both tests need (residual sum of squares, standard
+errors, t-statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OLSResult:
+    """Fit diagnostics for an ordinary-least-squares regression."""
+
+    params: np.ndarray
+    """Estimated coefficients, one per design-matrix column."""
+
+    rss: float
+    """Residual sum of squares."""
+
+    tss: float
+    """Total sum of squares of the (centred) response."""
+
+    n_obs: int
+    """Number of observations."""
+
+    n_params: int
+    """Number of fitted parameters (design-matrix columns)."""
+
+    stderr: np.ndarray = field(repr=False)
+    """Standard error of each coefficient."""
+
+    residuals: np.ndarray = field(repr=False)
+    """Per-observation residuals ``y - X @ params``."""
+
+    @property
+    def df_resid(self) -> int:
+        """Residual degrees of freedom."""
+        return self.n_obs - self.n_params
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination; 0.0 for a degenerate response."""
+        if self.tss <= 0:
+            return 0.0
+        return 1.0 - self.rss / self.tss
+
+    @property
+    def tvalues(self) -> np.ndarray:
+        """t-statistics of the coefficients (NaN where stderr is zero)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.stderr > 0, self.params / self.stderr, np.nan)
+
+
+def add_constant(design: np.ndarray) -> np.ndarray:
+    """Prepend an intercept column of ones to a design matrix."""
+    mat = np.atleast_2d(np.asarray(design, dtype=float))
+    if mat.shape[0] == 1 and mat.shape[1] > 1 and np.asarray(design).ndim == 1:
+        mat = mat.T
+    ones = np.ones((mat.shape[0], 1))
+    return np.hstack([ones, mat])
+
+
+def ols(response: np.ndarray, design: np.ndarray) -> OLSResult:
+    """Fit ``response ~ design`` by least squares.
+
+    ``design`` must already contain an intercept column if one is wanted
+    (use :func:`add_constant`).  The fit uses ``numpy.linalg.lstsq``,
+    which handles rank-deficient designs by returning the minimum-norm
+    solution; standard errors use the pseudo-inverse in that case.
+    """
+    y = np.asarray(response, dtype=float)
+    X = np.atleast_2d(np.asarray(design, dtype=float))
+    if X.shape[0] != y.shape[0]:
+        if X.shape[1] == y.shape[0]:
+            X = X.T
+        else:
+            raise ValueError(
+                f"design has {X.shape[0]} rows but response has {y.shape[0]}"
+            )
+    n_obs, n_params = X.shape
+    if n_obs <= n_params:
+        raise ValueError(
+            f"need more observations ({n_obs}) than parameters ({n_params})"
+        )
+
+    params, _, _, _ = np.linalg.lstsq(X, y, rcond=None)
+    residuals = y - X @ params
+    rss = float(residuals @ residuals)
+    centred = y - y.mean()
+    tss = float(centred @ centred)
+
+    df_resid = n_obs - n_params
+    sigma2 = rss / df_resid if df_resid > 0 else np.nan
+    xtx_inv = np.linalg.pinv(X.T @ X)
+    variances = np.clip(np.diag(xtx_inv) * sigma2, 0.0, None)
+    stderr = np.sqrt(variances)
+
+    return OLSResult(
+        params=params,
+        rss=rss,
+        tss=tss,
+        n_obs=n_obs,
+        n_params=n_params,
+        stderr=stderr,
+        residuals=residuals,
+    )

@@ -1,0 +1,80 @@
+"""Jaro and Jaro-Winkler string similarity.
+
+Sieve seeds k-Shape with clusters built from *metric-name similarity*
+(paper Section 3.2): developers name related metrics consistently
+("cpu_usage", "cpu_usage_percentile"), so grouping by Jaro distance
+(Jaro 1989) gives an initial assignment that converges in fewer
+iterations than random initialization.  Jaro-Winkler boosts the score of
+strings sharing a prefix, which matches the naming conventions of
+exported metrics particularly well.
+"""
+
+from __future__ import annotations
+
+__all__ = ["jaro", "jaro_distance", "jaro_winkler"]
+
+
+def jaro(s1: str, s2: str) -> float:
+    """Jaro similarity in ``[0, 1]`` (1 means identical)."""
+    if s1 == s2:
+        return 1.0
+    len1, len2 = len(s1), len(s2)
+    if len1 == 0 or len2 == 0:
+        return 0.0
+
+    match_window = max(len1, len2) // 2 - 1
+    match_window = max(match_window, 0)
+
+    s1_matched = [False] * len1
+    s2_matched = [False] * len2
+    matches = 0
+    for i, ch in enumerate(s1):
+        lo = max(0, i - match_window)
+        hi = min(len2, i + match_window + 1)
+        for j in range(lo, hi):
+            if s2_matched[j] or s2[j] != ch:
+                continue
+            s1_matched[i] = True
+            s2_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions between the matched subsequences.
+    s2_indices = [j for j in range(len2) if s2_matched[j]]
+    transpositions = 0
+    k = 0
+    for i in range(len1):
+        if not s1_matched[i]:
+            continue
+        if s1[i] != s2[s2_indices[k]]:
+            transpositions += 1
+        k += 1
+    transpositions //= 2
+
+    m = float(matches)
+    return (m / len1 + m / len2 + (m - transpositions) / m) / 3.0
+
+
+def jaro_distance(s1: str, s2: str) -> float:
+    """Jaro *distance* ``1 - jaro(s1, s2)`` in ``[0, 1]``."""
+    return 1.0 - jaro(s1, s2)
+
+
+def jaro_winkler(s1: str, s2: str, prefix_weight: float = 0.1,
+                 max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro with a common-prefix bonus.
+
+    ``prefix_weight`` must not exceed 0.25 or the score could leave
+    ``[0, 1]``.
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError("prefix_weight must lie in [0, 0.25]")
+    base = jaro(s1, s2)
+    prefix = 0
+    for c1, c2 in zip(s1[:max_prefix], s2[:max_prefix]):
+        if c1 != c2:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)

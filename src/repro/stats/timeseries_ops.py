@@ -1,0 +1,99 @@
+"""Elementary time-series transformations used across the Sieve pipeline.
+
+These are the array-level primitives behind Sieve's metric-reduction step
+(Section 3.2 of the paper): z-normalization before shape-based clustering,
+variance filtering of unvarying metrics, and first differencing of
+non-stationary series before Granger testing (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Variance threshold below which Sieve discards a metric as "unvarying"
+#: (paper Section 3.2: ``var <= 0.002``).
+DEFAULT_VARIANCE_THRESHOLD = 0.002
+
+
+def znormalize(values: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Return the z-normalized copy of ``values``.
+
+    k-Shape requires amplitude-invariant input, which the paper obtains
+    via ``z = (x - mu) / sigma``.  A constant series has ``sigma == 0``;
+    we map it to all zeros rather than dividing by zero, which keeps the
+    SBD of two constant series at its minimum.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array of observations.
+    epsilon:
+        Standard deviations below this are treated as zero.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shape {arr.shape}")
+    mu = arr.mean()
+    sigma = arr.std()
+    # The epsilon is relative to the magnitude of the data: a constant
+    # series of large values has a tiny-but-nonzero floating-point std
+    # that must not be divided through.
+    if sigma <= epsilon * max(1.0, abs(mu)):
+        return np.zeros_like(arr)
+    return (arr - mu) / sigma
+
+
+def first_difference(values: np.ndarray) -> np.ndarray:
+    """Return the first difference ``x[t] - x[t-1]`` of a series.
+
+    Sieve applies this to series the ADF test flags as non-stationary
+    (e.g. monotonically increasing CPU / network counters) before using
+    them in Granger causality tests.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shape {arr.shape}")
+    if arr.size < 2:
+        raise ValueError("need at least two observations to difference")
+    return np.diff(arr)
+
+
+def variance_filter_mask(
+    matrix: np.ndarray, threshold: float = DEFAULT_VARIANCE_THRESHOLD
+) -> np.ndarray:
+    """Boolean mask of rows of ``matrix`` whose variance exceeds ``threshold``.
+
+    ``matrix`` holds one metric time series per row.  Rows with variance
+    at or below the threshold carry no information about the applied load
+    and are dropped before clustering (paper Section 3.2).
+    """
+    mat = np.atleast_2d(np.asarray(matrix, dtype=float))
+    return mat.var(axis=1) > threshold
+
+
+def lag_matrix(values: np.ndarray, lags: int) -> np.ndarray:
+    """Build the lagged design matrix used by the Granger OLS models.
+
+    Returns an array of shape ``(n - lags, lags)`` whose column ``j``
+    holds ``values[lags - 1 - j : n - 1 - j]``, i.e. column 0 is the
+    series lagged by one step, column 1 by two steps, and so on.  The
+    target vector aligned with this matrix is ``values[lags:]``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shape {arr.shape}")
+    if lags < 1:
+        raise ValueError("lags must be >= 1")
+    n = arr.size
+    if n <= lags:
+        raise ValueError(f"series of length {n} too short for {lags} lags")
+    columns = [arr[lags - 1 - j : n - 1 - j] for j in range(lags)]
+    return np.column_stack(columns)
+
+
+def has_constant_trend(values: np.ndarray, tolerance: float = 1e-12) -> bool:
+    """True when the series never deviates from its first observation."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return True
+    return bool(np.all(np.abs(arr - arr[0]) <= tolerance))

@@ -1,0 +1,28 @@
+"""Call-graph capture (the sysdig of this reproduction).
+
+Sieve obtains the inter-component call graph by observing network system
+calls with sysdig (paper Section 3.1): a kernel module streams syscall
+events, user-defined filters extract connect/accept pairs, and IP
+addresses map back to components through the cluster manager's service
+discovery.  This subpackage reproduces that machinery against the
+simulator's connection-event stream, plus the overhead models for the
+Figure 5 comparison (native vs sysdig vs tcpdump vs ptrace).
+"""
+
+from repro.tracing.callgraph import CallGraph
+from repro.tracing.overhead import (
+    TRACING_TECHNIQUES,
+    TracingTechnique,
+    completion_time_factor,
+)
+from repro.tracing.sysdig import ServiceDiscovery, SyscallEvent, SysdigTracer
+
+__all__ = [
+    "CallGraph",
+    "ServiceDiscovery",
+    "SyscallEvent",
+    "SysdigTracer",
+    "TRACING_TECHNIQUES",
+    "TracingTechnique",
+    "completion_time_factor",
+]

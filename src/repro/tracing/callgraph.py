@@ -1,0 +1,91 @@
+"""The directed call graph between microservice components.
+
+Vertices are components; an edge points from caller to callee (paper
+Section 3.1).  Edges carry observed connection counts, so sporadic
+misattributed connections can be filtered with a count threshold.  Sieve
+uses the call graph to restrict the pairwise Granger comparison to
+components that actually communicate (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+class CallGraph:
+    """Directed caller -> callee graph with connection counts."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def add_component(self, name: str) -> None:
+        """Register a component even before any call is seen."""
+        self._graph.add_node(name)
+
+    def record_call(self, caller: str, callee: str, count: int = 1) -> None:
+        """Record ``count`` observed connections from caller to callee."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if caller == callee:
+            return  # loopback chatter carries no inter-component structure
+        if self._graph.has_edge(caller, callee):
+            self._graph[caller][callee]["count"] += count
+        else:
+            self._graph.add_edge(caller, callee, count=count)
+
+    @property
+    def components(self) -> list[str]:
+        """All known components, sorted."""
+        return sorted(self._graph.nodes)
+
+    def callees(self, component: str) -> list[str]:
+        """Components that ``component`` calls, sorted."""
+        if component not in self._graph:
+            return []
+        return sorted(self._graph.successors(component))
+
+    def callers(self, component: str) -> list[str]:
+        """Components that call ``component``, sorted."""
+        if component not in self._graph:
+            return []
+        return sorted(self._graph.predecessors(component))
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        """All (caller, callee, count) edges, sorted."""
+        return sorted(
+            (u, v, data["count"]) for u, v, data in self._graph.edges(data=True)
+        )
+
+    def has_edge(self, caller: str, callee: str) -> bool:
+        """True when at least one caller -> callee connection was seen."""
+        return self._graph.has_edge(caller, callee)
+
+    def call_count(self, caller: str, callee: str) -> int:
+        """Observed connections from caller to callee (0 if none)."""
+        if not self._graph.has_edge(caller, callee):
+            return 0
+        return int(self._graph[caller][callee]["count"])
+
+    def filtered(self, min_count: int = 1) -> "CallGraph":
+        """Copy without edges below ``min_count`` connections."""
+        out = CallGraph()
+        for node in self._graph.nodes:
+            out.add_component(node)
+        for u, v, count in self.edges():
+            if count >= min_count:
+                out.record_call(u, v, count)
+        return out
+
+    def communicating_pairs(self) -> list[tuple[str, str]]:
+        """All (caller, callee) pairs -- the Granger search space."""
+        return [(u, v) for u, v, _count in self.edges()]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy as a networkx digraph (for analysis / drawing)."""
+        return self._graph.copy()
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._graph

@@ -1,0 +1,31 @@
+"""Workload generators (Sieve Step #1 needs application-specific load).
+
+* :mod:`repro.workload.locust` -- a Locust-analog virtual-user load
+  generator (the paper's authors wrote a 1 041-LoC Locust harness for
+  ShareLatex).
+* :mod:`repro.workload.worldcup` -- a synthetic trace statistically
+  shaped like the WorldCup'98 HTTP trace hour used for the autoscaling
+  experiment (Section 6.2): client-IP sessions enqueued by timestamp,
+  with a pronounced traffic spike.
+* :mod:`repro.workload.rally` -- a Rally-analog task runner providing
+  the ``boot_and_delete`` workload of the RCA experiment (Section 6.3).
+* :mod:`repro.workload.profiles` -- randomized workload profiles for
+  the robustness measurements (Figure 3 loads ShareLatex "five times
+  with random workloads").
+"""
+
+from repro.workload.locust import LocustLoadGenerator, UserBehavior
+from repro.workload.profiles import RandomWorkload, constant_rate, ramp_rate
+from repro.workload.rally import BootAndDeleteTask, RallyRunner
+from repro.workload.worldcup import WorldCupTrace
+
+__all__ = [
+    "BootAndDeleteTask",
+    "LocustLoadGenerator",
+    "RallyRunner",
+    "RandomWorkload",
+    "UserBehavior",
+    "WorldCupTrace",
+    "constant_rate",
+    "ramp_rate",
+]

@@ -1,0 +1,88 @@
+"""Locust-analog virtual-user load generation.
+
+Locust simulates *virtual users*: each user executes a behavior loop
+(action, think, action, ...) and the population size is ramped over
+time.  The aggregate arrival-rate function this produces -- users(t)
+times actions-per-second per user, with stochastic wobble -- is what
+the fluid simulator consumes.
+
+``LocustLoadGenerator`` is deterministic for a given seed, so repeated
+Sieve measurements with the same generator are reproducible while
+different seeds give the independent "random workload" runs of the
+robustness experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UserBehavior:
+    """One virtual user's behavior loop."""
+
+    actions_per_cycle: float = 4.0
+    """Requests issued per behavior cycle."""
+
+    think_time: float = 3.0
+    """Mean pause between cycles, seconds."""
+
+    def request_rate(self) -> float:
+        """Steady-state requests/second of one user."""
+        return self.actions_per_cycle / max(self.think_time, 1e-6)
+
+
+class LocustLoadGenerator:
+    """Population of virtual users with a ramp profile.
+
+    The population follows ``spawn_rate`` up to ``users`` (like Locust's
+    ``--users/--spawn-rate``), then holds; the instantaneous request
+    rate additionally wobbles with smooth noise so that the load is not
+    perfectly periodic (which would confuse stationarity tests).
+    """
+
+    def __init__(
+        self,
+        users: int = 50,
+        spawn_rate: float = 5.0,
+        behavior: UserBehavior | None = None,
+        wobble: float = 0.15,
+        seed: int = 0,
+    ):
+        if users < 1:
+            raise ValueError("need at least one user")
+        if spawn_rate <= 0:
+            raise ValueError("spawn_rate must be positive")
+        self.users = users
+        self.spawn_rate = spawn_rate
+        self.behavior = behavior or UserBehavior()
+        self.wobble = wobble
+        rng = np.random.default_rng(seed)
+        # Pre-draw smooth noise as a random Fourier series.
+        self._noise_freqs = rng.uniform(0.005, 0.08, size=6)
+        self._noise_phases = rng.uniform(0, 2 * np.pi, size=6)
+        self._noise_amps = rng.uniform(0.2, 1.0, size=6)
+        self._noise_amps /= self._noise_amps.sum()
+
+    def active_users(self, now: float) -> float:
+        """User population at time ``now`` (ramping then steady)."""
+        if now < 0:
+            return 0.0
+        return min(self.spawn_rate * now, float(self.users))
+
+    def _smooth_noise(self, now: float) -> float:
+        """Deterministic smooth noise in roughly [-1, 1]."""
+        return float(np.sum(
+            self._noise_amps
+            * np.sin(2 * np.pi * self._noise_freqs * now + self._noise_phases)
+        ))
+
+    def rate(self, now: float) -> float:
+        """Aggregate request rate (requests/second) at time ``now``."""
+        base = self.active_users(now) * self.behavior.request_rate()
+        return max(base * (1.0 + self.wobble * self._smooth_noise(now)), 0.0)
+
+    def __call__(self, now: float) -> float:
+        return self.rate(now)

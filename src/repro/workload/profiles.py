@@ -1,0 +1,85 @@
+"""Randomized and elementary workload profiles.
+
+The robustness experiments load ShareLatex "five times with random
+workloads" (Section 6.1): randomness avoids baking workload assumptions
+into the model and gives a worst case for clustering consistency
+(Figure 3).  :class:`RandomWorkload` produces such a load: piecewise
+levels re-drawn at random change points, smoothed and perturbed.
+
+The elementary profiles (:func:`constant_rate`, :func:`ramp_rate`) are
+used by tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomWorkload:
+    """Random piecewise load profile, deterministic per seed."""
+
+    def __init__(
+        self,
+        duration: float = 600.0,
+        min_rate: float = 5.0,
+        max_rate: float = 60.0,
+        mean_segment: float = 45.0,
+        smoothing: float = 8.0,
+        seed: int = 0,
+    ):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= min_rate < max_rate:
+            raise ValueError("need 0 <= min_rate < max_rate")
+        self.duration = duration
+        rng = np.random.default_rng(seed)
+
+        # Draw change points and levels.
+        times = [0.0]
+        while times[-1] < duration:
+            times.append(times[-1] + float(rng.exponential(mean_segment)))
+        levels = rng.uniform(min_rate, max_rate, size=len(times))
+
+        # Render to a 1 s grid and smooth with a moving average so the
+        # simulated system sees gradual transitions.
+        grid = np.arange(0.0, duration + 1.0, 1.0)
+        raw = np.empty_like(grid)
+        seg = 0
+        for i, t in enumerate(grid):
+            while seg + 1 < len(times) and times[seg + 1] <= t:
+                seg += 1
+            raw[i] = levels[seg]
+        window = max(int(smoothing), 1)
+        kernel = np.ones(window) / window
+        smooth = np.convolve(raw, kernel, mode="same")
+        wobble = rng.normal(0.0, 0.03 * (max_rate - min_rate),
+                            size=smooth.size)
+        self._grid_rate = np.clip(smooth + wobble, 0.0, None)
+
+    def rate(self, now: float) -> float:
+        """Request rate at time ``now``."""
+        if now < 0:
+            return 0.0
+        idx = min(int(now), len(self._grid_rate) - 1)
+        return float(self._grid_rate[idx])
+
+    def __call__(self, now: float) -> float:
+        return self.rate(now)
+
+
+def constant_rate(rate: float):
+    """A constant-rate workload function."""
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    return lambda now: rate
+
+
+def ramp_rate(start_rate: float, end_rate: float, duration: float):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over ``duration``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+
+    def fn(now: float) -> float:
+        frac = min(max(now / duration, 0.0), 1.0)
+        return start_rate + (end_rate - start_rate) * frac
+    return fn

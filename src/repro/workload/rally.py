@@ -1,0 +1,106 @@
+"""Rally-analog task workload (OpenStack RCA experiment).
+
+OpenStack ships Rally as its official benchmark suite; the paper drives
+both the correct and the faulty version with 100 iterations of the
+``boot_and_delete`` task, which "launches 5 VMs concurrently and deletes
+them after 15-25 seconds" (Section 6.3).
+
+A task iteration maps onto the control plane as a burst of API activity
+(boot: authenticate, create server, allocate port, fetch image, ...)
+followed by idle wait and a smaller deletion burst.  The runner
+superposes the active iterations into the external request-rate signal
+the simulator consumes, plus a small control-plane hum (agent report
+cycles) so that idle-period metrics stay alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootAndDeleteTask:
+    """Shape of one boot_and_delete iteration."""
+
+    vms: int = 5
+    boot_duration: float = 8.0
+    """Seconds of API activity to boot one batch of VMs."""
+
+    wait_min: float = 15.0
+    wait_max: float = 25.0
+    delete_duration: float = 4.0
+
+    boot_requests_per_vm: float = 12.0
+    """Control-plane API calls to boot one VM."""
+
+    delete_requests_per_vm: float = 5.0
+
+    def boot_rate(self) -> float:
+        """Request rate during the boot phase of one iteration."""
+        return self.vms * self.boot_requests_per_vm / self.boot_duration
+
+    def delete_rate(self) -> float:
+        """Request rate during the delete phase of one iteration."""
+        return self.vms * self.delete_requests_per_vm / self.delete_duration
+
+
+class RallyRunner:
+    """Schedules ``times`` iterations of a task back to back."""
+
+    def __init__(
+        self,
+        task: BootAndDeleteTask | None = None,
+        times: int = 100,
+        concurrency: int = 1,
+        background_rate: float = 2.0,
+        seed: int = 0,
+    ):
+        if times < 1 or concurrency < 1:
+            raise ValueError("times and concurrency must be >= 1")
+        self.task = task or BootAndDeleteTask()
+        self.times = times
+        self.concurrency = concurrency
+        self.background_rate = background_rate
+        rng = np.random.default_rng(seed)
+
+        # Lay out iterations: each worker runs its share sequentially.
+        self.iterations: list[tuple[float, float, float]] = []
+        worker_clock = np.zeros(concurrency)
+        for i in range(times):
+            worker = int(np.argmin(worker_clock))
+            start = float(worker_clock[worker])
+            wait = float(rng.uniform(self.task.wait_min, self.task.wait_max))
+            boot_end = start + self.task.boot_duration
+            delete_start = boot_end + wait
+            delete_end = delete_start + self.task.delete_duration
+            self.iterations.append((start, boot_end, delete_start))
+            worker_clock[worker] = delete_end + float(rng.uniform(0.5, 1.5))
+        self.duration = float(worker_clock.max())
+
+        # Precompute the rate signal on a fine grid: rate() is called
+        # once per simulation step and a per-call scan over all
+        # iterations would dominate the run time.
+        self._grid_step = 0.1
+        n_cells = int(np.ceil(self.duration / self._grid_step)) + 2
+        grid_rate = np.full(n_cells, self.background_rate)
+        for start, boot_end, delete_start in self.iterations:
+            lo = int(start / self._grid_step)
+            hi = int(boot_end / self._grid_step)
+            grid_rate[lo:hi] += self.task.boot_rate()
+            dlo = int(delete_start / self._grid_step)
+            dhi = int((delete_start + self.task.delete_duration)
+                      / self._grid_step)
+            grid_rate[dlo:dhi] += self.task.delete_rate()
+        self._grid_rate = grid_rate
+
+    def rate(self, now: float) -> float:
+        """External API request rate at time ``now``."""
+        if now < 0 or now > self.duration:
+            return self.background_rate
+        idx = min(int(now / self._grid_step), len(self._grid_rate) - 1)
+        return float(self._grid_rate[idx])
+
+    def __call__(self, now: float) -> float:
+        return self.rate(now)

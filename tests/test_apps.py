@@ -1,0 +1,173 @@
+"""Tests for the application models (ShareLatex, OpenStack, nginx)."""
+
+import pytest
+
+from repro.apps import (
+    OPENSTACK_COMPONENTS,
+    SHARELATEX_COMPONENTS,
+    build_nginx_application,
+    build_openstack_application,
+    build_sharelatex_application,
+    full_metric_catalog,
+    openstack_fault_plan,
+    run_ab_benchmark,
+)
+from repro.workload import RallyRunner, constant_rate
+
+
+class TestShareLatex:
+    def test_fifteen_components(self):
+        """KV-store + LB + two DBs + 11 node.js components (paper §4.1)."""
+        app = build_sharelatex_application()
+        assert len(app.specs) == 15
+        assert set(app.component_names) == set(SHARELATEX_COMPONENTS)
+        kinds = {spec.name: spec.kind for spec in app.specs}
+        assert kinds["redis"] == "kv-store"
+        assert kinds["haproxy"] == "loadbalancer"
+        assert kinds["mongodb"] == "database"
+        assert kinds["postgresql"] == "database"
+        nodejs = [n for n, k in kinds.items() if k == "nodejs"]
+        assert len(nodejs) == 11
+
+    def test_metric_count_near_paper(self):
+        """Paper Table 1: ShareLatex exposes 889 metrics."""
+        app = build_sharelatex_application()
+        run = app.load(constant_rate(20.0), duration=20.0, seed=0)
+        assert 700 <= run.metric_count() <= 1000
+
+    def test_topology_matches_architecture(self):
+        app = build_sharelatex_application()
+        web_calls = {c.target for c in app.spec_of("web").calls}
+        assert {"docstore", "doc-updater", "mongodb"} <= web_calls
+        haproxy_calls = {c.target for c in app.spec_of("haproxy").calls}
+        assert haproxy_calls == {"web", "real-time"}
+
+    def test_hub_endpoint_exists(self):
+        """The paper's autoscaling metric comes from this endpoint."""
+        app = build_sharelatex_application()
+        endpoints = {e.name for e in app.spec_of("web").endpoints}
+        assert "Project_id_GET" in endpoints
+
+    def test_call_graph_captured_under_load(self):
+        app = build_sharelatex_application()
+        run = app.load(constant_rate(30.0), duration=30.0, seed=1)
+        assert run.call_graph.has_edge("haproxy", "web")
+        assert run.call_graph.has_edge("web", "mongodb")
+        assert not run.call_graph.has_edge("mongodb", "haproxy")
+
+
+class TestOpenStack:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """One correct and one faulty load (shared across tests)."""
+        app = build_openstack_application()
+        rally = RallyRunner(times=8, concurrency=4, seed=5)
+        duration = min(rally.duration, 90.0)
+        correct = app.load(rally, duration=duration, seed=5)
+        faulty = app.load(rally, duration=duration, seed=5,
+                          fault_plan=openstack_fault_plan())
+        return correct, faulty
+
+    def test_sixteen_components(self):
+        app = build_openstack_application()
+        assert len(app.specs) == 16
+        assert set(app.component_names) == set(OPENSTACK_COMPONENTS)
+
+    def test_table5_metric_totals(self, runs):
+        """Union metric counts match Table 5's per-component totals."""
+        correct, faulty = runs
+        expected = {
+            "nova-api": 59, "nova-libvirt": 39, "nova-scheduler": 30,
+            "neutron-server": 42, "rabbitmq": 57, "neutron-l3-agent": 39,
+            "nova-novncproxy": 12, "glance-api": 27,
+            "neutron-dhcp-agent": 35, "nova-compute": 41,
+            "glance-registry": 23, "haproxy": 14, "nova-conductor": 29,
+        }
+        for component, total in expected.items():
+            union = set(correct.frame.metrics_of(component)) \
+                | set(faulty.frame.metrics_of(component))
+            assert len(union) == total, component
+
+    def test_table5_novelty_counts(self, runs):
+        """New/discarded metric counts match Table 5."""
+        correct, faulty = runs
+        expected = {
+            "nova-api": (7, 22), "nova-libvirt": (0, 21),
+            "nova-scheduler": (7, 7), "neutron-server": (2, 10),
+            "rabbitmq": (5, 6), "neutron-l3-agent": (0, 7),
+            "nova-novncproxy": (0, 7), "glance-api": (0, 5),
+            "neutron-dhcp-agent": (0, 4), "nova-compute": (0, 3),
+            "glance-registry": (0, 3), "haproxy": (1, 1),
+            "nova-conductor": (0, 2),
+        }
+        for component, (n_new, n_disc) in expected.items():
+            metrics_c = set(correct.frame.metrics_of(component))
+            metrics_f = set(faulty.frame.metrics_of(component))
+            assert len(metrics_f - metrics_c) == n_new, component
+            assert len(metrics_c - metrics_f) == n_disc, component
+
+    def test_fault_flips_key_metrics(self, runs):
+        correct, faulty = runs
+        nova_c = set(correct.frame.metrics_of("nova-api"))
+        nova_f = set(faulty.frame.metrics_of("nova-api"))
+        assert "nova_instances_in_state_ACTIVE" in nova_c - nova_f
+        assert "nova_instances_in_state_ERROR" in nova_f - nova_c
+        neutron_f = set(faulty.frame.metrics_of("neutron-server"))
+        assert "neutron_ports_in_status_DOWN" in neutron_f
+
+    def test_other_components_untouched(self, runs):
+        correct, faulty = runs
+        for component in ("keystone", "memcached", "mariadb"):
+            assert set(correct.frame.metrics_of(component)) \
+                == set(faulty.frame.metrics_of(component)), component
+
+    def test_control_plane_topology(self):
+        app = build_openstack_application()
+        nova_api_calls = {c.target for c in app.spec_of("nova-api").calls}
+        assert {"keystone", "rabbitmq", "neutron-server"} <= nova_api_calls
+        rabbit_calls = {c.target for c in app.spec_of("rabbitmq").calls}
+        assert "nova-scheduler" in rabbit_calls
+
+    def test_full_catalog_matches_table1(self):
+        catalog = full_metric_catalog()
+        assert len(catalog) == 17_608
+        assert len(set(catalog)) == 17_608  # unique names
+
+
+class TestNginx:
+    def test_figure5_ordering(self):
+        """native < tcpdump < sysdig completion time, 10k requests."""
+        results = {
+            name: run_ab_benchmark(name, n_requests=10_000, seed=1)
+            for name in ("native", "tcpdump", "sysdig")
+        }
+        assert results["native"].completion_time \
+            < results["tcpdump"].completion_time \
+            < results["sysdig"].completion_time
+
+    def test_figure5_magnitudes(self):
+        native = run_ab_benchmark("native", n_requests=5000, seed=2)
+        tcpdump = run_ab_benchmark("tcpdump", n_requests=5000, seed=2)
+        sysdig = run_ab_benchmark("sysdig", n_requests=5000, seed=2)
+        assert tcpdump.completion_time / native.completion_time \
+            == pytest.approx(1.07, abs=0.02)
+        assert sysdig.completion_time / native.completion_time \
+            == pytest.approx(1.22, abs=0.03)
+
+    def test_closed_loop_semantics(self):
+        result = run_ab_benchmark("native", n_requests=100, concurrency=8)
+        assert result.n_requests == 100
+        assert result.throughput > 0
+        # With concurrency c, wall time is about serial_time / c.
+        serial = run_ab_benchmark("native", n_requests=100, concurrency=1)
+        assert result.completion_time < serial.completion_time
+
+    def test_application_wrapper(self):
+        app = build_nginx_application()
+        assert app.component_names == ["nginx"]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            run_ab_benchmark("native", n_requests=0)
+        with pytest.raises(KeyError):
+            run_ab_benchmark("strace")

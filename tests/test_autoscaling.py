@@ -1,0 +1,158 @@
+"""Tests for the autoscaling engine (case study #1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_sharelatex_application
+from repro.autoscaling import (
+    SLACondition,
+    ScalingRule,
+    calibrate_thresholds,
+    run_autoscaling,
+)
+from repro.simulator import Application, ComponentSpec, EndpointSpec
+from repro.workload import constant_rate
+
+
+class TestSLACondition:
+    def test_violation_detection(self):
+        sla = SLACondition(percentile=90.0, threshold=1.0)
+        assert not sla.violated([0.1] * 10)
+        assert sla.violated([0.1] * 5 + [2.0] * 5)
+
+    def test_empty_window_not_violated(self):
+        assert not SLACondition().violated([])
+
+    def test_count_violations_windows(self):
+        sla = SLACondition(percentile=90.0, threshold=1.0)
+        latencies = [0.1] * 10 + [2.0] * 10
+        violations, windows = sla.count_violations(latencies, window=5)
+        assert windows == 4
+        assert violations == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SLACondition(percentile=0.0)
+        with pytest.raises(ValueError):
+            SLACondition(threshold=0.0)
+        with pytest.raises(ValueError):
+            SLACondition().count_violations([1.0], window=0)
+
+
+class TestScalingRule:
+    def _rule(self, **kwargs):
+        defaults = dict(
+            component="web", metric_component="web", metric="cpu_usage",
+            scale_up_threshold=50.0, scale_down_threshold=10.0,
+            min_instances=1, max_instances=5, cooldown=10.0,
+        )
+        defaults.update(kwargs)
+        return ScalingRule(**defaults)
+
+    def test_scale_up_decision(self):
+        rule = self._rule()
+        assert rule.decide(0.0, [60.0, 70.0], 2) == 1
+
+    def test_scale_down_decision(self):
+        rule = self._rule()
+        assert rule.decide(0.0, [5.0], 3) == -1
+
+    def test_within_band_no_action(self):
+        rule = self._rule()
+        assert rule.decide(0.0, [30.0], 3) == 0
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        rule = self._rule()
+        assert rule.decide(0.0, [90.0], 2) == 1
+        assert rule.decide(5.0, [90.0], 3) == 0
+        assert rule.decide(11.0, [90.0], 3) == 1
+
+    def test_bounds_respected(self):
+        rule = self._rule()
+        assert rule.decide(0.0, [90.0], 5) == 0  # at max
+        assert rule.decide(100.0, [1.0], 1) == 0  # at min
+
+    def test_empty_window(self):
+        assert self._rule().decide(0.0, [], 2) == 0
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            self._rule(scale_down_threshold=60.0)
+        with pytest.raises(ValueError):
+            self._rule(min_instances=0)
+
+
+def _tiny_app():
+    spec = ComponentSpec(
+        name="svc", kind="generic",
+        endpoints=(EndpointSpec("op", service_time=0.05),),
+        concurrency=8, instances=1,
+    )
+    return Application("tiny", [spec], sla_path=["svc"])
+
+
+class TestRunAutoscaling:
+    def test_scales_up_under_overload(self):
+        app = _tiny_app()
+        rule = ScalingRule("svc", "svc", "cpu_usage", 50.0, 5.0,
+                           min_instances=1, max_instances=6, cooldown=5.0)
+        # Offered work 15 >> capacity 8 at one instance.
+        outcome = run_autoscaling(app, constant_rate(300.0), rule,
+                                  duration=120.0, seed=0)
+        assert outcome.scaling_actions >= 1
+        assert outcome.instance_trace[-1][1] > 1
+
+    def test_scales_down_when_idle(self):
+        app = _tiny_app()
+        rule = ScalingRule("svc", "svc", "cpu_usage", 60.0, 20.0,
+                           min_instances=1, max_instances=6, cooldown=5.0)
+        outcome = run_autoscaling(app, constant_rate(1.0), rule,
+                                  duration=60.0, seed=0,
+                                  start_instances=5)
+        assert outcome.instance_trace
+        assert outcome.instance_trace[-1][1] < 5
+
+    def test_records_sla_and_cpu(self):
+        app = _tiny_app()
+        rule = ScalingRule("svc", "svc", "cpu_usage", 99.0, 0.1,
+                           min_instances=1, max_instances=2)
+        outcome = run_autoscaling(app, constant_rate(10.0), rule,
+                                  duration=30.0, seed=0)
+        assert outcome.sla_samples > 0
+        assert outcome.mean_cpu_per_component > 0
+        summary = outcome.summary()
+        assert set(summary) == {
+            "metric", "mean_cpu_per_component", "sla_violations",
+            "sla_samples", "scaling_actions",
+        }
+
+    def test_overload_without_scaling_violates_sla(self):
+        app = _tiny_app()
+        noop = ScalingRule("svc", "svc", "cpu_usage", 1e9, -1e9 + 1,
+                           min_instances=1, max_instances=1)
+        outcome = run_autoscaling(app, constant_rate(400.0), noop,
+                                  duration=90.0, seed=0)
+        assert outcome.sla_violations > 0
+
+
+class TestCalibration:
+    def test_thresholds_ordered_and_above_floor(self):
+        app = build_sharelatex_application()
+        thresholds = calibrate_thresholds(
+            app, constant_rate(900.0), "web",
+            "web", "cpu_usage",
+            sla=SLACondition(), duration=15.0, max_instances=6,
+            refinement_duration=30.0, max_refinements=2, seed=0,
+        )
+        assert thresholds.scale_down < thresholds.scale_up
+        assert thresholds.scale_down >= 0.0
+        assert thresholds.levels  # sweep recorded
+
+    def test_unsatisfiable_sla_raises(self):
+        app = _tiny_app()
+        with pytest.raises(RuntimeError):
+            calibrate_thresholds(
+                app, constant_rate(5000.0), "svc", "svc", "cpu_usage",
+                sla=SLACondition(threshold=0.001),
+                duration=10.0, max_instances=2, seed=0,
+            )

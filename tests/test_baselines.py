@@ -1,0 +1,112 @@
+"""Tests for the PCA / random-projection baselines (paper §3.2 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.baselines import (
+    pca_reduce,
+    random_projection_reduce,
+    reduction_stability,
+)
+
+
+def _correlated_metrics(seed=0, n_groups=3, per_group=5, length=200):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 20, length)
+    rows = []
+    for g in range(n_groups):
+        base = np.sin((0.5 + g) * t)
+        for _ in range(per_group):
+            rows.append(base * rng.uniform(0.5, 2.0)
+                        + rng.normal(0, 0.1, length))
+    return np.vstack(rows)
+
+
+class TestPCA:
+    def test_reconstructs_low_rank_structure(self):
+        data = _correlated_metrics()
+        out = pca_reduce(data, 3)
+        # Three latent signals: 3 components capture nearly everything.
+        assert out.explained_variance_ratio.sum() > 0.95
+
+    def test_orthonormal_axes(self):
+        out = pca_reduce(_correlated_metrics(), 4)
+        gram = out.components @ out.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-9)
+
+    def test_transformed_shape(self):
+        data = _correlated_metrics()
+        out = pca_reduce(data, 2)
+        assert out.transformed.shape == (2, data.shape[1])
+
+    def test_components_not_interpretable(self):
+        """The paper's complaint: loadings spread over many metrics."""
+        out = pca_reduce(_correlated_metrics(), 3)
+        # A representative metric would score 1.0.
+        assert out.interpretability() < 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            pca_reduce(_correlated_metrics(), 0)
+        with pytest.raises(ValueError):
+            pca_reduce(_correlated_metrics(), 999)
+
+
+class TestRandomProjection:
+    def test_shapes(self):
+        data = _correlated_metrics()
+        out = random_projection_reduce(data, 4, seed=1)
+        assert out.projection.shape == (4, data.shape[0])
+        assert out.transformed.shape == (4, data.shape[1])
+
+    def test_seed_changes_projection(self):
+        data = _correlated_metrics()
+        a = random_projection_reduce(data, 4, seed=1)
+        b = random_projection_reduce(data, 4, seed=2)
+        assert not np.allclose(a.projection, b.projection)
+
+    def test_approximately_preserves_distances(self):
+        """The JL property that makes projections usable at all."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 300))
+        out = random_projection_reduce(data.T, 40, seed=0)
+        # Project the 300-dim time axis down to 40 and compare pairwise
+        # distances of the 40 series.
+        original = np.linalg.norm(
+            data[:, None, :] - data[None, :, :], axis=2)
+        projected_rows = (out.projection @ data.T).T
+        reduced = np.linalg.norm(
+            projected_rows[:, None, :] - projected_rows[None, :, :],
+            axis=2)
+        mask = original > 0
+        ratios = reduced[mask] / original[mask]
+        assert 0.6 < ratios.mean() < 1.4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            random_projection_reduce(_correlated_metrics(), 0)
+
+
+class TestStability:
+    def test_random_projection_unstable_across_runs(self):
+        """The paper's §3.2 claim, measured."""
+        data = _correlated_metrics()
+
+        def project(matrix, k, seed):
+            return random_projection_reduce(matrix, k, seed).transformed
+
+        def principal(matrix, k, seed):
+            return pca_reduce(matrix, k).transformed  # seed ignored
+
+        rp_stability = reduction_stability(project, data, 3)
+        pca_stability = reduction_stability(principal, data, 3)
+        assert pca_stability == pytest.approx(1.0, abs=1e-9)
+        assert rp_stability < pca_stability
+
+    def test_single_seed_trivially_stable(self):
+        data = _correlated_metrics()
+
+        def project(matrix, k, seed):
+            return random_projection_reduce(matrix, k, seed).transformed
+
+        assert reduction_stability(project, data, 3, seeds=(0,)) == 1.0

@@ -1,0 +1,241 @@
+"""Tests for k-Shape clustering and the metric-reduction pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    kshape,
+    name_based_labels,
+    reduce_component,
+    select_k,
+)
+from repro.clustering.model_selection import sbd_matrix
+from repro.metrics.timeseries import MetricKey, TimeSeries
+from repro.stats.timeseries_ops import znormalize
+
+
+def _shape_dataset(n_per_cluster=6, length=120, seed=0):
+    """Three shape families that stay distinct under shift invariance.
+
+    Note sin and cos would NOT qualify: SBD aligns shifts, and cos is a
+    shifted sin.  The families differ in frequency/waveform instead.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 4 * np.pi, length)
+    shapes = (
+        lambda x: np.sin(x),
+        lambda x: np.sin(2.7 * x),
+        lambda x: np.sign(np.sin(0.5 * x)),
+    )
+    groups = []
+    for shape_fn in shapes:
+        for _ in range(n_per_cluster):
+            noise = rng.normal(0, 0.15, length)
+            shift = rng.integers(0, 8)
+            groups.append(znormalize(np.roll(shape_fn(t) + noise, shift)))
+    data = np.vstack(groups)
+    labels = np.repeat([0, 1, 2], n_per_cluster)
+    return data, labels
+
+
+class TestKShape:
+    def test_recovers_planted_clusters(self):
+        data, truth = _shape_dataset()
+        result = kshape(data, 3, seed=1)
+        # Cluster indices are arbitrary; check pairwise co-membership.
+        co_ours = result.labels[:, None] == result.labels[None, :]
+        co_truth = truth[:, None] == truth[None, :]
+        agreement = (co_ours == co_truth).mean()
+        assert agreement > 0.9
+
+    def test_converges(self):
+        data, _ = _shape_dataset()
+        result = kshape(data, 3, seed=1)
+        assert result.converged
+        assert result.iterations < 30
+
+    def test_k_equals_one(self):
+        data, _ = _shape_dataset(n_per_cluster=2)
+        result = kshape(data, 1, seed=0)
+        assert set(result.labels) == {0}
+
+    def test_every_cluster_populated(self):
+        data, _ = _shape_dataset()
+        result = kshape(data, 5, seed=2)
+        assert set(result.labels) == set(range(5))
+
+    def test_initial_labels_respected_and_faster(self):
+        data, truth = _shape_dataset()
+        seeded = kshape(data, 3, initial_labels=truth, seed=0)
+        assert seeded.converged
+        # Perfect initialization converges essentially immediately.
+        assert seeded.iterations <= 3
+
+    def test_invalid_arguments(self):
+        data, _ = _shape_dataset(n_per_cluster=2)
+        with pytest.raises(ValueError):
+            kshape(data, 0)
+        with pytest.raises(ValueError):
+            kshape(data, 100)
+        with pytest.raises(ValueError):
+            kshape(data, 2, initial_labels=np.zeros(3, dtype=int))
+
+    def test_centroids_znormalized(self):
+        data, _ = _shape_dataset()
+        result = kshape(data, 3, seed=1)
+        for centroid in result.centroids:
+            assert abs(centroid.mean()) < 1e-6
+            assert abs(centroid.std() - 1.0) < 1e-6
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_property_deterministic_per_seed(self, seed):
+        data, _ = _shape_dataset(n_per_cluster=3, seed=seed % 7)
+        a = kshape(data, 2, seed=seed)
+        b = kshape(data, 2, seed=seed)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestNamePreclustering:
+    def test_groups_similar_names(self):
+        names = ["cpu_usage", "cpu_usage_percentile", "cpu_user_time",
+                 "db_queries_count", "db_queries_mean", "db_rows_returned"]
+        labels = name_based_labels(names, 2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_exactly_k_groups(self):
+        names = [f"metric_{i}" for i in range(12)]
+        for k in (2, 3, 5):
+            labels = name_based_labels(names, k)
+            assert np.unique(labels).size == k
+
+    def test_single_group(self):
+        assert list(name_based_labels(["a", "b"], 1)) == [0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            name_based_labels([], 1)
+        with pytest.raises(ValueError):
+            name_based_labels(["a"], 2)
+
+
+class TestSelectK:
+    def test_finds_planted_k(self):
+        data, _ = _shape_dataset()
+        selection = select_k(data, max_k=6, seed=0)
+        assert selection.k == 3
+        assert selection.silhouette > 0.4
+
+    def test_tiny_input_trivial_cluster(self):
+        data = np.vstack([np.sin(np.linspace(0, 6, 50))] * 2)
+        selection = select_k(data)
+        assert selection.k == 1
+
+    def test_scores_recorded_per_k(self):
+        data, _ = _shape_dataset()
+        selection = select_k(data, max_k=5, seed=0)
+        assert set(selection.scores) <= {2, 3, 4, 5}
+        assert selection.scores[selection.k] == selection.silhouette
+
+    def test_max_k_respected(self):
+        data, _ = _shape_dataset()
+        selection = select_k(data, max_k=2, seed=0)
+        assert selection.k == 2
+
+
+def _frame_view(seed=0, n_groups=3, metrics_per_group=5, length=200):
+    """A component view with correlated metric families plus flat ones."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length) * 0.5
+    bases = [np.sin(0.05 * t), np.cos(0.11 * t),
+             np.cumsum(rng.normal(size=length)) * 0.05]
+    view = {}
+    for g in range(n_groups):
+        for i in range(metrics_per_group):
+            values = bases[g % len(bases)] * (1 + 0.2 * i) \
+                + rng.normal(0, 0.08, length) + 3.0
+            name = f"family{g}_metric{i}"
+            view[name] = TimeSeries(MetricKey("comp", name), t, values)
+    view["constant_gauge"] = TimeSeries(
+        MetricKey("comp", "constant_gauge"), t, np.full(length, 7.0)
+    )
+    return view
+
+
+class TestReduceComponent:
+    def test_reduces_and_filters(self):
+        view = _frame_view()
+        clustering = reduce_component("comp", view, seed=0)
+        assert clustering.total_metrics == 16
+        assert "constant_gauge" in clustering.filtered_metrics
+        assert 2 <= clustering.n_clusters <= 7
+        assert clustering.n_clusters < 15
+
+    def test_representatives_are_members(self):
+        clustering = reduce_component("comp", _frame_view(), seed=0)
+        for cluster in clustering.clusters:
+            assert cluster.representative in cluster.metrics
+
+    def test_representative_minimizes_distance(self):
+        clustering = reduce_component("comp", _frame_view(), seed=0)
+        for cluster in clustering.clusters:
+            rep_distance = cluster.distances[cluster.representative]
+            assert rep_distance == min(cluster.distances.values())
+
+    def test_labels_cover_clustered_metrics(self):
+        clustering = reduce_component("comp", _frame_view(), seed=0)
+        labels = clustering.labels()
+        clustered = set(labels)
+        filtered = set(clustering.filtered_metrics)
+        assert clustered | filtered == set(_frame_view())
+        assert not clustered & filtered
+
+    def test_cluster_of(self):
+        clustering = reduce_component("comp", _frame_view(), seed=0)
+        some_metric = clustering.clusters[0].metrics[0]
+        assert clustering.cluster_of(some_metric) is clustering.clusters[0]
+        assert clustering.cluster_of("constant_gauge") is None
+
+    def test_empty_view(self):
+        clustering = reduce_component("comp", {}, seed=0)
+        assert clustering.n_clusters == 0
+        assert clustering.representatives == []
+
+    def test_all_flat_view(self):
+        t = np.arange(20) * 0.5
+        view = {
+            f"flat{i}": TimeSeries(MetricKey("c", f"flat{i}"), t,
+                                   np.full(20, float(i)))
+            for i in range(4)
+        }
+        clustering = reduce_component("c", view, seed=0)
+        assert clustering.n_clusters == 0
+        assert len(clustering.filtered_metrics) == 4
+
+    def test_single_varying_metric(self):
+        t = np.arange(50) * 0.5
+        view = {"only": TimeSeries(MetricKey("c", "only"), t,
+                                   np.sin(t) * 5)}
+        clustering = reduce_component("c", view, seed=0)
+        assert clustering.n_clusters == 1
+        assert clustering.representatives == ["only"]
+
+    def test_same_family_clusters_together(self):
+        clustering = reduce_component("comp", _frame_view(), seed=0)
+        labels = clustering.labels()
+        # Metrics of family0 should mostly share a cluster.
+        family0 = [labels[f"family0_metric{i}"] for i in range(5)]
+        most_common = max(set(family0), key=family0.count)
+        assert family0.count(most_common) >= 4
+
+
+class TestSBDMatrix:
+    def test_symmetry_and_zero_diagonal(self):
+        data, _ = _shape_dataset(n_per_cluster=2)
+        matrix = sbd_matrix(data)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)

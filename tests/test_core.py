@@ -1,0 +1,97 @@
+"""Unit tests for the Sieve orchestrator and result object."""
+
+import pytest
+
+from repro.core import Sieve, SieveConfig
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.workload import constant_rate
+
+
+def _app():
+    specs = [
+        ComponentSpec("front", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.02),),
+                      calls=(CallSpec("back", delay=0.4),)),
+        ComponentSpec("back", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.01),),
+                      concurrency=16),
+    ]
+    return Application("two-tier", specs)
+
+
+@pytest.fixture(scope="module")
+def sieve_and_run():
+    sieve = Sieve(_app())
+    loaded = sieve.load(constant_rate(40.0), duration=60.0, seed=4,
+                        workload_name="steady")
+    return sieve, loaded
+
+
+class TestLoadStep:
+    def test_load_produces_run(self, sieve_and_run):
+        _sieve, loaded = sieve_and_run
+        assert loaded.application == "two-tier"
+        assert loaded.workload == "steady"
+        assert loaded.metric_count() > 0
+        assert loaded.call_graph.has_edge("front", "back")
+
+    def test_callgraph_threshold_applied(self):
+        config = SieveConfig(callgraph_min_connections=10**9)
+        sieve = Sieve(_app(), config)
+        loaded = sieve.load(constant_rate(40.0), duration=30.0, seed=4)
+        assert loaded.call_graph.edges() == []
+
+    def test_scrape_interval_from_config(self):
+        config = SieveConfig(grid_interval=1.0)
+        sieve = Sieve(_app(), config)
+        loaded = sieve.load(constant_rate(40.0), duration=30.0, seed=4)
+        ts = loaded.frame.series("front", "cpu_usage")
+        spacing = ts.times[1:] - ts.times[:-1]
+        assert spacing.mean() == pytest.approx(1.0, abs=0.1)
+
+
+class TestAnalyzeStep:
+    def test_analyze_separately_equals_run(self, sieve_and_run):
+        sieve, loaded = sieve_and_run
+        result_a = sieve.analyze(loaded, seed=4)
+        result_b = sieve.analyze(loaded, seed=4)
+        assert result_a.total_representatives() \
+            == result_b.total_representatives()
+        assert len(result_a.dependency_graph) \
+            == len(result_b.dependency_graph)
+
+    def test_result_helpers(self, sieve_and_run):
+        sieve, loaded = sieve_and_run
+        result = sieve.analyze(loaded, seed=4)
+        assert result.total_metrics() == loaded.metric_count()
+        assert 0 < result.total_representatives() \
+            <= result.total_metrics()
+        assert result.reduction_factor() > 1.0
+        keys = result.representative_keys()
+        assert len(keys) == result.total_representatives()
+        for component in ("front", "back"):
+            reps = result.representatives_of(component)
+            assert all(
+                key.metric in reps for key in keys
+                if key.component == component
+            )
+
+    def test_summary_fields(self, sieve_and_run):
+        sieve, loaded = sieve_and_run
+        summary = sieve.analyze(loaded, seed=4).summary()
+        for field in ("application", "metrics_before", "metrics_after",
+                      "reduction_factor", "metric_relations"):
+            assert field in summary
+
+    def test_alpha_affects_relation_count(self, sieve_and_run):
+        sieve, loaded = sieve_and_run
+        strict = Sieve(_app(), SieveConfig(granger_alpha=1e-6)) \
+            .analyze(loaded, seed=4)
+        lax = Sieve(_app(), SieveConfig(granger_alpha=0.05)) \
+            .analyze(loaded, seed=4)
+        assert len(strict.dependency_graph) <= len(lax.dependency_graph)

@@ -1,0 +1,106 @@
+"""Tests for incremental re-analysis (paper §9 future work)."""
+
+import pytest
+
+from repro.core import Sieve, analyze_incremental
+from repro.core.incremental import changed_components
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.simulator.component import Component
+from repro.workload import constant_rate
+
+
+def _spec(name, extra_metric=False, **kwargs):
+    custom = ()
+    if extra_metric:
+        custom = ((f"{name}_update_marker",
+                   lambda comp, now: comp.total_request_rate() * 1.3),)
+    defaults = dict(
+        kind="generic",
+        endpoints=(EndpointSpec("op", service_time=0.02),),
+        concurrency=16,
+        custom_metrics=custom,
+    )
+    defaults.update(kwargs)
+    return ComponentSpec(name=name, **defaults)
+
+
+def _app(update_backend=False):
+    return Application("demo", [
+        _spec("front", calls=(CallSpec("mid", delay=0.4),)),
+        _spec("mid", calls=(CallSpec("back", delay=0.4),)),
+        _spec("back", extra_metric=update_backend),
+    ])
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    sieve = Sieve(_app())
+    result = sieve.run(constant_rate(40.0), duration=60.0, seed=3)
+    return sieve, result
+
+
+class TestChangedComponents:
+    def test_no_change_detected_for_same_version(self, baseline):
+        sieve, result = baseline
+        rerun = sieve.load(constant_rate(40.0), duration=60.0, seed=4)
+        assert changed_components(result, rerun) == []
+
+    def test_update_detected(self, baseline):
+        _sieve, result = baseline
+        updated = Sieve(_app(update_backend=True))
+        rerun = updated.load(constant_rate(40.0), duration=60.0, seed=4)
+        assert changed_components(result, rerun) == ["back"]
+
+
+class TestAnalyzeIncremental:
+    def test_reuses_untouched_components(self, baseline):
+        _sieve, result = baseline
+        updated = Sieve(_app(update_backend=True))
+        rerun = updated.load(constant_rate(40.0), duration=60.0, seed=4)
+        merged, stats = analyze_incremental(result, rerun, seed=3)
+        assert stats.reclustered == ["back"]
+        assert stats.reused == ["front", "mid"]
+        # Reused clusterings are the same objects (no recomputation).
+        assert merged.clusterings["front"] is result.clusterings["front"]
+        assert merged.clusterings["back"] \
+            is not result.clusterings["back"]
+
+    def test_merged_graph_covers_all_components(self, baseline):
+        _sieve, result = baseline
+        updated = Sieve(_app(update_backend=True))
+        rerun = updated.load(constant_rate(40.0), duration=60.0, seed=4)
+        merged, stats = analyze_incremental(result, rerun, seed=3)
+        assert set(merged.clusterings) == {"front", "mid", "back"}
+        # front->mid relations (untouched pair) come from the old graph.
+        old_front_mid = result.dependency_graph.relations_between(
+            "front", "mid")
+        new_front_mid = merged.dependency_graph.relations_between(
+            "front", "mid")
+        assert [r.source_metric for r in new_front_mid] \
+            == [r.source_metric for r in old_front_mid]
+        assert stats.edges_reused == len(old_front_mid) + len(
+            result.dependency_graph.relations_between("mid", "front")
+        )
+
+    def test_no_change_means_full_reuse(self, baseline):
+        sieve, result = baseline
+        rerun = sieve.load(constant_rate(40.0), duration=60.0, seed=4)
+        merged, stats = analyze_incremental(result, rerun, seed=3)
+        assert stats.reclustered == []
+        assert stats.edges_retested == 0
+        assert len(merged.dependency_graph) == len(result.dependency_graph)
+
+    def test_result_usable_downstream(self, baseline):
+        """The merged result supports the same queries as a full one."""
+        _sieve, result = baseline
+        updated = Sieve(_app(update_backend=True))
+        rerun = updated.load(constant_rate(40.0), duration=60.0, seed=4)
+        merged, _stats = analyze_incremental(result, rerun, seed=3)
+        assert merged.total_representatives() > 0
+        assert merged.reduction_factor() > 1.0
+        merged.summary()

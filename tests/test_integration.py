@@ -1,0 +1,169 @@
+"""Integration tests: the full Sieve pipeline end to end.
+
+These run the complete Load -> Reduce -> Identify pipeline on the real
+application models (shorter loads than the benchmarks, same code paths)
+and the RCA comparison across a correct/faulty OpenStack pair.
+"""
+
+import pytest
+
+from repro.apps import (
+    build_openstack_application,
+    build_sharelatex_application,
+    openstack_fault_plan,
+)
+from repro.core import Sieve, SieveConfig
+from repro.metrics import MetricsStore
+from repro.rca import RCAEngine
+from repro.workload import RallyRunner, RandomWorkload
+
+
+@pytest.fixture(scope="module")
+def sharelatex_result():
+    sieve = Sieve(build_sharelatex_application())
+    workload = RandomWorkload(duration=90.0, seed=11)
+    return sieve.run(workload, duration=90.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def openstack_pair():
+    sieve = Sieve(build_openstack_application())
+    rally = RallyRunner(times=10, concurrency=5, seed=13)
+    duration = min(rally.duration, 100.0)
+    correct = sieve.run(rally, duration=duration, seed=13)
+    faulty = sieve.run(rally, duration=duration, seed=13,
+                       fault_plan=openstack_fault_plan())
+    return correct, faulty
+
+
+class TestSharelatexPipeline:
+    def test_order_of_magnitude_reduction(self, sharelatex_result):
+        """Paper §6.1.2: 10-100x fewer metrics after Sieve."""
+        result = sharelatex_result
+        assert result.total_metrics() > 700
+        assert result.reduction_factor() >= 5.0
+        per_component = result.reduction_by_component()
+        for component, (before, after) in per_component.items():
+            assert after <= 7, component  # max_clusters
+            assert after < before, component
+
+    def test_dependency_graph_follows_call_graph(self, sharelatex_result):
+        result = sharelatex_result
+        call_graph = result.run.call_graph
+        for relation in result.dependency_graph.relations:
+            src = relation.source_component
+            dst = relation.target_component
+            assert call_graph.has_edge(src, dst) \
+                or call_graph.has_edge(dst, src)
+
+    def test_relations_annotated(self, sharelatex_result):
+        for relation in sharelatex_result.dependency_graph.relations:
+            assert 0.0 <= relation.p_value < 0.05
+            assert relation.lag >= 1
+
+    def test_guiding_metric_is_web_application_metric(self,
+                                                      sharelatex_result):
+        """The paper's autoscaling pick came from web's request metrics."""
+        hub = sharelatex_result.dependency_graph.most_connected_metric(
+            component="web"
+        )
+        assert hub is not None
+        assert hub[0] == "web"
+
+    def test_table3_monitoring_savings(self, sharelatex_result):
+        """Paper Table 3: large CPU/storage/network savings."""
+        result = sharelatex_result
+        before = MetricsStore()
+        before.replay_frame(result.run.frame)
+        before.simulate_dashboard_reads()
+        after = MetricsStore()
+        after.replay_frame(result.run.frame,
+                           keep=result.representative_keys())
+        after.simulate_dashboard_reads()
+        b, a = before.usage.summary(), after.usage.summary()
+        assert a["cpu_seconds"] < 0.35 * b["cpu_seconds"]
+        assert a["db_bytes"] < 0.35 * b["db_bytes"]
+        assert a["network_in_bytes"] < 0.35 * b["network_in_bytes"]
+        assert a["network_out_bytes"] < 0.75 * b["network_out_bytes"]
+
+    def test_summary_shape(self, sharelatex_result):
+        summary = sharelatex_result.summary()
+        assert summary["application"] == "sharelatex"
+        assert summary["metrics_after"] < summary["metrics_before"]
+
+
+class TestOpenstackRCA:
+    def test_component_ranking_matches_table5(self, openstack_pair):
+        correct, faulty = openstack_pair
+        report = RCAEngine().compare(correct, faulty, threshold=0.5)
+        ranked = [d.component for d in report.component_ranking]
+        # Table 5's top four positions.
+        assert ranked[0] == "nova-api"
+        assert ranked[1] == "nova-libvirt"
+        assert ranked[2] == "nova-scheduler"
+        assert ranked[3] == "neutron-server"
+
+    def test_key_fault_metrics_in_final_ranking(self, openstack_pair):
+        correct, faulty = openstack_pair
+        report = RCAEngine().compare(correct, faulty, threshold=0.5)
+        by_component = {c.component: c for c in report.final_ranking}
+        assert "nova-api" in by_component
+        assert any("ERROR" in m
+                   for m in by_component["nova-api"].metrics)
+        if "neutron-server" in by_component:
+            assert any("DOWN" in m
+                       for m in by_component["neutron-server"].metrics)
+
+    def test_threshold_sweep_monotone(self, openstack_pair):
+        """Figure 7(b/c): higher similarity thresholds shrink the
+        implicated state."""
+        correct, faulty = openstack_pair
+        report = RCAEngine().compare(correct, faulty, threshold=0.5)
+        metrics_by_threshold = [
+            report.implicated_state(t)["metrics"]
+            for t in (0.0, 0.5, 0.6, 0.7)
+        ]
+        assert all(a >= b for a, b in
+                   zip(metrics_by_threshold, metrics_by_threshold[1:]))
+
+    def test_cluster_novelty_histogram(self, openstack_pair):
+        correct, faulty = openstack_pair
+        report = RCAEngine().compare(correct, faulty, threshold=0.5)
+        histogram = report.cluster_novelty_histogram()
+        novel = (histogram["new"] + histogram["discarded"]
+                 + histogram["new_and_discarded"])
+        assert novel > 0
+        assert histogram["total"] >= novel + histogram["unchanged"]
+
+    def test_identical_versions_produce_no_candidates(self, openstack_pair):
+        correct, _ = openstack_pair
+        report = RCAEngine().compare(correct, correct, threshold=0.5)
+        assert report.component_ranking == []
+        assert report.final_ranking == []
+        counts = report.edge_classifications[0.5].counts()
+        assert counts["new"] == 0
+        assert counts["discarded"] == 0
+
+    def test_unknown_threshold_rejected(self, openstack_pair):
+        correct, faulty = openstack_pair
+        with pytest.raises(ValueError):
+            RCAEngine().compare(correct, faulty, threshold=0.42)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SieveConfig()
+        assert config.grid_interval == 0.5
+        assert config.variance_threshold == 0.002
+        assert config.max_clusters == 7
+        assert config.granger_lags[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SieveConfig(grid_interval=0.0)
+        with pytest.raises(ValueError):
+            SieveConfig(granger_alpha=1.5)
+        with pytest.raises(ValueError):
+            SieveConfig(max_clusters=0)
+        with pytest.raises(ValueError):
+            SieveConfig(granger_lags=())

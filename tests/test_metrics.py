@@ -1,0 +1,209 @@
+"""Tests for the monitoring infrastructure (repro.metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Collector,
+    CostModel,
+    MetricFrame,
+    MetricKey,
+    MetricsStore,
+    TimeSeries,
+)
+from repro.metrics.accounting import ResourceUsage, reduction_percent
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        ts = TimeSeries(MetricKey("web", "cpu_usage"))
+        ts.append(0.0, 1.0)
+        ts.append(0.5, 2.0)
+        assert len(ts) == 2
+        np.testing.assert_array_equal(ts.times, [0.0, 0.5])
+        np.testing.assert_array_equal(ts.values, [1.0, 2.0])
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries(MetricKey("web", "cpu_usage"))
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 2.0)
+
+    def test_variance_and_unvarying(self):
+        flat = TimeSeries(MetricKey("c", "m"), [0, 1, 2], [5.0, 5.0, 5.0])
+        assert flat.variance() == 0.0
+        assert flat.is_unvarying()
+        busy = TimeSeries(MetricKey("c", "m2"), [0, 1, 2], [1.0, 5.0, 9.0])
+        assert not busy.is_unvarying()
+
+    def test_window(self):
+        ts = TimeSeries(MetricKey("c", "m"), [0, 1, 2, 3], [0, 1, 2, 3.0])
+        sub = ts.window(1.0, 2.0)
+        np.testing.assert_array_equal(sub.times, [1.0, 2.0])
+
+    def test_resampled_length(self):
+        ts = TimeSeries(MetricKey("c", "m"), [0.0, 1.0, 2.0],
+                        [0.0, 1.0, 2.0])
+        assert ts.resampled(interval=0.5).size == 5
+
+    def test_last_value(self):
+        ts = TimeSeries(MetricKey("c", "m"))
+        assert ts.last_value(default=-1.0) == -1.0
+        ts.append(0.0, 3.0)
+        assert ts.last_value() == 3.0
+
+
+class TestMetricFrame:
+    def test_series_creation_and_lookup(self):
+        frame = MetricFrame()
+        frame.series("web", "cpu").append(0.0, 1.0)
+        assert MetricKey("web", "cpu") in frame
+        assert frame.metrics_of("web") == ["cpu"]
+        assert frame.components == ["web"]
+
+    def test_duplicate_add_rejected(self):
+        frame = MetricFrame()
+        frame.add(TimeSeries(MetricKey("a", "m")))
+        with pytest.raises(KeyError):
+            frame.add(TimeSeries(MetricKey("a", "m")))
+
+    def test_component_view(self):
+        frame = MetricFrame()
+        frame.series("a", "m1").append(0, 1)
+        frame.series("a", "m2").append(0, 1)
+        frame.series("b", "m1").append(0, 1)
+        assert set(frame.component_view("a")) == {"m1", "m2"}
+
+    def test_varying_filter(self):
+        frame = MetricFrame()
+        for t in range(5):
+            frame.series("a", "flat").append(t, 1.0)
+            frame.series("a", "busy").append(t, float(t))
+        assert list(frame.varying_metrics_of("a")) == ["busy"]
+
+    def test_time_span_and_samples(self):
+        frame = MetricFrame()
+        frame.series("a", "m").append(1.0, 0.0)
+        frame.series("b", "m").append(4.0, 0.0)
+        assert frame.time_span() == (1.0, 4.0)
+        assert frame.total_samples() == 2
+
+    def test_empty_time_span_raises(self):
+        with pytest.raises(ValueError):
+            MetricFrame().time_span()
+
+
+class TestAccounting:
+    def test_write_charges_all_resources(self):
+        usage = ResourceUsage()
+        model = CostModel()
+        usage.charge_write(MetricKey("a", "m"), 100, model)
+        assert usage.cpu_seconds > 0
+        assert usage.db_bytes > 0
+        assert usage.network_in_bytes == 100 * model.wire_bytes_per_sample
+        assert usage.samples_written == 100
+
+    def test_new_series_pays_index_cost(self):
+        usage = ResourceUsage()
+        model = CostModel()
+        usage.charge_write(MetricKey("a", "m"), 1, model)
+        first_db = usage.db_bytes
+        usage.charge_write(MetricKey("a", "m"), 1, model)
+        # Second write of the same series: no index cost again.
+        assert usage.db_bytes - first_db == model.bytes_stored_per_sample
+
+    def test_reduction_percent(self):
+        assert reduction_percent(100.0, 20.0) == pytest.approx(80.0)
+        with pytest.raises(ValueError):
+            reduction_percent(0.0, 1.0)
+
+    @given(st.integers(1, 10_000), st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_costs_scale_with_samples(self, n_samples, n_series):
+        usage = ResourceUsage()
+        model = CostModel()
+        for i in range(n_series):
+            usage.charge_write(MetricKey("c", f"m{i}"), n_samples, model)
+        assert usage.samples_written == n_samples * n_series
+        assert usage.network_in_bytes == pytest.approx(
+            n_samples * n_series * model.wire_bytes_per_sample
+        )
+
+
+class TestMetricsStore:
+    def test_write_and_query(self):
+        store = MetricsStore()
+        store.write_point("web", "cpu", 0.0, 10.0)
+        store.write_point("web", "cpu", 1.0, 20.0)
+        result = store.query("web", "cpu", 0.5, 2.0)
+        np.testing.assert_array_equal(result.values, [20.0])
+
+    def test_query_unknown_is_empty(self):
+        store = MetricsStore()
+        assert len(store.query("nope", "nothing")) == 0
+
+    def test_replay_full_vs_reduced(self):
+        """The Table 3 mechanism: replaying a subset costs less."""
+        frame = MetricFrame()
+        for metric in ("m1", "m2", "m3", "m4"):
+            for t in range(50):
+                frame.series("c", metric).append(float(t), float(t))
+
+        full = MetricsStore()
+        full.replay_frame(frame)
+        reduced = MetricsStore()
+        reduced.replay_frame(frame, keep=[MetricKey("c", "m1")])
+
+        assert reduced.sample_count() == 50
+        assert full.sample_count() == 200
+        for key in ("cpu_seconds", "db_bytes", "network_in_bytes"):
+            assert reduced.usage.summary()[key] < full.usage.summary()[key]
+
+    def test_dashboard_reads_charge_egress(self):
+        store = MetricsStore()
+        for t in range(100):
+            store.write_point("c", "m", float(t), 1.0)
+        before = store.usage.network_out_bytes
+        store.simulate_dashboard_reads()
+        assert store.usage.network_out_bytes > before
+
+
+class _StubExporter:
+    name = "stub"
+
+    def __init__(self):
+        self.calls = 0
+
+    def sample_metrics(self, now):
+        self.calls += 1
+        return {"metric_a": 1.0, "metric_b": float(now)}
+
+
+class TestCollector:
+    def test_scrape_collects_all_metrics(self):
+        exporter = _StubExporter()
+        collector = Collector([exporter], drop_probability=0.0, jitter=0.0)
+        collector.run(0.0, 10.0)
+        assert len(collector.frame) == 2
+        assert len(collector.frame.series("stub", "metric_a")) == 21
+
+    def test_drops_create_gaps(self):
+        exporter = _StubExporter()
+        collector = Collector([exporter], drop_probability=0.5, seed=3,
+                              jitter=0.0)
+        collector.run(0.0, 50.0)
+        assert collector.dropped_scrapes > 0
+        assert len(collector.frame.series("stub", "metric_a")) < 101
+
+    def test_store_integration(self):
+        store = MetricsStore()
+        collector = Collector([_StubExporter()], drop_probability=0.0,
+                              store=store)
+        collector.run(0.0, 5.0)
+        assert store.sample_count() == collector.frame.total_samples()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Collector([], interval=0.0)

@@ -1,0 +1,249 @@
+"""Tests for the RCA engine (case study #2)."""
+
+import numpy as np
+import pytest
+
+from repro.causality.depgraph import DependencyGraph, MetricRelation
+from repro.clustering.reduction import Cluster, ComponentClustering
+from repro.metrics.timeseries import MetricFrame
+from repro.rca import (
+    classify_edges,
+    cluster_similarity,
+    match_clusters,
+    metric_diff,
+    rank_components,
+)
+from repro.rca.edges import lift_to_cluster_edges
+from repro.rca.similarity import annotate_novelty
+
+
+def _frame_with(component_metrics: dict[str, list[str]]) -> MetricFrame:
+    frame = MetricFrame()
+    for component, metrics in component_metrics.items():
+        for metric in metrics:
+            frame.series(component, metric).append(0.0, 1.0)
+    return frame
+
+
+class TestMetricDiff:
+    def test_new_discarded_unchanged(self):
+        frame_c = _frame_with({"a": ["m1", "m2", "m3"]})
+        frame_f = _frame_with({"a": ["m2", "m3", "m4"]})
+        diff = metric_diff(frame_c, frame_f)["a"]
+        assert diff.new == {"m4"}
+        assert diff.discarded == {"m1"}
+        assert diff.unchanged == {"m2", "m3"}
+        assert diff.novelty_score == 2
+        assert diff.total_metrics == 4
+
+    def test_component_only_in_one_version(self):
+        frame_c = _frame_with({"a": ["m1"]})
+        frame_f = _frame_with({"b": ["m2"]})
+        diffs = metric_diff(frame_c, frame_f)
+        assert diffs["a"].discarded == {"m1"}
+        assert diffs["b"].new == {"m2"}
+
+    def test_ranking_sorted_by_novelty(self):
+        frame_c = _frame_with({
+            "calm": ["m1", "m2"],
+            "busy": ["m1", "m2", "m3"],
+            "wild": ["m1", "m2", "m3", "m4"],
+        })
+        frame_f = _frame_with({
+            "calm": ["m1", "m2"],
+            "busy": ["m1", "m2", "x"],
+            "wild": ["y", "z", "w", "v"],
+        })
+        ranking = rank_components(metric_diff(frame_c, frame_f))
+        assert [d.component for d in ranking] == ["wild", "busy"]
+        # calm has zero novelty: excluded, like '-' rows of Table 5.
+
+
+class TestClusterSimilarity:
+    def test_eq2_normalizes_by_correct_cluster(self):
+        """S = |C intersect F| / |C| -- new metrics in F cost nothing."""
+        m_c = {"a", "b"}
+        m_f = {"a", "b", "c", "d", "e"}
+        assert cluster_similarity(m_c, m_f) == 1.0
+
+    def test_partial_overlap(self):
+        assert cluster_similarity({"a", "b", "c", "d"}, {"a", "b"}) == 0.5
+
+    def test_empty_correct_cluster(self):
+        assert cluster_similarity(set(), {"a"}) == 0.0
+
+
+def _clustering(component: str, groups: dict[int, list[str]],
+                ) -> ComponentClustering:
+    clusters = [
+        Cluster(index=idx, metrics=list(metrics),
+                representative=metrics[0],
+                centroid=np.zeros(4),
+                distances={m: 0.0 for m in metrics})
+        for idx, metrics in sorted(groups.items())
+    ]
+    return ComponentClustering(
+        component=component, clusters=clusters, silhouette=0.5,
+        k_scores={}, filtered_metrics=[],
+        total_metrics=sum(len(m) for m in groups.values()),
+    )
+
+
+class TestMatchClusters:
+    def test_identical_clusterings_match_perfectly(self):
+        clustering = _clustering("a", {0: ["m1", "m2"], 1: ["m3"]})
+        matches = match_clusters("a", clustering, clustering)
+        assert all(m.is_matched and m.similarity == 1.0 for m in matches)
+
+    def test_renamed_indices_still_match(self):
+        c_version = _clustering("a", {0: ["m1", "m2"], 1: ["m3", "m4"]})
+        f_version = _clustering("a", {0: ["m3", "m4"], 1: ["m1", "m2"]})
+        matches = match_clusters("a", c_version, f_version)
+        for match in matches:
+            assert match.similarity == 1.0
+            assert match.cluster_c.metrics == match.cluster_f.metrics
+
+    def test_disappeared_cluster_half_matched(self):
+        c_version = _clustering("a", {0: ["m1"], 1: ["m2"]})
+        f_version = _clustering("a", {0: ["m1"]})
+        matches = match_clusters("a", c_version, f_version)
+        unmatched = [m for m in matches if not m.is_matched]
+        assert len(unmatched) == 1
+        assert unmatched[0].cluster_c.metrics == ["m2"]
+
+    def test_novelty_categories(self):
+        c_version = _clustering("a", {0: ["m1", "m2"], 1: ["gone", "m3"]})
+        f_version = _clustering("a", {0: ["m1", "m2"], 1: ["m3", "fresh"]})
+        diff = metric_diff(
+            _frame_with({"a": ["m1", "m2", "gone", "m3"]}),
+            _frame_with({"a": ["m1", "m2", "m3", "fresh"]}),
+        )["a"]
+        matches = match_clusters("a", c_version, f_version)
+        annotations = annotate_novelty(matches, diff)
+        categories = {tuple(sorted(
+            (a.match.cluster_c.metrics if a.match.cluster_c else [])
+        )): a.category for a in annotations}
+        assert categories[("m1", "m2")] == "unchanged"
+        assert categories[("gone", "m3")] == "new_and_discarded"
+
+
+def _graph(*relations) -> DependencyGraph:
+    graph = DependencyGraph()
+    for src, sm, dst, dm, lag in relations:
+        graph.add_relation(MetricRelation(src, sm, dst, dm, lag, 0.01))
+    return graph
+
+
+class TestEdgeClassification:
+    def _setup(self):
+        clusterings = {
+            "a": _clustering("a", {0: ["a_m1", "a_m2"], 1: ["a_m3"]}),
+            "b": _clustering("b", {0: ["b_m1"], 1: ["b_m2", "b_m3"]}),
+        }
+        return clusterings
+
+    def test_lift_aggregates_min_lag(self):
+        clusterings = self._setup()
+        graph = _graph(
+            ("a", "a_m1", "b", "b_m1", 2),
+            ("a", "a_m2", "b", "b_m1", 1),  # same cluster pair, lower lag
+        )
+        edges = lift_to_cluster_edges(graph, clusterings)
+        assert len(edges) == 1
+        assert next(iter(edges.values())).lag == 1
+
+    def test_identical_versions_all_unchanged(self):
+        clusterings = self._setup()
+        graph = _graph(("a", "a_m1", "b", "b_m1", 1))
+        diff = metric_diff(
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+        )
+        matches = {
+            c: match_clusters(c, clusterings[c], clusterings[c])
+            for c in clusterings
+        }
+        novelty = {
+            c: annotate_novelty(matches[c], diff[c]) for c in clusterings
+        }
+        result = classify_edges(graph, graph, clusterings, clusterings,
+                                matches, novelty, threshold=0.5)
+        assert result.counts() == {
+            "new": 0, "discarded": 0, "lag_changed": 0,
+            "novel_endpoint": 0, "unchanged": 1,
+        }
+
+    def test_new_edge_detected(self):
+        clusterings = self._setup()
+        graph_c = _graph()
+        graph_f = _graph(("a", "a_m1", "b", "b_m1", 1))
+        diff = metric_diff(
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+        )
+        matches = {
+            c: match_clusters(c, clusterings[c], clusterings[c])
+            for c in clusterings
+        }
+        novelty = {
+            c: annotate_novelty(matches[c], diff[c]) for c in clusterings
+        }
+        result = classify_edges(graph_c, graph_f, clusterings, clusterings,
+                                matches, novelty, threshold=0.5)
+        assert len(result.new) == 1
+        assert not result.discarded
+
+    def test_lag_change_detected(self):
+        clusterings = self._setup()
+        graph_c = _graph(("a", "a_m1", "b", "b_m1", 1))
+        graph_f = _graph(("a", "a_m1", "b", "b_m1", 2))
+        diff = metric_diff(
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+        )
+        matches = {
+            c: match_clusters(c, clusterings[c], clusterings[c])
+            for c in clusterings
+        }
+        novelty = {
+            c: annotate_novelty(matches[c], diff[c]) for c in clusterings
+        }
+        result = classify_edges(graph_c, graph_f, clusterings, clusterings,
+                                matches, novelty, threshold=0.5)
+        assert len(result.lag_changed) == 1
+
+    def test_threshold_suppresses_low_similarity_edges(self):
+        """Edges between dissimilar, non-novel clusters are noise."""
+        clusterings_c = self._setup()
+        # F re-clusters 'b' entirely differently (no metric overlap).
+        clusterings_f = {
+            "a": clusterings_c["a"],
+            "b": _clustering("b", {0: ["x1"], 1: ["x2", "x3"]}),
+        }
+        graph_c = _graph(("a", "a_m1", "b", "b_m1", 1))
+        graph_f = _graph(("a", "a_m1", "b", "x1", 1))
+        diff = metric_diff(
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+            _frame_with({"a": ["a_m1", "a_m2", "a_m3"],
+                         "b": ["b_m1", "b_m2", "b_m3"]}),
+        )
+        matches = {
+            c: match_clusters(c, clusterings_c[c], clusterings_f[c])
+            for c in clusterings_c
+        }
+        novelty = {
+            c: annotate_novelty(matches[c], diff[c]) for c in clusterings_c
+        }
+        strict = classify_edges(graph_c, graph_f, clusterings_c,
+                                clusterings_f, matches, novelty,
+                                threshold=0.9)
+        # The b clusters share no metrics: similarity 0 < 0.9 and no
+        # novel metrics, so the edge difference is suppressed.
+        assert not strict.new

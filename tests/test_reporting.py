@@ -1,0 +1,79 @@
+"""Tests for the text renderers."""
+
+import pytest
+
+from repro.causality.depgraph import DependencyGraph, MetricRelation
+from repro.core import Sieve
+from repro.rca import RCAEngine
+from repro.reporting import (
+    render_dependency_graph,
+    render_rca_report,
+    render_reduction_summary,
+)
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.workload import constant_rate
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    specs = [
+        ComponentSpec("front", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.02),),
+                      calls=(CallSpec("back", delay=0.4),)),
+        ComponentSpec("back", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.01),),
+                      concurrency=16),
+    ]
+    sieve = Sieve(Application("small", specs))
+    return sieve.run(constant_rate(35.0), duration=60.0, seed=2)
+
+
+class TestDependencyGraphRendering:
+    def test_renders_edges_with_lags(self):
+        graph = DependencyGraph()
+        graph.add_relation(MetricRelation(
+            "a", "rate", "b", "latency", lag=2, p_value=0.001))
+        text = render_dependency_graph(graph)
+        assert "a" in text
+        assert "--> b (1 relations)" in text
+        assert "rate => latency" in text
+        assert "lag 2" in text
+
+    def test_empty_graph(self):
+        assert "no dependencies" in render_dependency_graph(
+            DependencyGraph())
+
+    def test_relation_cap(self):
+        graph = DependencyGraph()
+        for i in range(5):
+            graph.add_relation(MetricRelation(
+                "a", f"m{i}", "b", "t", lag=1, p_value=0.01 * (i + 1)))
+        text = render_dependency_graph(graph, max_relations_per_edge=2)
+        assert text.count("=>") == 2
+        assert "(5 relations)" in text
+
+    def test_real_result(self, small_result):
+        text = render_dependency_graph(small_result.dependency_graph)
+        assert "front" in text or "no dependencies" in text
+
+
+class TestReductionRendering:
+    def test_contains_totals_and_components(self, small_result):
+        text = render_reduction_summary(small_result)
+        assert "front" in text and "back" in text
+        assert "TOTAL" in text
+        assert "x reduction" in text
+
+
+class TestRCARendering:
+    def test_renders_candidates(self, small_result):
+        report = RCAEngine().compare(small_result, small_result,
+                                     threshold=0.5)
+        text = render_rca_report(report)
+        assert "similarity threshold: 0.5" in text
+        assert "root-cause candidates:" in text

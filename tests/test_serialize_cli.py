@@ -1,0 +1,124 @@
+"""Tests for snapshot serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Sieve,
+    from_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot,
+)
+from repro.cli import build_parser, main
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.workload import constant_rate
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    specs = [
+        ComponentSpec("front", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.02),),
+                      calls=(CallSpec("back", delay=0.4),)),
+        ComponentSpec("back", kind="generic",
+                      endpoints=(EndpointSpec("op", 0.01),),
+                      concurrency=16),
+    ]
+    sieve = Sieve(Application("small", specs))
+    return sieve.run(constant_rate(35.0), duration=60.0, seed=2)
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_analysis(self, small_result, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_snapshot(small_result, path)
+        loaded = load_snapshot(path)
+
+        assert loaded.application == "small"
+        assert set(loaded.clusterings) == set(small_result.clusterings)
+        for component, clustering in small_result.clusterings.items():
+            restored = loaded.clusterings[component]
+            assert restored.n_clusters == clustering.n_clusters
+            assert restored.representatives == clustering.representatives
+            assert restored.labels() == clustering.labels()
+        assert len(loaded.dependency_graph) \
+            == len(small_result.dependency_graph)
+        assert loaded.dependency_graph.component_edges() \
+            == small_result.dependency_graph.component_edges()
+
+    def test_snapshot_counts(self, small_result):
+        data = snapshot(small_result)
+        restored = from_snapshot(data)
+        assert restored.total_metrics() == small_result.total_metrics()
+        assert restored.total_representatives() \
+            == small_result.total_representatives()
+
+    def test_snapshot_is_json_compatible(self, small_result):
+        json.dumps(snapshot(small_result))  # must not raise
+
+    def test_version_check(self, small_result):
+        data = snapshot(small_result)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            from_snapshot(data)
+
+    def test_relations_preserved_exactly(self, small_result):
+        restored = from_snapshot(snapshot(small_result))
+        original = {
+            (r.source_component, r.source_metric, r.target_component,
+             r.target_metric, r.lag)
+            for r in small_result.dependency_graph.relations
+        }
+        round_tripped = {
+            (r.source_component, r.source_metric, r.target_component,
+             r.target_metric, r.lag)
+            for r in restored.dependency_graph.relations
+        }
+        assert original == round_tripped
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["pipeline", "--app", "sharelatex",
+                                  "--duration", "30"])
+        assert args.command == "pipeline"
+        assert args.duration == 30.0
+        args = parser.parse_args(["rca", "--iterations", "5"])
+        assert args.iterations == 5
+        args = parser.parse_args(["trace-overhead", "--requests", "100"])
+        assert args.requests == 100
+
+    def test_catalog_command(self, capsys):
+        assert main(["catalog", "--app", "sharelatex"]) == 0
+        out = capsys.readouterr().out
+        assert "15 components" in out
+        assert "haproxy" in out and "mongodb" in out
+
+    def test_trace_overhead_command(self, capsys):
+        assert main(["trace-overhead", "--requests", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "sysdig" in out and "tcpdump" in out
+
+    def test_pipeline_command_with_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "snap.json"
+        code = main(["pipeline", "--app", "sharelatex",
+                     "--duration", "30", "--seed", "5",
+                     "--snapshot", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction_factor" in out
+        assert path.exists()
+        loaded = load_snapshot(path)
+        assert loaded.application == "sharelatex"
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline", "--app", "netflix"])

@@ -1,0 +1,103 @@
+"""Property-based tests for simulation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.fluid import _DelayLine
+from repro.simulator.kernel import EventLoop
+from repro.workload import RallyRunner, WorldCupTrace
+
+
+class TestDelayLineProperties:
+    @given(st.floats(0.1, 5.0), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_reads_signal_delayed(self, delay, seed):
+        """A delay line replays the pushed rate exactly `delay` later."""
+        rng = np.random.default_rng(seed)
+        line = _DelayLine(delay)
+        dt = 0.1
+        pushed = []
+        for step in range(100):
+            t = step * dt
+            rate = float(rng.uniform(0, 50))
+            line.push(t, rate)
+            pushed.append((t, rate))
+        # Read at a time where the delayed signal is fully defined.
+        read_at = 100 * dt
+        value = line.read(read_at)
+        cutoff = read_at - delay
+        expected = 0.0
+        for t, rate in pushed:
+            if t <= cutoff:
+                expected = rate
+        assert value == expected
+
+    def test_zero_before_any_signal_matures(self):
+        line = _DelayLine(10.0)
+        line.push(0.0, 42.0)
+        assert line.read(5.0) == 0.0
+        assert line.read(10.0) == 42.0
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_last_matured_value_persists(self, rates):
+        line = _DelayLine(0.5)
+        for i, rate in enumerate(rates):
+            line.push(i * 0.1, float(rate))
+        late = line.read(len(rates) * 0.1 + 100.0)
+        assert late == float(rates[-1])
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60),
+           st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_events_fire_in_time_order(self, delays, _seed):
+        loop = EventLoop()
+        fired: list[float] = []
+        for delay in delays:
+            loop.schedule(delay, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert loop.now == max(delays)
+
+
+class TestWorkloadProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_worldcup_sessions_conserved(self, seed):
+        """Active sessions never exceed total arrivals and end at ~0."""
+        trace = WorldCupTrace(duration=600, seed=seed)
+        peak_active = max(trace.active_sessions(t) for t in range(0, 600, 5))
+        assert peak_active <= trace.n_sessions
+        # Only sessions arriving within the first grid second can be
+        # active at t=0; with ~2 arrivals/s that is a handful at most.
+        assert trace.active_sessions(0.0) <= 12
+
+    @given(st.integers(1, 30), st.integers(1, 5), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_rally_rate_bounded_by_concurrency(self, times, concurrency,
+                                               seed):
+        """At most `concurrency` iterations burst at once."""
+        runner = RallyRunner(times=times, concurrency=concurrency,
+                             background_rate=0.0, seed=seed)
+        peak_possible = concurrency * max(runner.task.boot_rate(),
+                                          runner.task.delete_rate())
+        step = max(runner.duration / 500.0, 0.05)
+        observed = max(
+            runner.rate(i * step)
+            for i in range(int(runner.duration / step) + 1)
+        )
+        assert observed <= peak_possible + 1e-6
+
+    @given(st.integers(1, 40), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_rally_all_iterations_scheduled(self, times, seed):
+        runner = RallyRunner(times=times, concurrency=3, seed=seed)
+        assert len(runner.iterations) == times
+        for start, boot_end, delete_start in runner.iterations:
+            assert start < boot_end <= delete_start
+            assert delete_start + runner.task.delete_duration \
+                <= runner.duration + 1e-9

@@ -1,0 +1,344 @@
+"""Tests for the simulator substrate (kernel, components, fluid engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentCrash,
+    ComponentSpec,
+    Degradation,
+    EndpointSpec,
+    EventLoop,
+    FaultPlan,
+    FluidSimulation,
+)
+from repro.simulator.component import Component
+from repro.simulator.faults import EnvFlag
+
+
+class TestEventLoop:
+    def test_processes_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("late"))
+        loop.schedule(1.0, lambda: order.append("early"))
+        loop.run()
+        assert order == ["early", "late"]
+        assert loop.now == 2.0
+
+    def test_ties_break_by_insertion(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        assert loop.pending() == 1
+
+    def test_cascading_events(self):
+        loop = EventLoop()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            if count[0] < 10:
+                loop.schedule(1.0, reschedule)
+
+        loop.schedule(1.0, reschedule)
+        loop.run()
+        assert count[0] == 10
+        assert loop.now == pytest.approx(10.0)
+
+    def test_rejects_past_scheduling(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+        for _ in range(10):
+            loop.schedule(1.0, lambda: None)
+        loop.run(max_events=3)
+        assert loop.processed == 3
+
+
+def _simple_spec(name="svc", **kwargs):
+    defaults = dict(
+        kind="generic",
+        endpoints=(EndpointSpec("op", service_time=0.02),),
+        concurrency=8,
+    )
+    defaults.update(kwargs)
+    return ComponentSpec(name=name, **defaults)
+
+
+class TestComponent:
+    def test_utilization_tracks_load(self):
+        comp = Component(_simple_spec(), seed=1)
+        comp.step(0.1, {"op": 100.0})  # work = 2.0 of capacity 8
+        assert 0.2 < comp.utilization < 0.3
+
+    def test_overload_grows_queue_and_errors(self):
+        comp = Component(_simple_spec(), seed=1)
+        for _ in range(100):
+            comp.step(0.1, {"op": 1000.0})  # work 20 >> capacity 8
+        assert comp.queue_length > 0
+        assert comp.error_rate > 0.1
+
+    def test_latency_rises_with_congestion(self):
+        comp = Component(_simple_spec(), seed=1)
+        comp.step(0.1, {"op": 10.0})
+        calm = comp.mean_latency()
+        for _ in range(50):
+            comp.step(0.1, {"op": 390.0})  # near saturation
+        assert comp.mean_latency() > 2 * calm
+
+    def test_unknown_endpoint_distributed_by_weight(self):
+        spec = ComponentSpec(
+            name="c", endpoints=(
+                EndpointSpec("a", weight=3.0), EndpointSpec("b", weight=1.0),
+            ),
+        )
+        comp = Component(spec, seed=0)
+        comp.step(0.1, {"__external__": 40.0})
+        assert comp.endpoint_rates["a"] == pytest.approx(30.0)
+        assert comp.endpoint_rates["b"] == pytest.approx(10.0)
+
+    def test_outgoing_rates_follow_ratios(self):
+        spec = _simple_spec(calls=(CallSpec("x", ratio=2.0),
+                                   CallSpec("y", ratio=0.5)))
+        comp = Component(spec, seed=0)
+        comp.step(0.1, {"op": 10.0})
+        out = comp.outgoing_rates()
+        assert out["x"] == pytest.approx(20.0, rel=0.05)
+        assert out["y"] == pytest.approx(5.0, rel=0.05)
+
+    def test_crash_stops_everything(self):
+        spec = _simple_spec(calls=(CallSpec("x", ratio=1.0),))
+        comp = Component(spec, seed=0)
+        comp.crashed = True
+        comp.step(0.1, {"op": 50.0})
+        assert comp.total_request_rate() == 0.0
+        assert comp.outgoing_rates()["x"] == 0.0
+        assert comp.error_rate == 1.0
+
+    def test_counters_are_monotone(self):
+        comp = Component(_simple_spec(), seed=2)
+        previous = 0.0
+        for _ in range(50):
+            comp.step(0.1, {"op": 20.0})
+            assert comp.net_in_total >= previous
+            previous = comp.net_in_total
+
+    def test_scaling_changes_capacity(self):
+        comp = Component(_simple_spec(), seed=0)
+        comp.set_instances(4)
+        assert comp.capacity == 32.0
+        with pytest.raises(ValueError):
+            comp.set_instances(0)
+
+    def test_scaling_causes_transient_disruption(self):
+        comp = Component(_simple_spec(), seed=0)
+        for _ in range(20):
+            comp.step(0.1, {"op": 300.0})
+        settled = comp.mean_latency()
+        comp.set_instances(3)
+        comp.step(0.1, {"op": 300.0})
+        assert comp.mean_latency() > settled
+
+    def test_metric_profiles_are_nested(self):
+        full = Component(_simple_spec(metric_profile="full"), seed=0)
+        slim = Component(_simple_spec(metric_profile="slim"), seed=0)
+        tiny = Component(_simple_spec(metric_profile="tiny"), seed=0)
+        for c in (full, slim, tiny):
+            c.step(0.1, {"op": 10.0})
+        m_full = set(full.sample_metrics(0.0))
+        m_slim = set(slim.sample_metrics(0.0))
+        m_tiny = set(tiny.sample_metrics(0.0))
+        assert m_tiny < m_slim < m_full
+
+    def test_error_export_policies(self):
+        always = Component(_simple_spec(export_errors="always"), seed=0)
+        never = Component(_simple_spec(export_errors="never",
+                                       error_base_rate=0.5), seed=0)
+        always.step(0.1, {"op": 1.0})
+        never.step(0.1, {"op": 100.0})
+        assert "error_count_total" in always.sample_metrics(0.0)
+        assert "error_count_total" not in never.sample_metrics(0.0)
+
+    def test_kind_metrics_present(self):
+        for kind, marker in [
+            ("nodejs", "nodejs_heap_used_mb"),
+            ("database", "db_queries_count"),
+            ("kv-store", "kv_hits"),
+            ("loadbalancer", "lb_sessions"),
+            ("queue", "messages"),
+        ]:
+            comp = Component(_simple_spec(kind=kind), seed=0)
+            comp.step(0.1, {"op": 5.0})
+            assert marker in comp.sample_metrics(0.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentSpec(name="x", kind="mainframe")
+        with pytest.raises(ValueError):
+            ComponentSpec(name="x", endpoints=())
+        with pytest.raises(ValueError):
+            ComponentSpec(name="x", metric_profile="verbose")
+
+    @given(st.floats(1.0, 500.0), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_requests_conserved(self, rate, seed):
+        """Accumulated request counter equals integrated arrival rate."""
+        comp = Component(_simple_spec(), seed=seed)
+        for _ in range(10):
+            comp.step(0.1, {"op": rate})
+        assert comp.requests_total == pytest.approx(rate * 1.0, rel=1e-6)
+
+
+class TestFluidSimulation:
+    def _two_tier(self, workload, **kwargs):
+        specs = [
+            _simple_spec("front", calls=(CallSpec("back", ratio=1.0,
+                                                  delay=0.5),)),
+            _simple_spec("back", concurrency=16),
+        ]
+        return FluidSimulation(specs, workload, **kwargs)
+
+    def test_load_propagates_downstream(self):
+        sim = self._two_tier(lambda t: {"front": 40.0}, seed=1)
+        sim.run(10.0)
+        assert sim.component("front").total_request_rate() \
+            == pytest.approx(40.0)
+        assert sim.component("back").total_request_rate() \
+            == pytest.approx(40.0, rel=0.1)
+
+    def test_propagation_delay(self):
+        sim = self._two_tier(lambda t: {"front": 40.0}, seed=1)
+        sim.run(0.4)  # less than the 0.5 s edge delay
+        assert sim.component("back").total_request_rate() == 0.0
+        sim.run(0.4)
+        assert sim.component("back").total_request_rate() > 0.0
+
+    def test_trace_sink_receives_connections(self):
+        events = []
+        sim = self._two_tier(
+            lambda t: {"front": 40.0}, seed=1,
+            trace_sink=lambda t, s, d, n: events.append((s, d, n)),
+        )
+        sim.run(10.0)
+        assert events
+        assert all(s == "front" and d == "back" for s, d, _n in events)
+
+    def test_unknown_call_target_rejected(self):
+        specs = [_simple_spec("a", calls=(CallSpec("ghost"),))]
+        with pytest.raises(ValueError):
+            FluidSimulation(specs, lambda t: {})
+
+    def test_unknown_workload_target_rejected(self):
+        sim = self._two_tier(lambda t: {"ghost": 1.0})
+        with pytest.raises(KeyError):
+            sim.step()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FluidSimulation([_simple_spec("a"), _simple_spec("a")],
+                            lambda t: {})
+
+    def test_determinism(self):
+        runs = []
+        for _ in range(2):
+            sim = self._two_tier(lambda t: {"front": 30.0}, seed=9)
+            sim.run(5.0)
+            runs.append(sim.component("back").sample_metrics(5.0))
+        assert runs[0] == runs[1]
+
+
+class TestFaults:
+    def test_component_crash(self):
+        specs = [_simple_spec("a")]
+        plan = FaultPlan(faults=[ComponentCrash("a", at_time=1.0)])
+        sim = FluidSimulation(specs, lambda t: {"a": 10.0},
+                              fault_plan=plan, seed=0)
+        sim.run(0.5)
+        assert not sim.component("a").crashed
+        sim.run(1.0)
+        assert sim.component("a").crashed
+
+    def test_degradation_window(self):
+        specs = [_simple_spec("a")]
+        plan = FaultPlan(faults=[Degradation("a", factor=4.0,
+                                             at_time=1.0, until=2.0)])
+        sim = FluidSimulation(specs, lambda t: {"a": 10.0},
+                              fault_plan=plan, seed=0)
+        sim.run(1.5)
+        assert sim.component("a").degradation == 4.0
+        sim.run(1.0)
+        assert sim.component("a").degradation == 1.0
+
+    def test_env_flag(self):
+        specs = [_simple_spec("a")]
+        plan = FaultPlan(faults=[EnvFlag("broken", True, at_time=0.5)])
+        sim = FluidSimulation(specs, lambda t: {"a": 1.0},
+                              fault_plan=plan, seed=0)
+        sim.run(0.3)
+        assert "broken" not in sim.env
+        sim.run(0.5)
+        assert sim.env["broken"] is True
+
+    def test_crash_on_unknown_component(self):
+        plan = FaultPlan(faults=[ComponentCrash("ghost")])
+        sim = FluidSimulation([_simple_spec("a")], lambda t: {"a": 1.0},
+                              fault_plan=plan)
+        with pytest.raises(KeyError):
+            sim.step()
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.none()
+
+
+class TestApplication:
+    def test_load_records_everything(self):
+        app = Application("demo", [
+            _simple_spec("front", calls=(CallSpec("back", delay=0.3),)),
+            _simple_spec("back"),
+        ])
+        run = app.load(lambda t: 30.0, duration=30.0, seed=1)
+        assert run.metric_count() > 10
+        assert run.call_graph.has_edge("front", "back")
+        assert run.store.sample_count() > 0
+        assert run.sla_samples
+
+    def test_entrypoint_validation(self):
+        with pytest.raises(ValueError):
+            Application("x", [_simple_spec("a")], entrypoints={"nope": 1.0})
+        with pytest.raises(ValueError):
+            Application("x", [_simple_spec("a")], entrypoints={"a": 0.0})
+        with pytest.raises(ValueError):
+            Application("x", [_simple_spec("a")], sla_path=["ghost"])
+
+    def test_entry_shares_normalized(self):
+        app = Application("x", [_simple_spec("a"), _simple_spec("b")],
+                          entrypoints={"a": 2.0, "b": 2.0})
+        assert app.entrypoints == {"a": 0.5, "b": 0.5}
+
+    def test_spec_lookup(self):
+        app = Application("x", [_simple_spec("a")])
+        assert app.spec_of("a").name == "a"
+        with pytest.raises(KeyError):
+            app.spec_of("ghost")

@@ -1,0 +1,124 @@
+"""Unit and property tests for NCC / SBD (repro.stats.correlation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.correlation import (
+    cross_correlation_sequence,
+    normalized_cross_correlation,
+    sbd,
+    sbd_with_shift,
+)
+from repro.stats.timeseries_ops import znormalize
+
+series_pair_length = st.integers(min_value=4, max_value=128)
+
+
+def _series(length, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=length)
+
+
+class TestCrossCorrelation:
+    def test_matches_numpy_correlate(self):
+        x = _series(32, 1)
+        y = _series(32, 2)
+        ours = cross_correlation_sequence(x, y)
+        # numpy's "full" cross-correlation shares our shift axis: index
+        # n-1 is the zero shift, higher indices shift x to the right.
+        reference = np.correlate(x, y, mode="full")
+        np.testing.assert_allclose(ours, reference, atol=1e-9)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_correlation_sequence(np.ones(4), np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cross_correlation_sequence(np.array([]), np.array([]))
+
+    def test_output_length(self):
+        out = cross_correlation_sequence(np.ones(7), np.ones(7))
+        assert out.size == 13
+
+
+class TestNCC:
+    def test_identical_series_peak_is_one(self):
+        x = znormalize(np.sin(np.linspace(0, 12, 100)))
+        ncc = normalized_cross_correlation(x, x)
+        assert abs(ncc.max() - 1.0) < 1e-9
+
+    def test_bounded_by_one(self):
+        x = _series(64, 3)
+        y = _series(64, 4)
+        ncc = normalized_cross_correlation(x, y)
+        assert np.all(np.abs(ncc) <= 1.0 + 1e-9)
+
+    def test_zero_energy_series(self):
+        ncc = normalized_cross_correlation(np.zeros(10), np.ones(10))
+        assert np.all(ncc == 0.0)
+
+
+class TestSBD:
+    def test_self_distance_zero(self):
+        x = _series(50, 5)
+        assert sbd(x, x) < 1e-9
+
+    def test_shift_invariance(self):
+        """SBD sees through time shifts -- the property Sieve needs for
+        metrics of communicating components (effects arrive delayed)."""
+        x = np.sin(np.linspace(0, 20, 200))
+        for shift in (1, 5, 17):
+            shifted = np.roll(x, shift)
+            assert sbd(x, shifted) < 0.05
+
+    def test_detected_shift_matches_roll(self):
+        x = znormalize(np.sin(np.linspace(0, 20, 200)))
+        _, shift = sbd_with_shift(np.roll(x, 9), x)
+        assert shift == 9
+
+    def test_anticorrelated_series_is_far(self):
+        # A negated series is far even under the best shift: partial
+        # overlaps can correlate a little, but far less than the
+        # near-zero distance of genuinely similar shapes.
+        x = znormalize(np.linspace(0.0, 1.0, 100))
+        d = sbd(x, -x)
+        assert d > 0.5
+        # ...and without any shift the distance is maximal.
+        ncc_zero_shift = float(x @ -x) / float(x @ x)
+        assert 1.0 - ncc_zero_shift == pytest.approx(2.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            d = sbd(rng.normal(size=30), rng.normal(size=30))
+            assert 0.0 <= d <= 2.0
+
+    @given(st.integers(0, 10_000), series_pair_length)
+    @settings(max_examples=40, deadline=None)
+    def test_property_symmetry(self, seed, length):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=length)
+        y = rng.normal(size=length)
+        assert abs(sbd(x, y) - sbd(y, x)) < 1e-9
+
+    @given(st.integers(0, 10_000), series_pair_length,
+           st.floats(0.1, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_scale_invariance(self, seed, length, scale):
+        """SBD is invariant to amplitude scaling (the z-normalization
+        rationale of the paper)."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=length)
+        y = rng.normal(size=length)
+        assert abs(sbd(x, y) - sbd(x * scale, y)) < 1e-7
+
+    @given(st.integers(0, 10_000), series_pair_length)
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounds(self, seed, length):
+        rng = np.random.default_rng(seed)
+        d = sbd(rng.normal(size=length), rng.normal(size=length))
+        assert 0.0 <= d <= 2.0

@@ -1,0 +1,131 @@
+"""Tests for entropy / MI / AMI (repro.stats.information)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.information import (
+    adjusted_mutual_info,
+    contingency_matrix,
+    entropy,
+    expected_mutual_info,
+    mutual_info,
+)
+
+labelings = st.lists(st.integers(0, 4), min_size=4, max_size=60)
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_total_preserved(self):
+        a = [0, 1, 2, 0, 1]
+        b = [1, 1, 0, 0, 1]
+        assert contingency_matrix(a, b).sum() == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            contingency_matrix([0, 1], [0, 1, 2])
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy([0, 1, 2, 3]) == pytest.approx(np.log(4))
+
+    def test_single_cluster_zero(self):
+        assert entropy([7, 7, 7]) == 0.0
+
+    def test_string_labels(self):
+        assert entropy(["a", "b"]) == pytest.approx(np.log(2))
+
+
+class TestMutualInfo:
+    def test_identical_equals_entropy(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert mutual_info(labels, labels) == pytest.approx(entropy(labels))
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 2000)
+        b = rng.integers(0, 2, 2000)
+        assert mutual_info(a, b) < 0.01
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 3, 50)
+            b = rng.integers(0, 3, 50)
+            assert mutual_info(a, b) >= 0.0
+
+
+class TestExpectedMI:
+    def test_emi_below_mi_for_identical(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        table = contingency_matrix(labels, labels)
+        assert expected_mutual_info(table) < mutual_info(labels, labels)
+
+    def test_emi_positive_for_nontrivial(self):
+        table = contingency_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+        assert expected_mutual_info(table) > 0.0
+
+
+class TestAMI:
+    def test_identical_partitions_score_one(self):
+        assert adjusted_mutual_info([0, 0, 1, 1], [5, 5, 9, 9]) \
+            == pytest.approx(1.0)
+
+    def test_permuted_labels_score_one(self):
+        a = [0, 1, 2, 0, 1, 2]
+        b = [2, 0, 1, 2, 0, 1]
+        assert adjusted_mutual_info(a, b) == pytest.approx(1.0)
+
+    def test_random_partitions_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 3000)
+        b = rng.integers(0, 3, 3000)
+        assert abs(adjusted_mutual_info(a, b)) < 0.02
+
+    def test_better_than_chance_scores_positive(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, 300)
+        b = a.copy()
+        flip = rng.random(300) < 0.2  # 20% label noise
+        b[flip] = rng.integers(0, 3, int(flip.sum()))
+        score = adjusted_mutual_info(a, b)
+        assert 0.3 < score < 1.0
+
+    def test_single_cluster_both_sides(self):
+        assert adjusted_mutual_info([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_average_methods(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 0, 0, 1, 1, 1]
+        scores = {
+            method: adjusted_mutual_info(a, b, average_method=method)
+            for method in ("arithmetic", "max", "min", "geometric")
+        }
+        # max-normalized is the most conservative.
+        assert scores["max"] <= scores["arithmetic"] <= scores["min"]
+        assert all(-1.0 <= s <= 1.0 for s in scores.values())
+
+    def test_unknown_average_method(self):
+        with pytest.raises(ValueError):
+            adjusted_mutual_info([0, 0, 1], [0, 1, 1],
+                                 average_method="median")
+
+    @given(labelings)
+    @settings(max_examples=30, deadline=None)
+    def test_property_self_ami_is_one(self, labels):
+        assert adjusted_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    @given(labelings, st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_symmetry(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, len(labels))
+        ab = adjusted_mutual_info(labels, other)
+        ba = adjusted_mutual_info(other, labels)
+        assert ab == pytest.approx(ba, abs=1e-9)

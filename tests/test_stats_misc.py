@@ -1,0 +1,192 @@
+"""Tests for regression, interpolation, silhouette and string similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.interpolate import align_series, resample_to_grid, spline_fill
+from repro.stats.regression import add_constant, ols
+from repro.stats.silhouette import (
+    pairwise_distance_matrix,
+    silhouette_samples,
+    silhouette_score,
+)
+from repro.stats.strings import jaro, jaro_distance, jaro_winkler
+
+
+class TestOLS:
+    def test_exact_linear_fit(self):
+        x = np.arange(20.0)
+        y = 3.0 * x + 2.0
+        fit = ols(y, add_constant(x[:, None]))
+        np.testing.assert_allclose(fit.params, [2.0, 3.0], atol=1e-9)
+        assert fit.rss < 1e-16
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(500, 2))
+        y = 1.5 + x @ np.array([2.0, -3.0]) + rng.normal(0, 0.1, 500)
+        fit = ols(y, add_constant(x))
+        np.testing.assert_allclose(fit.params, [1.5, 2.0, -3.0], atol=0.05)
+        assert fit.df_resid == 497
+
+    def test_tvalues_significant_for_real_effect(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(200, 1))
+        y = 5.0 * x[:, 0] + rng.normal(size=200)
+        fit = ols(y, add_constant(x))
+        assert abs(fit.tvalues[1]) > 10
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            ols(np.ones(3), np.ones((3, 3)))
+
+    def test_degenerate_response_r_squared(self):
+        fit = ols(np.full(10, 2.0), add_constant(np.arange(10.0)[:, None]))
+        assert fit.r_squared == 0.0
+
+
+class TestInterpolation:
+    def test_recovers_smooth_function(self):
+        ts = np.linspace(0, 10, 30)
+        vs = np.sin(ts)
+        query = np.linspace(0.5, 9.5, 100)
+        out = spline_fill(ts, vs, query)
+        np.testing.assert_allclose(out, np.sin(query), atol=1e-3)
+
+    def test_clamps_out_of_range(self):
+        ts = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        vs = ts**2
+        out = spline_fill(ts, vs, np.array([-5.0, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 16.0])
+
+    def test_single_point_constant(self):
+        out = spline_fill(np.array([1.0]), np.array([7.0]),
+                          np.array([0.0, 5.0]))
+        np.testing.assert_array_equal(out, [7.0, 7.0])
+
+    def test_duplicate_timestamps_deduplicated(self):
+        ts = np.array([0.0, 1.0, 1.0, 2.0])
+        vs = np.array([0.0, 1.0, 1.0, 2.0])
+        out = spline_fill(ts, vs, np.array([1.5]))
+        assert out[0] == pytest.approx(1.5)
+
+    def test_resample_grid_spacing(self):
+        grid, values = resample_to_grid(
+            np.array([0.0, 0.7, 2.3, 3.1]), np.array([1.0, 2.0, 3.0, 4.0]),
+            interval=0.5,
+        )
+        assert np.allclose(np.diff(grid), 0.5)
+        assert grid[0] == 0.0
+        assert values.shape == grid.shape
+
+    def test_align_series_common_window(self):
+        series = {
+            "a": (np.array([0.0, 1.0, 2.0, 3.0]), np.array([0, 1, 2, 3.0])),
+            "b": (np.array([1.0, 2.0, 3.0, 4.0]), np.array([1, 2, 3, 4.0])),
+        }
+        grid, aligned = align_series(series, interval=0.5)
+        assert grid[0] == 1.0
+        assert grid[-1] <= 3.0
+        assert set(aligned) == {"a", "b"}
+        assert all(v.shape == grid.shape for v in aligned.values())
+
+    def test_align_series_disjoint_raises(self):
+        series = {
+            "a": (np.array([0.0, 1.0]), np.array([0.0, 1.0])),
+            "b": (np.array([5.0, 6.0]), np.array([0.0, 1.0])),
+        }
+        with pytest.raises(ValueError):
+            align_series(series)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.1, size=(10, 3))
+        b = rng.normal(10.0, 0.1, size=(10, 3))
+        items = list(np.vstack([a, b]))
+        labels = [0] * 10 + [1] * 10
+        dist = pairwise_distance_matrix(
+            items, lambda x, y: float(np.linalg.norm(x - y))
+        )
+        assert silhouette_score(dist, labels) > 0.95
+
+    def test_wrong_assignment_scores_negative(self):
+        items = [np.array([0.0]), np.array([0.1]),
+                 np.array([10.0]), np.array([10.1])]
+        labels = [0, 1, 0, 1]  # deliberately crossed
+        dist = pairwise_distance_matrix(
+            items, lambda x, y: float(abs(x[0] - y[0]))
+        )
+        assert silhouette_score(dist, labels) < 0
+
+    def test_singleton_cluster_scores_zero(self):
+        dist = np.array([
+            [0.0, 1.0, 5.0],
+            [1.0, 0.0, 5.0],
+            [5.0, 5.0, 0.0],
+        ])
+        samples = silhouette_samples(dist, [0, 0, 1])
+        assert samples[2] == 0.0
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((3, 3)), [0, 0, 0])
+
+    def test_scores_in_range(self):
+        rng = np.random.default_rng(1)
+        n = 12
+        dist = rng.uniform(0.1, 2.0, size=(n, n))
+        dist = (dist + dist.T) / 2
+        np.fill_diagonal(dist, 0.0)
+        labels = rng.integers(0, 3, n)
+        if np.unique(labels).size >= 2:
+            samples = silhouette_samples(dist, labels)
+            assert np.all(samples >= -1.0) and np.all(samples <= 1.0)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("cpu_usage", "cpu_usage") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_completely_different(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_known_value(self):
+        # Classic textbook example.
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_distance_complements_similarity(self):
+        assert jaro_distance("abc", "abd") == pytest.approx(
+            1.0 - jaro("abc", "abd")
+        )
+
+    def test_related_metric_names_close(self):
+        """The naming-convention assumption behind Sieve's pre-clustering."""
+        assert jaro("cpu_usage", "cpu_usage_percentile") > 0.8
+        assert jaro("cpu_usage", "db_queries_count") < 0.6
+
+    def test_winkler_prefix_bonus(self):
+        plain = jaro("prefixed_one", "prefixed_two")
+        boosted = jaro_winkler("prefixed_one", "prefixed_two")
+        assert boosted > plain
+
+    def test_winkler_invalid_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_weight=0.5)
+
+    @given(st.text(max_size=24), st.text(max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetric_and_bounded(self, s1, s2):
+        v = jaro(s1, s2)
+        assert 0.0 <= v <= 1.0
+        assert v == pytest.approx(jaro(s2, s1))
+        w = jaro_winkler(s1, s2)
+        assert 0.0 <= w <= 1.0
+        assert w >= v - 1e-12

@@ -1,0 +1,137 @@
+"""Unit and property tests for repro.stats.timeseries_ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.timeseries_ops import (
+    first_difference,
+    has_constant_trend,
+    lag_matrix,
+    variance_filter_mask,
+    znormalize,
+)
+
+finite_series = arrays(
+    np.float64, st.integers(min_value=2, max_value=200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        z = znormalize(rng.normal(5.0, 3.0, size=500))
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_constant_series_maps_to_zeros(self):
+        z = znormalize(np.full(10, 42.0))
+        assert np.all(z == 0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            znormalize(np.zeros((3, 3)))
+
+    @given(finite_series)
+    @settings(max_examples=50, deadline=None)
+    def test_property_output_standardized_or_zero(self, series):
+        z = znormalize(series)
+        assert z.shape == series.shape
+        # Relative criterion, matching the implementation: large equal
+        # values have a tiny nonzero fp std that must map to zeros.
+        if series.std() > 1e-12 * max(1.0, abs(series.mean())):
+            assert abs(z.mean()) < 1e-6
+            assert abs(z.std() - 1.0) < 1e-6
+        else:
+            assert np.all(z == 0.0)
+
+    @given(finite_series,
+           st.floats(0.1, 100.0),
+           st.floats(-50.0, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_affine_invariance(self, series, scale, shift):
+        """z-normalization is invariant to positive affine transforms."""
+        if series.std() <= 1e-6 or series.std() >= 1e5:
+            return
+        z1 = znormalize(series)
+        z2 = znormalize(series * scale + shift)
+        np.testing.assert_allclose(z1, z2, atol=1e-5)
+
+
+class TestFirstDifference:
+    def test_values(self):
+        out = first_difference(np.array([1.0, 4.0, 9.0, 16.0]))
+        np.testing.assert_array_equal(out, [3.0, 5.0, 7.0])
+
+    def test_shortens_by_one(self):
+        assert first_difference(np.arange(10.0)).size == 9
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            first_difference(np.array([1.0]))
+
+    def test_removes_linear_trend(self):
+        diffed = first_difference(3.0 * np.arange(100.0) + 2.0)
+        assert np.allclose(diffed, 3.0)
+
+
+class TestVarianceFilter:
+    def test_flags_constant_rows(self):
+        matrix = np.vstack([
+            np.zeros(50),
+            np.sin(np.linspace(0, 10, 50)),
+            np.full(50, 7.0),
+        ])
+        mask = variance_filter_mask(matrix)
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+    def test_threshold_boundary(self):
+        # Variance exactly at the threshold is filtered (paper: var <= 0.002).
+        row = np.array([0.0, 2 * np.sqrt(0.002)] * 50)
+        tiny = row - row.mean()
+        assert abs(tiny.var() - 0.002) < 1e-12
+        assert not variance_filter_mask(tiny[None, :])[0]
+
+    def test_custom_threshold(self):
+        row = np.array([0.0, 1.0] * 20)
+        assert variance_filter_mask(row[None, :], threshold=0.1)[0]
+        assert not variance_filter_mask(row[None, :], threshold=0.5)[0]
+
+
+class TestLagMatrix:
+    def test_shape_and_content(self):
+        series = np.arange(6.0)  # 0..5
+        lm = lag_matrix(series, 2)
+        assert lm.shape == (4, 2)
+        # Row i corresponds to target series[i+2]; col 0 is lag 1.
+        np.testing.assert_array_equal(lm[:, 0], [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(lm[:, 1], [0.0, 1.0, 2.0, 3.0])
+
+    def test_alignment_with_target(self):
+        """y[t] = 2*y[t-1] is exactly recoverable from the lag matrix."""
+        series = 2.0 ** np.arange(10)
+        lm = lag_matrix(series, 1)
+        target = series[1:]
+        np.testing.assert_allclose(target, 2.0 * lm[:, 0])
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            lag_matrix(np.arange(3.0), 3)
+
+    def test_rejects_zero_lags(self):
+        with pytest.raises(ValueError):
+            lag_matrix(np.arange(10.0), 0)
+
+
+class TestConstantTrend:
+    def test_constant(self):
+        assert has_constant_trend(np.full(10, 3.3))
+
+    def test_not_constant(self):
+        assert not has_constant_trend(np.array([1.0, 1.0, 1.001]))
+
+    def test_empty_is_constant(self):
+        assert has_constant_trend(np.array([]))

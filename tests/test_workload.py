@@ -1,0 +1,145 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    BootAndDeleteTask,
+    LocustLoadGenerator,
+    RallyRunner,
+    RandomWorkload,
+    WorldCupTrace,
+    constant_rate,
+    ramp_rate,
+)
+
+
+class TestLocust:
+    def test_ramp_then_hold(self):
+        gen = LocustLoadGenerator(users=30, spawn_rate=3.0, wobble=0.0)
+        assert gen.active_users(0.0) == 0.0
+        assert gen.active_users(5.0) == 15.0
+        assert gen.active_users(100.0) == 30.0
+
+    def test_steady_rate_matches_behavior(self):
+        gen = LocustLoadGenerator(users=10, spawn_rate=100.0, wobble=0.0)
+        expected = 10 * gen.behavior.request_rate()
+        assert gen.rate(100.0) == pytest.approx(expected)
+
+    def test_wobble_stays_positive(self):
+        gen = LocustLoadGenerator(users=10, wobble=0.5, seed=3)
+        rates = [gen.rate(t) for t in np.linspace(0, 500, 200)]
+        assert all(r >= 0 for r in rates)
+        assert np.std(rates[50:]) > 0  # wobble actually wobbles
+
+    def test_deterministic_per_seed(self):
+        a = LocustLoadGenerator(users=10, seed=5)
+        b = LocustLoadGenerator(users=10, seed=5)
+        assert a.rate(33.3) == b.rate(33.3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LocustLoadGenerator(users=0)
+        with pytest.raises(ValueError):
+            LocustLoadGenerator(spawn_rate=0.0)
+
+
+class TestWorldCup:
+    def test_spike_shape(self):
+        """The trace has the WC'98 signature: plateau, spike, decay."""
+        trace = WorldCupTrace(duration=3600, seed=1)
+        early = np.mean([trace.rate(t) for t in range(100, 500, 10)])
+        spike = np.mean([trace.rate(t) for t in range(1700, 2200, 10)])
+        assert spike > 3 * early
+
+    def test_sessions_positive_and_bounded(self):
+        trace = WorldCupTrace(duration=600, seed=2)
+        assert trace.n_sessions > 0
+        for t in (0, 100, 300, 599):
+            assert trace.active_sessions(t) >= 0.0
+        assert trace.active_sessions(-5.0) == 0.0
+        assert trace.active_sessions(1e9) == 0.0
+
+    def test_peak_window_finds_spike(self):
+        trace = WorldCupTrace(duration=3600, seed=3)
+        start, end = trace.peak_window(300.0)
+        assert end - start == pytest.approx(300.0)
+        spike_centre = 0.45 * 3600
+        assert start > spike_centre - 600
+
+    def test_deterministic(self):
+        a = WorldCupTrace(duration=600, seed=4)
+        b = WorldCupTrace(duration=600, seed=4)
+        assert a.n_sessions == b.n_sessions
+        assert a.rate(250.0) == b.rate(250.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            WorldCupTrace(duration=0)
+
+
+class TestRally:
+    def test_iteration_count_and_duration(self):
+        runner = RallyRunner(times=10, concurrency=2, seed=0)
+        assert len(runner.iterations) == 10
+        assert runner.duration > 0
+
+    def test_boot_rate_bursts(self):
+        runner = RallyRunner(times=4, concurrency=1, background_rate=1.0,
+                             seed=0)
+        start, boot_end, _delete = runner.iterations[0]
+        during_boot = runner.rate(start + 1.0)
+        assert during_boot > runner.task.boot_rate()  # burst + background
+        idle_point = boot_end + 2.0
+        assert runner.rate(idle_point) < during_boot
+
+    def test_background_rate_outside_run(self):
+        runner = RallyRunner(times=2, concurrency=1, background_rate=2.5)
+        assert runner.rate(runner.duration + 100.0) == 2.5
+        assert runner.rate(-1.0) == 2.5
+
+    def test_concurrency_shortens_run(self):
+        serial = RallyRunner(times=20, concurrency=1, seed=1)
+        parallel = RallyRunner(times=20, concurrency=5, seed=1)
+        assert parallel.duration < serial.duration
+
+    def test_task_rates(self):
+        task = BootAndDeleteTask(vms=5, boot_duration=10.0,
+                                 boot_requests_per_vm=10.0)
+        assert task.boot_rate() == pytest.approx(5.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RallyRunner(times=0)
+
+
+class TestProfiles:
+    def test_random_workload_in_bounds(self):
+        workload = RandomWorkload(duration=300, min_rate=5, max_rate=50,
+                                  seed=0)
+        rates = [workload.rate(t) for t in np.linspace(0, 300, 100)]
+        assert min(rates) >= 0.0
+        assert max(rates) <= 60.0  # bound + wobble margin
+
+    def test_random_workload_varies(self):
+        workload = RandomWorkload(duration=600, seed=1)
+        rates = [workload.rate(t) for t in np.linspace(0, 600, 200)]
+        assert np.std(rates) > 1.0
+
+    def test_different_seeds_differ(self):
+        a = RandomWorkload(duration=300, seed=1)
+        b = RandomWorkload(duration=300, seed=2)
+        rates_a = [a.rate(t) for t in range(0, 300, 10)]
+        rates_b = [b.rate(t) for t in range(0, 300, 10)]
+        assert rates_a != rates_b
+
+    def test_constant_and_ramp(self):
+        assert constant_rate(5.0)(123.4) == 5.0
+        ramp = ramp_rate(0.0, 10.0, 100.0)
+        assert ramp(0.0) == 0.0
+        assert ramp(50.0) == 5.0
+        assert ramp(1000.0) == 10.0
+        with pytest.raises(ValueError):
+            constant_rate(-1.0)
+        with pytest.raises(ValueError):
+            ramp_rate(0, 1, 0)
