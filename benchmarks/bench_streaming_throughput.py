@@ -1,0 +1,147 @@
+"""Streaming engine throughput: ingest rate and per-window latency.
+
+Two quantities size the streaming subsystem:
+
+* **ingest throughput** -- points/second through the bus -> window-store
+  path (batched, vectorized ring writes).  This bounds how much
+  monitored infrastructure one engine process can absorb.
+* **per-window analysis latency** -- a full re-cluster of every
+  component versus the incremental path (reuse + drift checks only),
+  which is the paper's §9 "update the dependency graph incrementally"
+  speedup, measured per window.
+
+Writes ``BENCH_streaming.json`` with the headline numbers.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.core import StreamingConfig
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.streaming import IngestionBus, SimulationStreamDriver, WindowStore
+from repro.workload import constant_rate
+
+from conftest import print_table
+
+INGEST_COMPONENTS = 20
+INGEST_METRICS = 50
+INGEST_SCRAPES = 40
+
+RESULTS_PATH = "BENCH_streaming.json"
+_results: dict = {}
+
+
+def _chain_app():
+    def spec(name, **kwargs):
+        defaults = dict(kind="generic",
+                        endpoints=(EndpointSpec("op", service_time=0.02),),
+                        concurrency=16)
+        defaults.update(kwargs)
+        return ComponentSpec(name=name, **defaults)
+
+    return Application("bench", [
+        spec("front", calls=(CallSpec("mid", delay=0.4),)),
+        spec("mid", calls=(CallSpec("back", delay=0.4),)),
+        spec("back"),
+    ])
+
+
+def test_ingest_throughput(benchmark):
+    """Points/second through bus + ring-buffer windows."""
+    rng = np.random.default_rng(7)
+    scrapes = [
+        {f"metric_{m}": float(rng.random())
+         for m in range(INGEST_METRICS)}
+        for _ in range(INGEST_SCRAPES)
+    ]
+    n_points = INGEST_COMPONENTS * INGEST_METRICS * INGEST_SCRAPES
+
+    def ingest():
+        bus = IngestionBus()
+        store = WindowStore(retention=1e9, max_points_per_series=1 << 16)
+        bus.subscribe(store)
+        t = 0.0
+        for batch in scrapes:
+            for c in range(INGEST_COMPONENTS):
+                bus.publish(f"component_{c}", t, batch)
+            t += 0.5
+        bus.flush()
+        return store
+
+    store = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert store.total_points() == n_points
+    seconds = benchmark.stats.stats.mean
+    points_per_sec = n_points / seconds
+    _results["ingest_points_per_sec"] = round(points_per_sec)
+    print_table(
+        "Streaming ingest throughput",
+        ["series", "points", "seconds", "points/sec"],
+        [[INGEST_COMPONENTS * INGEST_METRICS, n_points,
+          round(seconds, 4), f"{points_per_sec:,.0f}"]],
+    )
+    assert points_per_sec > 50_000
+
+
+def test_window_latency_incremental_vs_full(benchmark):
+    """Per-window analysis cost: full re-cluster vs incremental reuse."""
+    config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+    driver = SimulationStreamDriver(
+        _chain_app(), constant_rate(40.0), config=config, seed=5,
+        record_frame=False,
+    )
+
+    def stream():
+        return driver.run(90.0)
+
+    analyses = benchmark.pedantic(stream, rounds=1, iterations=1)
+    assert len(analyses) >= 5
+    full = [a for a in analyses if not a.reused]
+    incremental = [a for a in analyses if a.reused and not a.reclustered]
+    assert full and incremental
+    full_ms = float(np.mean([a.analysis_seconds for a in full]) * 1e3)
+    incr_ms = float(
+        np.mean([a.analysis_seconds for a in incremental]) * 1e3)
+    speedup = full_ms / incr_ms if incr_ms else float("inf")
+
+    _results["window_latency_full_ms"] = round(full_ms, 2)
+    _results["window_latency_incremental_ms"] = round(incr_ms, 2)
+    _results["incremental_speedup"] = round(speedup, 2)
+    _results["windows"] = len(analyses)
+    _results["reuse_fraction"] = round(
+        driver.engine.stats.reuse_fraction(), 3)
+
+    print_table(
+        "Per-window analysis latency",
+        ["mode", "windows", "mean ms"],
+        [["full re-cluster", len(full), round(full_ms, 1)],
+         ["incremental", len(incremental), round(incr_ms, 1)],
+         ["speedup", "", f"{speedup:.1f}x"]],
+    )
+    assert incr_ms < full_ms
+
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump({"name": "streaming_throughput", **_results}, fh,
+                  indent=2)
+    print(f"results written to {RESULTS_PATH}")
+
+
+def test_engine_keeps_up_with_realtime():
+    """Sanity: analysis spends far less than the simulated wall time."""
+    config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+    driver = SimulationStreamDriver(
+        _chain_app(), constant_rate(40.0), config=config, seed=6,
+        record_frame=False,
+    )
+    t0 = time.perf_counter()
+    driver.run(60.0)
+    wall = time.perf_counter() - t0
+    print(f"\n60 simulated seconds processed in {wall:.1f}s wall "
+          f"({driver.engine.stats.analysis_seconds:.2f}s analyzing)")
+    assert driver.engine.stats.analysis_seconds < 60.0

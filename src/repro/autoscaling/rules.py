@@ -10,7 +10,7 @@ autoscaler offers and the one the paper evaluates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -41,6 +41,17 @@ class ScalingRule:
             )
         if self.min_instances < 1 or self.max_instances < self.min_instances:
             raise ValueError("invalid instance bounds")
+
+    def rebind(self, metric_component: str, metric: str) -> "ScalingRule":
+        """A copy of this rule guided by a different metric.
+
+        The streaming autoscaling consumer calls this whenever the
+        engine's dependency graph elects a new most-connected metric;
+        thresholds, bounds and cooldown carry over, the action clock
+        resets so the fresh guide starts from a clean cooldown.
+        """
+        return replace(self, metric_component=metric_component,
+                       metric=metric, _last_action_time=-float("inf"))
 
     def decide(self, now: float, metric_window,
                current_instances: int) -> int:

@@ -76,6 +76,22 @@ class DependencyGraph:
             if r.source_component == source and r.target_component == target
         ]
 
+    def component_edge_set(self) -> set[tuple[str, str]]:
+        """Directed component-level edges as a set (graph comparisons)."""
+        return {
+            (r.source_component, r.target_component)
+            for r in self._relations
+        }
+
+    def metric_edge_set(self) -> set[tuple[str, str, str, str]]:
+        """Metric-level relations as (src comp, src metric, dst comp,
+        dst metric) tuples (streaming-vs-batch convergence checks)."""
+        return {
+            (r.source_component, r.source_metric,
+             r.target_component, r.target_metric)
+            for r in self._relations
+        }
+
     def component_edges(self) -> list[tuple[str, str, int]]:
         """Component-level edges: (source, target, #metric relations)."""
         counts = Counter(
@@ -145,3 +161,23 @@ class DependencyGraph:
             "metric_relations": len(self._relations),
             "component_edges": len(self.component_edges()),
         }
+
+
+def edge_jaccard(a: DependencyGraph, b: DependencyGraph,
+                 level: str = "component") -> float:
+    """Jaccard similarity of two dependency graphs' edge sets.
+
+    ``level`` selects the granularity: ``"component"`` compares the
+    directed component edges, ``"metric"`` the full metric relations.
+    Two empty graphs count as identical (1.0).
+    """
+    if level == "component":
+        ea, eb = a.component_edge_set(), b.component_edge_set()
+    elif level == "metric":
+        ea, eb = a.metric_edge_set(), b.metric_edge_set()
+    else:
+        raise ValueError(f"unknown comparison level {level!r}")
+    union = ea | eb
+    if not union:
+        return 1.0
+    return len(ea & eb) / len(union)

@@ -5,6 +5,8 @@ Subcommands mirror the paper's workflows:
 * ``pipeline`` -- run Load -> Reduce -> Identify on an application and
   print the reduction and dependency summary (optionally write a JSON
   snapshot);
+* ``stream`` -- run the streaming analysis engine against a live
+  co-simulated application and print per-window summaries;
 * ``rca`` -- run the OpenStack correct/faulty comparison and print the
   ranked root-cause candidates;
 * ``trace-overhead`` -- the Figure 5 tracing-technique comparison;
@@ -23,9 +25,10 @@ from repro.apps import (
     openstack_fault_plan,
     run_ab_benchmark,
 )
-from repro.core import Sieve, save_snapshot
+from repro.core import Sieve, StreamingConfig, save_snapshot
 from repro.rca import RCAEngine
-from repro.workload import RallyRunner, RandomWorkload
+from repro.streaming import SimulationStreamDriver
+from repro.workload import RallyRunner, RandomWorkload, constant_rate
 
 APPLICATIONS = {
     "sharelatex": build_sharelatex_application,
@@ -54,6 +57,56 @@ def cmd_pipeline(args) -> int:
     if args.snapshot:
         save_snapshot(result, args.snapshot)
         print(f"{'snapshot':>18}: written to {args.snapshot}")
+    return 0
+
+
+def cmd_stream(args) -> int:
+    application = APPLICATIONS[args.app]()
+    config = StreamingConfig(
+        window=args.window,
+        hop=args.hop,
+        retention=max(args.retention, args.window),
+    )
+    if args.workload == "random":
+        workload = RandomWorkload(duration=args.duration, seed=args.seed)
+    else:
+        workload = constant_rate(args.rate)
+    driver = SimulationStreamDriver(
+        application, workload, config=config, seed=args.seed,
+        workload_name=args.workload, record_frame=args.compare,
+    )
+
+    def on_window(analysis) -> None:
+        s = analysis.summary()
+        reasons = ", ".join(
+            f"{reason}:{len(names)}"
+            for reason, names in sorted(s["reasons"].items())
+        ) or "-"
+        print(f"window {s['window']:>3}  "
+              f"[{s['span'][0]:>7.1f}, {s['span'][1]:>7.1f}]  "
+              f"metrics={s['metrics']:>4}  reps={s['representatives']:>3}  "
+              f"relations={s['relations']:>4}  "
+              f"recluster={s['reclustered']:>2} ({reasons})  "
+              f"reuse={s['reused']:>2}  "
+              f"analysis={s['analysis_ms']:>8.1f}ms")
+
+    print(f"streaming {args.app} for {args.duration:.0f}s "
+          f"(window={config.window:.0f}s hop={config.hop:.0f}s "
+          f"retention={config.retention:.0f}s)")
+    driver.run(args.duration, on_window=on_window)
+    print()
+    for key, value in driver.engine.summary().items():
+        print(f"{key:>24}: {value}")
+    if args.compare:
+        final = driver.final_analysis()
+        batch = driver.batch_result()
+        from repro.causality.depgraph import edge_jaccard
+        if final is not None:
+            print(f"{'stream reps (final)':>24}: "
+                  f"{final.total_representatives()}")
+            print(f"{'batch reps':>24}: {batch.total_representatives()}")
+            print(f"{'edge jaccard':>24}: "
+                  f"{edge_jaccard(final.dependency_graph, batch.dependency_graph):.3f}")
     return 0
 
 
@@ -119,6 +172,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the analysis snapshot as JSON")
     _add_common(p_pipeline)
     p_pipeline.set_defaults(func=cmd_pipeline)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="run the streaming analysis engine on a live application")
+    p_stream.add_argument("--app", choices=sorted(APPLICATIONS),
+                          default="sharelatex")
+    p_stream.add_argument("--window", type=float, default=20.0,
+                          help="analysis window span, seconds")
+    p_stream.add_argument("--hop", type=float, default=10.0,
+                          help="analysis cadence, seconds")
+    p_stream.add_argument("--retention", type=float, default=120.0,
+                          help="ring-buffer retention, seconds")
+    p_stream.add_argument("--workload", choices=("random", "constant"),
+                          default="random")
+    p_stream.add_argument("--rate", type=float, default=25.0,
+                          help="request rate of the constant workload")
+    p_stream.add_argument("--compare", action="store_true",
+                          help="also run the batch analysis and report "
+                               "streaming-vs-batch convergence")
+    _add_common(p_stream)
+    p_stream.set_defaults(func=cmd_stream)
 
     p_rca = sub.add_parser(
         "rca", help="OpenStack correct-vs-faulty root cause analysis")

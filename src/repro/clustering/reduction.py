@@ -50,6 +50,31 @@ class Cluster:
         """Members as a frozen set (RCA similarity computations)."""
         return frozenset(self.metrics)
 
+    def distance_to(self, values: np.ndarray) -> float:
+        """Shape distance (SBD) of a fresh sample window to the centroid.
+
+        ``values`` is a raw sample window of any member metric; it is
+        z-normalized here.  Unequal lengths are reconciled by linear
+        resampling onto the longer index grid, so windows of different
+        spans remain comparable.  The streaming drift detector uses
+        this to ask "does this cluster's shape still describe fresh
+        data?" (values near 0: same shape; near 1: unrelated).
+        """
+        fresh = znormalize(np.asarray(values, dtype=float))
+        centroid = np.asarray(self.centroid, dtype=float)
+        if fresh.size < 2 or centroid.size < 2:
+            return 0.0
+        if fresh.size != centroid.size:
+            target = max(fresh.size, centroid.size)
+            grid = np.linspace(0.0, 1.0, target)
+            if fresh.size < target:
+                fresh = np.interp(grid,
+                                  np.linspace(0.0, 1.0, fresh.size), fresh)
+            else:
+                centroid = np.interp(
+                    grid, np.linspace(0.0, 1.0, centroid.size), centroid)
+        return sbd(fresh, centroid)
+
 
 @dataclass
 class ComponentClustering:

@@ -14,7 +14,7 @@ outcome is a :class:`~repro.core.results.SieveResult` consumed by the
 autoscaling and RCA engines.
 """
 
-from repro.core.config import SieveConfig
+from repro.core.config import SieveConfig, StreamingConfig
 from repro.core.incremental import analyze_incremental
 from repro.core.results import SieveResult
 from repro.core.serialize import (
@@ -31,6 +31,7 @@ __all__ = [
     "Sieve",
     "SieveConfig",
     "SieveResult",
+    "StreamingConfig",
     "analyze_incremental",
     "from_snapshot",
     "load_snapshot",

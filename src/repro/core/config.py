@@ -60,3 +60,63 @@ class SieveConfig:
             raise ValueError("max_clusters must be >= 1")
         if not self.granger_lags:
             raise ValueError("need at least one candidate lag")
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Configuration of the streaming analysis engine.
+
+    The engine runs Sieve's reduce + identify steps over a rolling
+    window of freshly ingested samples (see :mod:`repro.streaming`).
+    Components whose metric population and behaviour are unchanged
+    reuse their previous clustering; metric-set changes and detected
+    behaviour drift escalate to a re-cluster of just those components.
+    """
+
+    window: float = 20.0
+    """Span of each analysis window, seconds of ingested data."""
+
+    hop: float = 10.0
+    """Cadence between consecutive window analyses, seconds."""
+
+    retention: float = 120.0
+    """How long the per-metric ring buffers keep samples, seconds."""
+
+    max_points_per_series: int = 4096
+    """Hard per-series sample bound (older samples are evicted), so a
+    misbehaving exporter cannot grow the window store unboundedly."""
+
+    min_window_samples: int = 32
+    """Total samples a window must hold before it is analyzed."""
+
+    drift_threshold: float = 6.0
+    """Standardized location/spread shift (in baseline standard
+    deviations) above which a metric counts as drifted."""
+
+    drift_shape_threshold: float = 0.75
+    """Coherence-weighted shape distance (SBD) above which a cluster
+    representative counts as drifted."""
+
+    full_refresh_windows: int = 0
+    """Force a full re-cluster every N windows (0 = rely purely on
+    metric-set changes and drift detection)."""
+
+    history: int = 32
+    """Window analyses the engine keeps for consumers (RCA diffs)."""
+
+    sieve: SieveConfig = field(default_factory=SieveConfig)
+    """The batch-analysis tunables applied inside every window."""
+
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.hop <= 0 or self.retention <= 0:
+            raise ValueError("window, hop and retention must be positive")
+        if self.retention < self.window:
+            raise ValueError("retention must cover at least one window")
+        if self.max_points_per_series < 8:
+            raise ValueError("max_points_per_series must be >= 8")
+        if self.drift_threshold <= 0 or self.drift_shape_threshold <= 0:
+            raise ValueError("drift thresholds must be positive")
+        if self.full_refresh_windows < 0:
+            raise ValueError("full_refresh_windows must be >= 0")
+        if self.history < 2:
+            raise ValueError("history must keep at least two windows")

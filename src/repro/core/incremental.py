@@ -19,7 +19,9 @@ their clusters *and representative metrics* from the previous analysis,
 so slow drifts in metric behaviour (with an unchanged metric set) are
 not picked up until the next full analysis.  Run a full
 :meth:`repro.core.sieve.Sieve.analyze` periodically, incremental
-updates in between.
+updates in between -- or use the streaming engine
+(:mod:`repro.streaming`), whose drift detector escalates exactly the
+drifted components to a re-cluster between full analyses.
 """
 
 from __future__ import annotations
@@ -45,11 +47,12 @@ class IncrementalStats:
     edges_reused: int
 
 
-def changed_components(previous: SieveResult, run: LoadedRun) -> list[str]:
-    """Components whose exported metric set differs from last analysis."""
+def changed_metric_components(clusterings: dict, frame) -> list[str]:
+    """Components of ``frame`` whose metric set differs from what the
+    given clusterings cover (the streaming engine shares this check)."""
     changed = []
-    for component in run.frame.components:
-        clustering = previous.clusterings.get(component)
+    for component in frame.components:
+        clustering = clusterings.get(component)
         if clustering is None:
             changed.append(component)
             continue
@@ -58,13 +61,18 @@ def changed_components(previous: SieveResult, run: LoadedRun) -> list[str]:
             for cluster in clustering.clusters
             for metric in cluster.metrics
         } | set(clustering.filtered_metrics)
-        if set(run.frame.metrics_of(component)) != seen_before:
+        if set(frame.metrics_of(component)) != seen_before:
             changed.append(component)
     return changed
 
 
-def _restricted_call_graph(call_graph: CallGraph,
-                           components: set[str]) -> CallGraph:
+def changed_components(previous: SieveResult, run: LoadedRun) -> list[str]:
+    """Components whose exported metric set differs from last analysis."""
+    return changed_metric_components(previous.clusterings, run.frame)
+
+
+def restricted_call_graph(call_graph: CallGraph,
+                          components: set[str]) -> CallGraph:
     """Only the call-graph edges touching ``components``."""
     out = CallGraph()
     for node in call_graph.components:
@@ -73,6 +81,37 @@ def _restricted_call_graph(call_graph: CallGraph,
         if caller in components or callee in components:
             out.record_call(caller, callee, count)
     return out
+
+
+def merge_dependency_graphs(
+    previous: DependencyGraph,
+    fresh: DependencyGraph,
+    changed: set[str],
+    components,
+) -> tuple[DependencyGraph, int]:
+    """Overlay ``fresh`` relations onto the reusable part of ``previous``.
+
+    Relations of ``previous`` touching a ``changed`` component are
+    superseded by the fresh extraction, and relations whose endpoints
+    are no longer among ``components`` (a component left the topology)
+    are dropped rather than carried forward.  Returns the merged graph
+    and the number of reused relations.
+    """
+    merged = DependencyGraph(components=components)
+    current = set(components)
+    edges_reused = 0
+    for relation in previous.relations:
+        if relation.source_component in changed \
+                or relation.target_component in changed:
+            continue
+        if relation.source_component not in current \
+                or relation.target_component not in current:
+            continue
+        merged.add_relation(relation)
+        edges_reused += 1
+    for relation in fresh.relations:
+        merged.add_relation(relation)
+    return merged, edges_reused
 
 
 def analyze_incremental(
@@ -109,7 +148,7 @@ def analyze_incremental(
 
     # Re-test only the call-graph edges with at least one changed end;
     # relations between untouched components carry over.
-    touched_graph = _restricted_call_graph(run.call_graph, changed)
+    touched_graph = restricted_call_graph(run.call_graph, changed)
     fresh = extract_dependencies(
         run.frame, touched_graph, clusterings,
         alpha=cfg.granger_alpha, lags=cfg.granger_lags,
@@ -117,16 +156,9 @@ def analyze_incremental(
         filter_bidirectional=cfg.filter_bidirectional,
     )
 
-    merged = DependencyGraph(components=clusterings.keys())
-    edges_reused = 0
-    for relation in previous.dependency_graph.relations:
-        if relation.source_component in changed \
-                or relation.target_component in changed:
-            continue  # superseded by the fresh extraction
-        merged.add_relation(relation)
-        edges_reused += 1
-    for relation in fresh.relations:
-        merged.add_relation(relation)
+    merged, edges_reused = merge_dependency_graphs(
+        previous.dependency_graph, fresh, changed, clusterings.keys()
+    )
 
     result = SieveResult(run=run, clusterings=clusterings,
                          dependency_graph=merged)

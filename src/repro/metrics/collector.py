@@ -33,8 +33,25 @@ class MetricExporter(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+class MetricSink(Protocol):
+    """Anything the collector can push scrape batches to (an ingestion
+    bus, see :class:`repro.streaming.bus.IngestionBus`)."""
+
+    def publish(self, component: str, time: float,
+                metrics: dict[str, float]) -> None:
+        """Accept one component's scrape batch."""
+        ...  # pragma: no cover - protocol definition
+
+
 class Collector:
-    """Scrapes exporters on a fixed interval with jitter and drops."""
+    """Scrapes exporters on a fixed interval with jitter and drops.
+
+    Besides recording into its own frame/store, the collector can
+    *push* every scrape batch to a ``bus`` sink (streaming mode).  With
+    ``record_frame=False`` the cumulative frame is skipped entirely so
+    a long-running streaming collector keeps bounded memory -- retention
+    then lives in the bus's window store.
+    """
 
     def __init__(
         self,
@@ -44,6 +61,8 @@ class Collector:
         drop_probability: float = 0.01,
         seed: int = 0,
         store: MetricsStore | None = None,
+        bus: MetricSink | None = None,
+        record_frame: bool = True,
     ):
         if interval <= 0:
             raise ValueError("scrape interval must be positive")
@@ -54,6 +73,8 @@ class Collector:
         self.jitter = jitter
         self.drop_probability = drop_probability
         self.store = store
+        self.bus = bus
+        self.record_frame = record_frame
         self.frame = MetricFrame()
         self._rng = np.random.default_rng(seed)
         self.scrapes = 0
@@ -66,10 +87,15 @@ class Collector:
                 self.dropped_scrapes += 1
                 continue
             at = now + float(self._rng.uniform(0.0, self.jitter))
-            for metric, value in exporter.sample_metrics(at).items():
-                self.frame.series(exporter.name, metric).append(at, value)
-                if self.store is not None:
+            batch = exporter.sample_metrics(at)
+            if self.record_frame:
+                for metric, value in batch.items():
+                    self.frame.series(exporter.name, metric).append(at, value)
+            if self.store is not None:
+                for metric, value in batch.items():
                     self.store.write_point(exporter.name, metric, at, value)
+            if self.bus is not None:
+                self.bus.publish(exporter.name, at, batch)
         self.scrapes += 1
 
     def scrape_times(self, start: float, end: float) -> np.ndarray:

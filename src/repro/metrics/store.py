@@ -36,11 +36,19 @@ class MetricsStore:
                                 self.cost_model)
 
     def write_series(self, ts: TimeSeries) -> None:
-        """Ingest a whole series (bulk write)."""
+        """Ingest a whole series (one vectorized bulk write)."""
         target = self._frame.series(ts.key.component, ts.key.metric)
-        for t, v in zip(ts.times, ts.values):
-            target.append(t, v)
+        target.extend(ts.times, ts.values)
         self.usage.charge_write(ts.key, len(ts), self.cost_model)
+
+    def write_batch(self, component: str, metric: str,
+                    times, values) -> None:
+        """Ingest a batch of samples for one metric (streaming path)."""
+        series = self._frame.series(component, metric)
+        before = len(series)
+        series.extend(times, values)
+        self.usage.charge_write(MetricKey(component, metric),
+                                len(series) - before, self.cost_model)
 
     def replay_frame(self, frame: MetricFrame,
                      keep: Iterable[MetricKey] | None = None) -> None:

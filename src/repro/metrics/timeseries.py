@@ -30,46 +30,100 @@ class MetricKey:
 
 
 class TimeSeries:
-    """One monitored metric as an ordered sequence of (time, value) samples."""
+    """One monitored metric as an ordered sequence of (time, value) samples.
 
-    __slots__ = ("key", "_times", "_values")
+    Samples live in numpy buffers with amortized-doubling capacity, so
+    both the single-sample :meth:`append` of the scraping path and the
+    bulk :meth:`extend` of replay/streaming ingestion stay cheap.
+    """
+
+    __slots__ = ("key", "_times", "_values", "_n")
 
     def __init__(self, key: MetricKey,
                  times: Iterable[float] = (),
                  values: Iterable[float] = ()):
         self.key = key
-        self._times: list[float] = [float(t) for t in times]
-        self._values: list[float] = [float(v) for v in values]
-        if len(self._times) != len(self._values):
+        if not isinstance(times, np.ndarray):
+            times = list(times)
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+        self._times = np.asarray(times, dtype=float).reshape(-1).copy()
+        self._values = np.asarray(values, dtype=float).reshape(-1).copy()
+        if self._times.size != self._values.size:
             raise ValueError("times and values must have equal length")
+        if self._times.size > 1 and np.any(np.diff(self._times) < 0):
+            raise ValueError("times must be non-decreasing")
+        self._n = int(self._times.size)
+
+    def _grow(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more samples."""
+        need = self._n + extra
+        capacity = self._times.size
+        if need <= capacity:
+            return
+        new_capacity = max(need, 2 * capacity, 16)
+        times = np.empty(new_capacity, dtype=float)
+        values = np.empty(new_capacity, dtype=float)
+        times[:self._n] = self._times[:self._n]
+        values[:self._n] = self._values[:self._n]
+        self._times, self._values = times, values
 
     def append(self, time: float, value: float) -> None:
         """Record one sample; samples must arrive in time order."""
-        if self._times and time < self._times[-1]:
+        time = float(time)
+        if self._n and time < self._times[self._n - 1]:
             raise ValueError(
-                f"out-of-order sample at t={time} (last t={self._times[-1]})"
+                f"out-of-order sample at t={time} "
+                f"(last t={self._times[self._n - 1]})"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        self._grow(1)
+        self._times[self._n] = time
+        self._values[self._n] = float(value)
+        self._n += 1
+
+    def extend(self, times, values) -> None:
+        """Bulk-append many samples in one vectorized operation.
+
+        ``times`` must be non-decreasing and start no earlier than the
+        last stored sample -- the same ordering contract as
+        :meth:`append`, validated without a Python-level loop.
+        """
+        incoming_t = np.asarray(times, dtype=float).reshape(-1)
+        incoming_v = np.asarray(values, dtype=float).reshape(-1)
+        if incoming_t.size != incoming_v.size:
+            raise ValueError("times and values must have equal length")
+        if incoming_t.size == 0:
+            return
+        if np.any(np.diff(incoming_t) < 0):
+            raise ValueError("extend() requires non-decreasing times")
+        if self._n and incoming_t[0] < self._times[self._n - 1]:
+            raise ValueError(
+                f"out-of-order bulk write at t={incoming_t[0]} "
+                f"(last t={self._times[self._n - 1]})"
+            )
+        self._grow(incoming_t.size)
+        self._times[self._n:self._n + incoming_t.size] = incoming_t
+        self._values[self._n:self._n + incoming_v.size] = incoming_v
+        self._n += int(incoming_t.size)
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._n
 
     @property
     def times(self) -> np.ndarray:
         """Sample timestamps as an array (copy)."""
-        return np.asarray(self._times, dtype=float)
+        return self._times[:self._n].copy()
 
     @property
     def values(self) -> np.ndarray:
         """Sample values as an array (copy)."""
-        return np.asarray(self._values, dtype=float)
+        return self._values[:self._n].copy()
 
     def variance(self) -> float:
         """Sample variance; 0.0 for fewer than two samples."""
-        if len(self._values) < 2:
+        if self._n < 2:
             return 0.0
-        return float(np.var(self._values))
+        return float(np.var(self._values[:self._n]))
 
     def is_unvarying(self,
                      threshold: float = DEFAULT_VARIANCE_THRESHOLD) -> bool:
@@ -86,15 +140,13 @@ class TimeSeries:
 
     def window(self, start: float, end: float) -> "TimeSeries":
         """Sub-series restricted to ``start <= t <= end``."""
-        out = TimeSeries(self.key)
-        for t, v in zip(self._times, self._values):
-            if start <= t <= end:
-                out.append(t, v)
-        return out
+        lo = int(np.searchsorted(self._times[:self._n], start, side="left"))
+        hi = int(np.searchsorted(self._times[:self._n], end, side="right"))
+        return TimeSeries(self.key, self._times[lo:hi], self._values[lo:hi])
 
     def last_value(self, default: float = 0.0) -> float:
         """Most recent sample value, or ``default`` when empty."""
-        return self._values[-1] if self._values else default
+        return float(self._values[self._n - 1]) if self._n else default
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
         return f"TimeSeries({self.key}, n={len(self)})"

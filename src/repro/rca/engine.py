@@ -150,6 +150,20 @@ class RCAEngine:
             threshold=threshold,
         )
 
+    def compare_windows(self, correct, faulty,
+                        threshold: float = 0.5) -> RCAReport:
+        """Diff two streaming window analyses (Section 4.2, online).
+
+        ``correct`` and ``faulty`` are any objects exposing
+        ``to_sieve_result()`` -- in practice two
+        :class:`repro.streaming.analyzer.WindowAnalysis` snapshots taken
+        before and after a suspected regression, so RCA no longer needs
+        two dedicated offline loads.
+        """
+        return self.compare(correct.to_sieve_result(),
+                            faulty.to_sieve_result(),
+                            threshold=threshold)
+
     @staticmethod
     def _final_ranking(
         ranking: list[ComponentDiff],

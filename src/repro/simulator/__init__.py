@@ -23,7 +23,7 @@ this subpackage provides the substrate that stands in for them:
   components, topology, workload and monitoring together.
 """
 
-from repro.simulator.app import Application, LoadedRun
+from repro.simulator.app import Application, LiveRunSession, LoadedRun
 from repro.simulator.component import (
     CallSpec,
     Component,
@@ -47,6 +47,7 @@ __all__ = [
     "EventLoop",
     "FaultPlan",
     "FluidSimulation",
+    "LiveRunSession",
     "LoadedRun",
     "NetworkModel",
 ]

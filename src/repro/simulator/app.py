@@ -128,6 +128,35 @@ class Application:
         )
         return sim, tracer
 
+    def open_session(
+        self,
+        total_rate_fn,
+        seed: int = 0,
+        dt: float = 0.1,
+        scrape_interval: float = 0.5,
+        fault_plan: FaultPlan | None = None,
+        workload_name: str = "custom",
+        warmup: float = 5.0,
+        bus=None,
+        record_frame: bool = True,
+    ) -> "LiveRunSession":
+        """Open a step-wise load session (the streaming engine's driver).
+
+        The session exposes :meth:`LiveRunSession.advance` so the
+        application can be moved forward in arbitrary hops while an
+        external consumer (e.g. the streaming analysis engine) drains
+        the collected samples between hops.  :meth:`Application.load`
+        is exactly one session advanced in a single hop, so batch and
+        streaming runs observe bit-identical metric/trace streams for
+        a given seed.
+        """
+        return LiveRunSession(
+            self, total_rate_fn, seed=seed, dt=dt,
+            scrape_interval=scrape_interval, fault_plan=fault_plan,
+            workload_name=workload_name, warmup=warmup, bus=bus,
+            record_frame=record_frame,
+        )
+
     def load(
         self,
         total_rate_fn,
@@ -146,43 +175,97 @@ class Application:
         seconds run before collection starts so queues and delay lines
         reach their operating region.
         """
-        sim, tracer = self.build_simulation(
+        session = self.open_session(
+            total_rate_fn, seed=seed, dt=dt,
+            scrape_interval=scrape_interval, fault_plan=fault_plan,
+            workload_name=workload_name, warmup=warmup,
+        )
+        session.advance(duration)
+        return session.finish()
+
+
+class LiveRunSession:
+    """A load in progress: advance the simulation, consume as you go.
+
+    Construction performs the warmup; each :meth:`advance` steps the
+    simulation while the collector scrapes on its fixed schedule
+    (scrape state persists across hops, so ``advance(a); advance(b)``
+    records exactly what ``advance(a + b)`` would).  :meth:`finish`
+    seals the session into a :class:`LoadedRun`.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        total_rate_fn,
+        seed: int = 0,
+        dt: float = 0.1,
+        scrape_interval: float = 0.5,
+        fault_plan: FaultPlan | None = None,
+        workload_name: str = "custom",
+        warmup: float = 5.0,
+        bus=None,
+        record_frame: bool = True,
+    ):
+        self.application = application
+        self.workload_name = workload_name
+        self.seed = seed
+        self.sim, self.tracer = application.build_simulation(
             total_rate_fn, seed=seed, dt=dt, fault_plan=fault_plan
         )
-        store = MetricsStore()
-        collector = Collector(
-            sim.exporters(),
+        self.store = MetricsStore()
+        self.collector = Collector(
+            self.sim.exporters(),
             interval=scrape_interval,
             seed=seed + 1,
-            store=store,
+            # Streaming-only sessions skip the metered store as well as
+            # the frame: both grow unboundedly with run length, and the
+            # bus's window store is the bounded retention instead.
+            store=self.store if record_frame else None,
+            bus=bus,
+            record_frame=record_frame,
         )
-
+        self.sla_samples: list[tuple[float, float]] = []
+        self.elapsed = 0.0
         if warmup > 0:
-            sim.run(warmup)
+            self.sim.run(warmup)
+        self._next_scrape = self.sim.now
 
-        next_scrape = sim.now
-        sla_samples: list[tuple[float, float]] = []
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def advance(self, seconds: float) -> None:
+        """Run the simulation forward, scraping on schedule."""
+        application = self.application
 
         def on_step(s: FluidSimulation) -> None:
-            nonlocal next_scrape
-            while next_scrape <= s.now:
-                collector.scrape_once(next_scrape)
-                sla_samples.append(
-                    (next_scrape, self.end_to_end_latency(s))
+            while self._next_scrape <= s.now:
+                self.collector.scrape_once(self._next_scrape)
+                self.sla_samples.append(
+                    (self._next_scrape, application.end_to_end_latency(s))
                 )
-                next_scrape += collector.interval
+                self._next_scrape += self.collector.interval
 
-        sim.run(duration, on_step=on_step)
-        store.simulate_dashboard_reads()
+        self.sim.run(seconds, on_step=on_step)
+        self.elapsed += seconds
 
+    def call_graph(self, min_count: int = 2) -> CallGraph:
+        """The call graph observed so far."""
+        return self.tracer.call_graph(min_count=min_count)
+
+    def finish(self, min_count: int = 2) -> LoadedRun:
+        """Seal the session into a :class:`LoadedRun`."""
+        self.store.simulate_dashboard_reads()
         return LoadedRun(
-            application=self.name,
-            workload=workload_name,
-            seed=seed,
-            duration=duration,
-            frame=collector.frame,
-            call_graph=tracer.call_graph(min_count=2),
-            store=store,
-            tracer=tracer,
-            sla_samples=sla_samples,
+            application=self.application.name,
+            workload=self.workload_name,
+            seed=self.seed,
+            duration=self.elapsed,
+            frame=self.collector.frame,
+            call_graph=self.call_graph(min_count=min_count),
+            store=self.store,
+            tracer=self.tracer,
+            sla_samples=self.sla_samples,
         )

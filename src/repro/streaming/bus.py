@@ -1,0 +1,162 @@
+"""The ingestion bus: batched point writes from collectors to windows.
+
+Collectors (:class:`repro.metrics.collector.Collector` in push mode, or
+anything else speaking the ``publish`` protocol) hand the bus one
+scrape batch at a time.  The bus buffers points per (component, metric)
+and periodically *flushes*: each buffered run of points is converted to
+a pair of numpy arrays once and delivered to every subscriber in a
+single vectorized call -- the same batching discipline a real
+Telegraf -> InfluxDB hop applies to amortize per-write overhead.
+
+Subscribers are either callables ``fn(component, metric, times,
+values)`` or objects with that signature as an ``ingest`` method (a
+:class:`~repro.streaming.window.WindowStore`, a metered
+:class:`~repro.metrics.store.MetricsStore` adapter, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BusStats:
+    """Ingestion-side observability counters."""
+
+    points_published: int = 0
+    batches_published: int = 0
+    flushes: int = 0
+    points_flushed: int = 0
+    rejected_points: int = 0
+    """Points dropped because they arrived out of order for their key."""
+
+    def as_dict(self) -> dict:
+        return {
+            "points_published": self.points_published,
+            "batches_published": self.batches_published,
+            "flushes": self.flushes,
+            "points_flushed": self.points_flushed,
+            "rejected_points": self.rejected_points,
+        }
+
+
+@dataclass
+class _Buffer:
+    """Pending points of one (component, metric) key."""
+
+    times: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+
+class IngestionBus:
+    """Buffers point writes and fans batches out to subscribers."""
+
+    def __init__(self, flush_threshold: int = 4096):
+        """``flush_threshold`` caps buffered points before an automatic
+        flush (explicit :meth:`flush` calls still drive the cadence)."""
+        if flush_threshold < 1:
+            raise ValueError("flush_threshold must be >= 1")
+        self.flush_threshold = flush_threshold
+        self.stats = BusStats()
+        self._buffers: dict[tuple[str, str], _Buffer] = {}
+        self._pending = 0
+        self._sinks: list = []
+
+    # -- wiring --------------------------------------------------------
+
+    def subscribe(self, sink) -> None:
+        """Register a subscriber (callable or object with ``ingest``)."""
+        if callable(sink):
+            self._sinks.append(sink)
+        elif hasattr(sink, "ingest"):
+            self._sinks.append(sink.ingest)
+        else:
+            raise TypeError(
+                "subscriber must be callable or expose .ingest()"
+            )
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._sinks)
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, component: str, time: float,
+                metrics: dict[str, float]) -> None:
+        """Accept one component scrape batch (the collector protocol)."""
+        for metric, value in metrics.items():
+            buffer = self._buffers.setdefault((component, metric),
+                                              _Buffer())
+            if buffer.times and time < buffer.times[-1]:
+                self.stats.rejected_points += 1
+                continue
+            buffer.times.append(float(time))
+            buffer.values.append(float(value))
+            self._pending += 1
+            self.stats.points_published += 1
+        self.stats.batches_published += 1
+        if self._pending >= self.flush_threshold:
+            self.flush()
+
+    def publish_points(self, component: str, metric: str,
+                       times, values) -> None:
+        """Accept a pre-batched run of points for one metric."""
+        t = np.asarray(times, dtype=float).reshape(-1)
+        v = np.asarray(values, dtype=float).reshape(-1)
+        if t.size != v.size:
+            raise ValueError("times and values must have equal length")
+        if t.size == 0:
+            return
+        buffer = self._buffers.setdefault((component, metric), _Buffer())
+        if np.any(np.diff(t) < 0) \
+                or (buffer.times and t[0] < buffer.times[-1]):
+            self.stats.rejected_points += int(t.size)
+            return
+        buffer.times.extend(t.tolist())
+        buffer.values.extend(v.tolist())
+        self._pending += int(t.size)
+        self.stats.points_published += int(t.size)
+        self.stats.batches_published += 1
+        if self._pending >= self.flush_threshold:
+            self.flush()
+
+    # -- delivery ------------------------------------------------------
+
+    @property
+    def pending_points(self) -> int:
+        """Points buffered but not yet delivered."""
+        return self._pending
+
+    def flush(self) -> int:
+        """Deliver every buffered batch to every subscriber.
+
+        Returns the number of points delivered.  Empty flushes are
+        cheap, so callers can flush on a timer without guarding.
+        """
+        if not self._pending:
+            return 0
+        delivered = 0
+        buffers, self._buffers = self._buffers, {}
+        self._pending = 0
+        items = list(buffers.items())
+        for index, ((component, metric), buffer) in enumerate(items):
+            t = np.asarray(buffer.times, dtype=float)
+            v = np.asarray(buffer.values, dtype=float)
+            try:
+                for sink in self._sinks:
+                    sink(component, metric, t, v)
+            except Exception:
+                # Requeue everything not yet delivered so one bad
+                # subscriber/batch does not drop other keys' points.
+                for key, pending in items[index + 1:]:
+                    self._buffers[key] = pending
+                    self._pending += len(pending.times)
+                self.stats.flushes += 1
+                self.stats.points_flushed += delivered
+                raise
+            delivered += t.size
+        self.stats.flushes += 1
+        self.stats.points_flushed += delivered
+        return delivered

@@ -1,0 +1,98 @@
+"""Live consumers of the streaming engine's window analyses.
+
+Two consumers mirror the paper's case studies, moved online:
+
+* :class:`LiveScalingPolicy` keeps an autoscaling rule bound to the
+  *current* most-connected metric of the streaming dependency graph --
+  instead of the static guide a one-shot :class:`SieveResult` provides
+  (Section 4.1).  When the graph's election changes, the rule is
+  rebound and the event recorded.
+* :class:`WindowDiffRCA` snapshots any two retained windows and runs
+  the five-step RCA diff between them (Section 4.2), so a "correct
+  vs faulty" comparison no longer needs two dedicated offline loads --
+  pick a window before the regression and one after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autoscaling.rules import ScalingRule
+from repro.rca.engine import RCAEngine, RCAReport
+from repro.streaming.analyzer import WindowAnalysis
+from repro.streaming.engine import StreamingSieve
+
+
+@dataclass
+class RebindEvent:
+    """One guiding-metric change observed by the live policy."""
+
+    window_index: int
+    metric_component: str
+    metric: str
+
+
+class LiveScalingPolicy:
+    """Autoscaling rule that follows the streaming dependency graph.
+
+    Subscribe it to a :class:`StreamingSieve`; on every window it
+    re-elects the guiding metric (optionally restricted to one
+    component's exports) and rebinds the rule when the election
+    changed.  ``decide`` then delegates to the current rule.
+    """
+
+    def __init__(self, rule: ScalingRule,
+                 guide_component: str | None = None):
+        """``rule`` provides thresholds/bounds; its metric binding is
+        replaced as soon as the first window elects a guide.
+        ``guide_component`` restricts the election to one component's
+        metrics (e.g. the scaled component itself)."""
+        self.rule = rule
+        self.guide_component = guide_component
+        self.rebinds: list[RebindEvent] = []
+        self.windows_seen = 0
+
+    @property
+    def guiding_metric(self) -> tuple[str, str]:
+        """The (component, metric) currently steering decisions."""
+        return (self.rule.metric_component, self.rule.metric)
+
+    def on_window(self, analysis: WindowAnalysis) -> None:
+        """Engine callback: re-elect the guide from the fresh graph."""
+        self.windows_seen += 1
+        elected = analysis.guiding_metric(self.guide_component)
+        if elected is None or elected == self.guiding_metric:
+            return
+        component, metric = elected
+        self.rule = self.rule.rebind(component, metric)
+        self.rebinds.append(RebindEvent(
+            window_index=analysis.index,
+            metric_component=component,
+            metric=metric,
+        ))
+
+    def decide(self, now: float, metric_window,
+               current_instances: int) -> int:
+        """Scaling delta under the currently-bound rule."""
+        return self.rule.decide(now, metric_window, current_instances)
+
+
+class WindowDiffRCA:
+    """Root-cause analysis between two streaming windows."""
+
+    def __init__(self, engine: StreamingSieve,
+                 rca: RCAEngine | None = None):
+        self.engine = engine
+        self.rca = rca or RCAEngine()
+
+    def compare(self, correct: int = 0, faulty: int = -1,
+                threshold: float = 0.5) -> RCAReport:
+        """Diff two retained windows by history index.
+
+        ``correct`` defaults to the oldest retained window, ``faulty``
+        to the newest -- the "what changed since things were healthy"
+        question a paged operator actually asks.
+        """
+        window_c, window_f = self.engine.window_pair(correct, faulty)
+        return self.rca.compare_windows(window_c, window_f,
+                                        threshold=threshold)

@@ -1,0 +1,131 @@
+"""Co-simulation driver: advance the application, let the engine drink.
+
+Glues a :class:`~repro.simulator.app.LiveRunSession` (the step-wise
+load path that ``Application.load`` itself is built on) to a
+:class:`~repro.streaming.engine.StreamingSieve`: the collector pushes
+every scrape batch onto the engine's ingestion bus, the driver advances
+the simulation one hop at a time and ticks the engine with the tracer's
+current call graph in between.
+
+Because batch and streaming runs share the session code path, a driver
+run with ``record_frame=True`` can also hand back the *exact* batch
+result (:meth:`batch_result`) for the same trace and seed -- the basis
+of the streaming-vs-batch convergence guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import StreamingConfig
+from repro.core.results import SieveResult
+from repro.core.sieve import Sieve
+from repro.simulator.app import Application
+from repro.simulator.faults import FaultPlan
+from repro.streaming.analyzer import WindowAnalysis
+from repro.streaming.engine import StreamingSieve
+
+
+class SimulationStreamDriver:
+    """Runs an application and the streaming engine in lock-step."""
+
+    def __init__(
+        self,
+        application: Application,
+        workload_fn,
+        config: StreamingConfig | None = None,
+        seed: int = 1,
+        workload_name: str = "stream",
+        fault_plan: FaultPlan | None = None,
+        record_frame: bool = True,
+        engine: StreamingSieve | None = None,
+    ):
+        """``record_frame=False`` drops the cumulative batch frame so a
+        long-running stream keeps bounded memory (but loses
+        :meth:`batch_result`)."""
+        self.config = config or StreamingConfig()
+        self.application = application
+        self.engine = engine or StreamingSieve(
+            config=self.config, seed=seed,
+            application=application.name, workload=workload_name,
+        )
+        self.engine.application = application.name
+        self.engine.workload = workload_name
+        self.record_frame = record_frame
+        self.seed = seed
+        sieve_cfg = self.config.sieve
+        self.session = application.open_session(
+            workload_fn,
+            seed=seed,
+            dt=sieve_cfg.simulation_dt,
+            scrape_interval=sieve_cfg.grid_interval,
+            fault_plan=fault_plan,
+            workload_name=workload_name,
+            warmup=sieve_cfg.warmup,
+            bus=self.engine.bus,
+            record_frame=record_frame,
+        )
+
+    @property
+    def now(self) -> float:
+        return self.session.now
+
+    def run(
+        self,
+        duration: float,
+        on_window: Callable[[WindowAnalysis], None] | None = None,
+    ) -> list[WindowAnalysis]:
+        """Advance ``duration`` simulated seconds in engine-hop steps.
+
+        ``on_window`` is invoked for every produced analysis (in
+        addition to the engine's subscribed consumers).  Returns all
+        analyses of this call, in order.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        produced: list[WindowAnalysis] = []
+        min_count = self.config.sieve.callgraph_min_connections
+        remaining = duration
+        hop = self.config.hop
+        while remaining > 1e-9:
+            step = min(hop, remaining)
+            self.session.advance(step)
+            remaining -= step
+            analysis = self.engine.offer(
+                self.session.now, self.session.call_graph(min_count)
+            )
+            if analysis is not None:
+                produced.append(analysis)
+                if on_window is not None:
+                    on_window(analysis)
+        return produced
+
+    def final_analysis(self) -> WindowAnalysis | None:
+        """Force a full-retention analysis at the current time.
+
+        With retention covering the whole run, the resulting window
+        sees every recorded sample -- the streaming counterpart of the
+        batch analysis over the completed trace.
+        """
+        min_count = self.config.sieve.callgraph_min_connections
+        return self.engine.force_analysis(
+            self.session.now, self.session.call_graph(min_count)
+        )
+
+    def batch_result(self, seed: int | None = None) -> SieveResult:
+        """The offline ``Sieve`` result for the trace just streamed.
+
+        Seals the session and runs the batch analysis over the full
+        recorded frame -- bit-identical input to what ``Sieve.run``
+        would have recorded for the same seed, because batch loading is
+        the same session advanced in one hop.
+        """
+        if not self.record_frame:
+            raise ValueError(
+                "batch_result() needs record_frame=True at construction"
+            )
+        run = self.session.finish(
+            min_count=self.config.sieve.callgraph_min_connections
+        )
+        sieve = Sieve(self.application, config=self.config.sieve)
+        return sieve.analyze(run, seed=self.seed if seed is None else seed)

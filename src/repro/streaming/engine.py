@@ -1,0 +1,163 @@
+"""The streaming Sieve engine: ingest -> window -> analyze -> notify.
+
+:class:`StreamingSieve` owns the ingestion bus, the bounded window
+store, the windowed analyzer and the drift detector, and exposes a
+pull-driven ``offer(now, call_graph)`` tick: whoever advances time (the
+co-simulation driver, a replay loop, a real scrape thread) calls it
+after every hop; the engine flushes the bus and, once a hop boundary
+has passed and enough samples accumulated, analyzes the current window
+and notifies subscribed consumers (live autoscalers, RCA snapshots).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import StreamingConfig
+from repro.streaming.analyzer import (
+    StreamingStats,
+    WindowAnalysis,
+    WindowAnalyzer,
+)
+from repro.streaming.bus import IngestionBus
+from repro.streaming.drift import DriftDetector
+from repro.streaming.window import WindowStore
+from repro.tracing.callgraph import CallGraph
+
+
+class StreamingSieve:
+    """Continuously running Sieve over an ingestion stream."""
+
+    def __init__(self, config: StreamingConfig | None = None,
+                 seed: int = 0, bus: IngestionBus | None = None,
+                 application: str = "", workload: str = "stream"):
+        self.config = config or StreamingConfig()
+        self.seed = seed
+        self.application = application
+        self.workload = workload
+        self.bus = bus or IngestionBus()
+        self.windows = WindowStore(
+            retention=self.config.retention,
+            max_points_per_series=self.config.max_points_per_series,
+        )
+        self.bus.subscribe(self.windows)
+        self.drift = DriftDetector(
+            threshold=self.config.drift_threshold,
+            shape_threshold=self.config.drift_shape_threshold,
+        )
+        self.analyzer = WindowAnalyzer(
+            config=self.config, drift_detector=self.drift, seed=seed,
+        )
+        self.history: deque[WindowAnalysis] = deque(
+            maxlen=self.config.history
+        )
+        self.stats = StreamingStats()
+        self.skipped_windows = 0
+        self._consumers: list = []
+        self._next_analysis: float | None = None
+
+    # -- consumers -----------------------------------------------------
+
+    def subscribe(self, consumer) -> None:
+        """Register a consumer: callable or object with ``on_window``."""
+        if callable(consumer):
+            self._consumers.append(consumer)
+        elif hasattr(consumer, "on_window"):
+            self._consumers.append(consumer.on_window)
+        else:
+            raise TypeError(
+                "consumer must be callable or expose .on_window()"
+            )
+
+    # -- the tick ------------------------------------------------------
+
+    def offer(self, now: float,
+              call_graph: CallGraph) -> WindowAnalysis | None:
+        """Flush ingestion and analyze if a window boundary passed.
+
+        Returns the fresh :class:`WindowAnalysis` when one was run,
+        else None.  ``call_graph`` is the caller's current view of the
+        communication topology (from the tracer in co-simulation, or a
+        static deployment map).
+        """
+        cfg = self.config
+        self.bus.flush()
+
+        if self._next_analysis is None:
+            if self.windows.first_time is None:
+                return None
+            # First analysis once a full window of data exists.
+            self._next_analysis = self.windows.first_time + cfg.window
+        if now < self._next_analysis:
+            return None
+
+        self._next_analysis += cfg.hop
+        if self._next_analysis <= now:
+            # The caller hopped further than one cadence; realign.
+            self._next_analysis = now + cfg.hop
+        return self._analyze_window(now - cfg.window, now, call_graph)
+
+    def force_analysis(self, now: float, call_graph: CallGraph,
+                       start: float | None = None,
+                       ) -> WindowAnalysis | None:
+        """Analyze immediately, ignoring the hop schedule.
+
+        With ``start=None`` the *entire retained history* is analyzed
+        rather than one window -- the final full-retention pass a
+        stream shutdown (or a streaming-vs-batch comparison) wants.
+        Scrape jitter can stamp the newest sample slightly past ``now``,
+        so the full-history pass extends to the newest retained sample.
+        """
+        self.bus.flush()
+        if start is None:
+            first = self.windows.first_time
+            newest = self.windows.latest_time()
+            start = float("-inf") if first is None else first
+            end = now if newest is None else max(now, newest)
+            return self._analyze_window(start, end, call_graph)
+        return self._analyze_window(start, now, call_graph)
+
+    def _analyze_window(self, start: float, end: float,
+                        call_graph: CallGraph) -> WindowAnalysis | None:
+        frame = self.windows.snapshot(start, end)
+        if frame.total_samples() < self.config.min_window_samples:
+            self.skipped_windows += 1
+            return None
+        analysis = self.analyzer.analyze(
+            frame, call_graph, start, end,
+            index=self.stats.windows,
+        )
+        analysis.application = self.application
+        analysis.workload = self.workload
+        self.history.append(analysis)
+        self.stats.record(analysis)
+        for consumer in self._consumers:
+            consumer(analysis)
+        return analysis
+
+    # -- consumer-facing views ------------------------------------------
+
+    def latest(self) -> WindowAnalysis | None:
+        """Most recent window analysis, or None before the first."""
+        return self.history[-1] if self.history else None
+
+    def window_pair(self, first: int = 0,
+                    second: int = -1) -> tuple[WindowAnalysis,
+                                               WindowAnalysis]:
+        """Two retained analyses by history index (RCA diffs)."""
+        if len(self.history) < 2:
+            raise ValueError("need at least two analyzed windows")
+        retained = list(self.history)
+        return retained[first], retained[second]
+
+    def summary(self) -> dict:
+        """Engine-level counters for logs and benchmarks."""
+        return {
+            "application": self.application,
+            **self.stats.as_dict(),
+            "skipped_windows": self.skipped_windows,
+            "points_retained": self.windows.total_points(),
+            "points_evicted": self.windows.total_evicted(),
+            "series": self.windows.series_count(),
+            **self.bus.stats.as_dict(),
+        }

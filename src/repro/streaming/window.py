@@ -1,0 +1,237 @@
+"""Bounded per-metric ring buffers and the sharded window store.
+
+The streaming engine must survive unbounded ingestion with bounded
+memory.  Every metric gets a :class:`RingSeries`: a numpy-backed ring
+holding at most ``max_points`` samples and at most ``retention``
+seconds of history (whichever bound bites first).  A
+:class:`WindowStore` shards the rings by component -- mirroring how the
+analysis itself is per-component -- and can snapshot any time window
+into the :class:`~repro.metrics.timeseries.MetricFrame` the batch
+analysis steps already consume, so the windowed analyzer reuses the
+exact Step-#2/#3 code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
+
+#: Initial ring capacity (grows by doubling up to ``max_points``).
+_INITIAL_CAPACITY = 64
+
+
+class RingSeries:
+    """Recent samples of one metric, bounded in count and age.
+
+    Storage is a pair of numpy buffers with a live ``[start, end)``
+    region.  Appends are vectorized; eviction advances ``start`` (O(1))
+    and the buffer is compacted only when the dead prefix would block
+    an insertion, keeping amortized cost constant per sample.
+    """
+
+    __slots__ = ("key", "retention", "max_points",
+                 "_times", "_values", "_start", "_end", "evicted")
+
+    def __init__(self, key: MetricKey, retention: float = 120.0,
+                 max_points: int = 4096):
+        if retention <= 0:
+            raise ValueError("retention must be positive")
+        if max_points < 8:
+            raise ValueError("max_points must be >= 8")
+        self.key = key
+        self.retention = retention
+        self.max_points = max_points
+        capacity = min(_INITIAL_CAPACITY, max_points)
+        self._times = np.empty(capacity, dtype=float)
+        self._values = np.empty(capacity, dtype=float)
+        self._start = 0
+        self._end = 0
+        self.evicted = 0
+        """Samples dropped so far by either bound (observability)."""
+
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    def extend(self, times, values) -> None:
+        """Bulk-append ordered samples, then enforce both bounds."""
+        t = np.asarray(times, dtype=float).reshape(-1)
+        v = np.asarray(values, dtype=float).reshape(-1)
+        if t.size != v.size:
+            raise ValueError("times and values must have equal length")
+        if t.size == 0:
+            return
+        if np.any(np.diff(t) < 0):
+            raise ValueError("ring writes require non-decreasing times")
+        if len(self) and t[0] < self._times[self._end - 1]:
+            raise ValueError(
+                f"out-of-order ring write at t={t[0]} "
+                f"(last t={self._times[self._end - 1]})"
+            )
+        if t.size > self.max_points:
+            # The batch alone overflows the ring: only its tail survives.
+            self.evicted += t.size - self.max_points
+            t, v = t[-self.max_points:], v[-self.max_points:]
+
+        # Age bound, relative to the newest incoming sample -- applied
+        # to the stored samples and to the batch itself.
+        cutoff = t[-1] - self.retention
+        self.evict_before(cutoff)
+        stale = int(np.searchsorted(t, cutoff, side="left"))
+        if stale:
+            self.evicted += stale
+            t, v = t[stale:], v[stale:]
+        # Count bound: make room for the incoming batch.
+        overflow = len(self) + t.size - self.max_points
+        if overflow > 0:
+            self._start += overflow
+            self.evicted += overflow
+
+        live = self._end - self._start
+        need = live + t.size
+        if self._end + t.size > self._times.size:
+            if need > self._times.size:
+                capacity = min(max(2 * self._times.size, need),
+                               max(self.max_points, need))
+                new_times = np.empty(capacity, dtype=float)
+                new_values = np.empty(capacity, dtype=float)
+            else:
+                new_times, new_values = self._times, self._values
+            new_times[:live] = self._times[self._start:self._end]
+            new_values[:live] = self._values[self._start:self._end]
+            self._times, self._values = new_times, new_values
+            self._start, self._end = 0, live
+        self._times[self._end:self._end + t.size] = t
+        self._values[self._end:self._end + v.size] = v
+        self._end += int(t.size)
+
+    def append(self, time: float, value: float) -> None:
+        """Single-sample convenience wrapper around :meth:`extend`."""
+        self.extend([time], [value])
+
+    def evict_before(self, cutoff: float) -> int:
+        """Drop samples older than ``cutoff``; returns how many."""
+        live = self._times[self._start:self._end]
+        dropped = int(np.searchsorted(live, cutoff, side="left"))
+        self._start += dropped
+        self.evicted += dropped
+        return dropped
+
+    @property
+    def times(self) -> np.ndarray:
+        """Retained timestamps, oldest first (copy)."""
+        return self._times[self._start:self._end].copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Retained values, oldest first (copy)."""
+        return self._values[self._start:self._end].copy()
+
+    def span(self) -> tuple[float, float]:
+        """(oldest, newest) retained timestamp."""
+        if not len(self):
+            raise ValueError("ring holds no samples")
+        return float(self._times[self._start]), \
+            float(self._times[self._end - 1])
+
+    def window(self, start: float, end: float) -> TimeSeries:
+        """Retained samples with ``start <= t <= end`` as a TimeSeries."""
+        live_t = self._times[self._start:self._end]
+        lo = int(np.searchsorted(live_t, start, side="left"))
+        hi = int(np.searchsorted(live_t, end, side="right"))
+        lo += self._start
+        hi += self._start
+        return TimeSeries(self.key, self._times[lo:hi],
+                          self._values[lo:hi])
+
+
+class WindowStore:
+    """Per-component shards of :class:`RingSeries` (the engine's memory)."""
+
+    def __init__(self, retention: float = 120.0,
+                 max_points_per_series: int = 4096):
+        self.retention = retention
+        self.max_points_per_series = max_points_per_series
+        self._shards: dict[str, dict[str, RingSeries]] = {}
+        self.points_ingested = 0
+        self.first_time: float | None = None
+        """Earliest timestamp ever ingested (survives eviction)."""
+
+    # -- ingestion (the bus-subscriber protocol) -----------------------
+
+    def ingest(self, component: str, metric: str, times, values) -> None:
+        """Accept one flushed batch from the ingestion bus."""
+        shard = self._shards.setdefault(component, {})
+        ring = shard.get(metric)
+        if ring is None:
+            ring = RingSeries(MetricKey(component, metric),
+                              retention=self.retention,
+                              max_points=self.max_points_per_series)
+            shard[metric] = ring
+        ring.extend(times, values)
+        t = np.asarray(times, dtype=float).reshape(-1)
+        self.points_ingested += int(t.size)
+        if t.size and (self.first_time is None or t[0] < self.first_time):
+            self.first_time = float(t[0])
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def components(self) -> list[str]:
+        """Sorted component names currently sharded."""
+        return sorted(self._shards)
+
+    def metrics_of(self, component: str) -> list[str]:
+        """Sorted metric names of one component's shard."""
+        return sorted(self._shards.get(component, {}))
+
+    def series(self, component: str, metric: str) -> RingSeries | None:
+        """One ring, or None when unknown."""
+        return self._shards.get(component, {}).get(metric)
+
+    def series_count(self) -> int:
+        """Number of live rings."""
+        return sum(len(shard) for shard in self._shards.values())
+
+    def total_points(self) -> int:
+        """Samples currently retained across every ring."""
+        return sum(len(ring) for shard in self._shards.values()
+                   for ring in shard.values())
+
+    def total_evicted(self) -> int:
+        """Samples dropped so far by retention/count bounds."""
+        return sum(ring.evicted for shard in self._shards.values()
+                   for ring in shard.values())
+
+    def latest_time(self) -> float | None:
+        """Newest retained timestamp, or None when empty."""
+        newest = None
+        for shard in self._shards.values():
+            for ring in shard.values():
+                if len(ring):
+                    last = ring.span()[1]
+                    newest = last if newest is None else max(newest, last)
+        return newest
+
+    def evict_before(self, cutoff: float) -> int:
+        """Force an age-based eviction pass over every ring."""
+        return sum(ring.evict_before(cutoff)
+                   for shard in self._shards.values()
+                   for ring in shard.values())
+
+    # -- analysis hand-off ---------------------------------------------
+
+    def snapshot(self, start: float = float("-inf"),
+                 end: float = float("inf")) -> MetricFrame:
+        """Materialize ``[start, end]`` as a MetricFrame for analysis.
+
+        Only non-empty series are included, so components that went
+        silent simply vanish from the frame (and hence the analysis).
+        """
+        frame = MetricFrame()
+        for shard in self._shards.values():
+            for ring in shard.values():
+                ts = ring.window(start, end)
+                if len(ts):
+                    frame.add(ts)
+        return frame

@@ -54,6 +54,41 @@ class TestTimeSeries:
         ts.append(0.0, 3.0)
         assert ts.last_value() == 3.0
 
+    def test_extend_matches_append(self):
+        times = np.linspace(0.0, 10.0, 40)
+        values = np.sin(times)
+        bulk = TimeSeries(MetricKey("c", "m"))
+        bulk.extend(times, values)
+        pointwise = TimeSeries(MetricKey("c", "m"))
+        for t, v in zip(times, values):
+            pointwise.append(t, v)
+        np.testing.assert_array_equal(bulk.times, pointwise.times)
+        np.testing.assert_array_equal(bulk.values, pointwise.values)
+
+    def test_extend_validates_order(self):
+        ts = TimeSeries(MetricKey("c", "m"), [0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            ts.extend([0.5, 2.0], [1.0, 2.0])  # behind the last sample
+        with pytest.raises(ValueError):
+            ts.extend([2.0, 1.5], [1.0, 2.0])  # internally unordered
+        with pytest.raises(ValueError):
+            ts.extend([2.0, 3.0], [1.0])  # length mismatch
+        ts.extend([], [])  # empty batch is a no-op
+        assert len(ts) == 2
+
+    def test_constructor_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            TimeSeries(MetricKey("c", "m"), [3.0, 1.0, 2.0],
+                       [0.0, 0.0, 0.0])
+
+    def test_extend_then_append_interleave(self):
+        ts = TimeSeries(MetricKey("c", "m"))
+        ts.extend([0.0, 1.0], [0.0, 1.0])
+        ts.append(2.0, 2.0)
+        ts.extend([2.5, 3.0], [2.5, 3.0])
+        np.testing.assert_array_equal(ts.times,
+                                      [0.0, 1.0, 2.0, 2.5, 3.0])
+
 
 class TestMetricFrame:
     def test_series_creation_and_lookup(self):
@@ -160,6 +195,24 @@ class TestMetricsStore:
         assert full.sample_count() == 200
         for key in ("cpu_seconds", "db_bytes", "network_in_bytes"):
             assert reduced.usage.summary()[key] < full.usage.summary()[key]
+
+    def test_write_series_vectorized_equals_pointwise(self):
+        ts = TimeSeries(MetricKey("c", "m"),
+                        np.arange(30.0), np.arange(30.0) * 2)
+        bulk = MetricsStore()
+        bulk.write_series(ts)
+        pointwise = MetricsStore()
+        for t, v in zip(ts.times, ts.values):
+            pointwise.write_point("c", "m", t, v)
+        np.testing.assert_array_equal(
+            bulk.query("c", "m").values, pointwise.query("c", "m").values)
+        assert bulk.sample_count() == pointwise.sample_count() == 30
+
+    def test_write_batch(self):
+        store = MetricsStore()
+        store.write_batch("c", "m", [0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert store.sample_count() == 3
+        assert store.usage.samples_written == 3
 
     def test_dashboard_reads_charge_egress(self):
         store = MetricsStore()
