@@ -6,7 +6,14 @@ Subcommands mirror the paper's workflows:
   print the reduction and dependency summary (optionally write a JSON
   snapshot);
 * ``stream`` -- run the streaming analysis engine against a live
-  co-simulated application and print per-window summaries;
+  co-simulated application and print per-window summaries (with
+  ``--journal``/``--checkpoint`` the run is crash-safe, and
+  ``--resume`` continues a killed run from its checkpoint);
+* ``record`` -- capture a live run into a durable storage backend
+  (sqlite file or spill directory);
+* ``replay`` -- re-analyze a recorded backend from disk and replay it
+  through the metered store, reproducing the Table 3 monitoring-cost
+  comparison without re-running the application;
 * ``rca`` -- run the OpenStack correct/faulty comparison and print the
   ranked root-cause candidates;
 * ``trace-overhead`` -- the Figure 5 tracing-technique comparison;
@@ -17,7 +24,9 @@ Subcommands mirror the paper's workflows:
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+from pathlib import Path
 
 from repro.apps import (
     build_openstack_application,
@@ -25,9 +34,25 @@ from repro.apps import (
     openstack_fault_plan,
     run_ab_benchmark,
 )
-from repro.core import Sieve, StreamingConfig, save_snapshot
+from repro.core import Sieve, SieveConfig, StreamingConfig, save_snapshot
+from repro.metrics.accounting import reduction_percent
+from repro.metrics.store import MetricsStore
+from repro.persistence import (
+    CheckpointPolicy,
+    IngestJournal,
+    load_checkpoint,
+    open_backend,
+    restore_engine,
+)
 from repro.rca import RCAEngine
-from repro.streaming import SimulationStreamDriver
+from repro.simulator.app import LoadedRun
+from repro.streaming import (
+    IngestionBus,
+    SimulationStreamDriver,
+    StreamingSieve,
+)
+from repro.tracing.callgraph import CallGraph
+from repro.tracing.sysdig import SysdigTracer
 from repro.workload import RallyRunner, RandomWorkload, constant_rate
 
 APPLICATIONS = {
@@ -60,21 +85,88 @@ def cmd_pipeline(args) -> int:
     return 0
 
 
+def _build_workload(args):
+    if args.workload == "random":
+        return RandomWorkload(duration=args.duration, seed=args.seed)
+    return constant_rate(args.rate)
+
+
 def cmd_stream(args) -> int:
     application = APPLICATIONS[args.app]()
     config = StreamingConfig(
         window=args.window,
         hop=args.hop,
         retention=max(args.retention, args.window),
+        checkpoint_every_windows=args.checkpoint_every,
     )
-    if args.workload == "random":
-        workload = RandomWorkload(duration=args.duration, seed=args.seed)
-    else:
-        workload = constant_rate(args.rate)
+    workload = _build_workload(args)
+    if args.resume and not args.journal:
+        # Without the journal the restored rings are empty and the
+        # resumed windows silently diverge from an uninterrupted run.
+        print("--resume needs --journal (the ingest log to replay)",
+              file=sys.stderr)
+        return 2
+    # A fresh (non-resume) run starts its journal over; appending a
+    # second run's timeline onto an old journal would make any later
+    # replay reject the restart of time as out-of-order.
+    journal = IngestJournal(args.journal, truncate=not args.resume) \
+        if args.journal else None
+    if not args.resume and args.checkpoint \
+            and Path(args.checkpoint).exists():
+        # A stale checkpoint from a previous session must not survive
+        # a fresh start: if this run crashed before its first window,
+        # --resume would otherwise restore the *old* session's state
+        # over the new journal.
+        Path(args.checkpoint).unlink()
+
+    engine = None
+    if args.resume:
+        if not (args.checkpoint and Path(args.checkpoint).exists()):
+            print("--resume needs an existing --checkpoint file",
+                  file=sys.stderr)
+            return 2
+        state = load_checkpoint(args.checkpoint)
+        # The resumed co-simulation must be the *same* trace the dead
+        # run was on; a mismatched seed/app/workload would silently
+        # continue a different simulation on top of the old rings.
+        mismatched = [
+            (name, recorded, given)
+            for name, recorded, given in (
+                ("seed", state["seed"], args.seed),
+                ("app", state["application"], args.app),
+                ("workload", state["workload"], args.workload),
+            )
+            if recorded != given
+        ]
+        if mismatched:
+            for name, recorded, given in mismatched:
+                print(f"--resume {name} mismatch: checkpoint has "
+                      f"{recorded!r}, given {given!r}", file=sys.stderr)
+            return 2
+        engine = restore_engine(state, config,
+                                journal_path=args.journal,
+                                journal=journal)
+        print(f"resumed from {args.checkpoint} "
+              f"(window {engine.stats.windows}, "
+              f"{engine.windows.total_points()} points replayed)")
+    elif journal is not None:
+        engine = StreamingSieve(
+            config=config, seed=args.seed, journal=journal,
+            application=args.app, workload=args.workload,
+        )
+
     driver = SimulationStreamDriver(
         application, workload, config=config, seed=args.seed,
         workload_name=args.workload, record_frame=args.compare,
+        engine=engine,
     )
+    if args.checkpoint:
+        # ``--checkpoint-every 0`` genuinely disables the cadence
+        # (matching StreamingConfig's documented semantics).
+        policy = CheckpointPolicy(driver.engine, args.checkpoint,
+                                  every=args.checkpoint_every)
+        driver.engine.subscribe(policy)
+
 
     def on_window(analysis) -> None:
         s = analysis.summary()
@@ -90,10 +182,29 @@ def cmd_stream(args) -> int:
               f"reuse={s['reused']:>2}  "
               f"analysis={s['analysis_ms']:>8.1f}ms")
 
-    print(f"streaming {args.app} for {args.duration:.0f}s "
+    if args.resume:
+        # How far the dead run got: its resume horizon relative to the
+        # fresh session's post-warmup clock (the same cutoff
+        # resume_run fast-forwards to).
+        target = driver.engine.resume_horizon()
+        elapsed_dead = 0.0 if target is None \
+            else max(target - driver.session.now, 0.0)
+        remaining = max(args.duration - elapsed_dead, 0.0)
+    else:
+        remaining = max(args.duration - driver.session.elapsed, 0.0)
+    print(f"streaming {args.app} for {remaining:.0f}s "
           f"(window={config.window:.0f}s hop={config.hop:.0f}s "
           f"retention={config.retention:.0f}s)")
-    driver.run(args.duration, on_window=on_window)
+    if remaining > 0:
+        if args.resume:
+            # resume_run fast-forwards the seeded co-simulation past
+            # everything the replayed journal holds, then realigns the
+            # engine ticks with the dead run's hop grid.
+            driver.resume_run(remaining, on_window=on_window)
+        else:
+            driver.run(remaining, on_window=on_window)
+    if journal is not None:
+        journal.commit()
     print()
     for key, value in driver.engine.summary().items():
         print(f"{key:>24}: {value}")
@@ -107,6 +218,104 @@ def cmd_stream(args) -> int:
             print(f"{'batch reps':>24}: {batch.total_representatives()}")
             print(f"{'edge jaccard':>24}: "
                   f"{edge_jaccard(final.dependency_graph, batch.dependency_graph):.3f}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    """Capture a live co-simulated run into a durable backend.
+
+    Recording needs only the scrape stream and the final call graph,
+    so the session publishes straight to the backend -- no windowed
+    analysis runs (clustering and Granger belong to ``replay``).
+    """
+    application = APPLICATIONS[args.app]()
+    sieve_cfg = SieveConfig()
+    out = Path(args.out)
+    if out.exists():
+        # Recording overwrites: appending a second run's timeline to
+        # an existing backend would be rejected as out-of-order.
+        shutil.rmtree(out) if out.is_dir() else out.unlink()
+    for sidecar in (Path(str(out) + "-wal"), Path(str(out) + "-shm")):
+        sidecar.unlink(missing_ok=True)
+    backend = open_backend(args.backend, args.out)
+    bus = IngestionBus()
+    bus.subscribe(backend)
+    session = application.open_session(
+        _build_workload(args),
+        seed=args.seed,
+        dt=sieve_cfg.simulation_dt,
+        scrape_interval=sieve_cfg.grid_interval,
+        workload_name=args.workload,
+        warmup=sieve_cfg.warmup,
+        bus=bus,
+        record_frame=False,
+    )
+    session.advance(args.duration)
+    bus.flush()
+    call_graph = session.call_graph(
+        sieve_cfg.callgraph_min_connections
+    )
+    backend.set_metadata({
+        "application": args.app,
+        "workload": args.workload,
+        "seed": args.seed,
+        "duration": args.duration,
+        "call_graph": call_graph.edges(),
+    })
+    samples = backend.sample_count()
+    series = backend.series_count()
+    backend.close()
+    print(f"recorded {samples} samples across {series} series "
+          f"to {args.backend}:{args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-analyze a recorded backend and meter the Table 3 replay."""
+    backend = open_backend(args.backend, args.path)
+    meta = backend.metadata()
+    frame = backend.to_frame()
+    if not len(frame):
+        print(f"no series found in {args.backend}:{args.path}",
+              file=sys.stderr)
+        return 2
+    call_graph = CallGraph()
+    for caller, callee, count in meta.get("call_graph", []):
+        call_graph.record_call(caller, callee, int(count))
+    run = LoadedRun(
+        application=meta.get("application", "recorded"),
+        workload=meta.get("workload", "recorded"),
+        seed=int(meta.get("seed", args.seed)),
+        duration=float(meta.get("duration", 0.0)),
+        frame=frame,
+        call_graph=call_graph,
+        store=MetricsStore(),
+        tracer=SysdigTracer(),
+    )
+    builder = APPLICATIONS.get(meta.get("application"),
+                               build_sharelatex_application)
+    result = Sieve(builder()).analyze(run, seed=run.seed)
+    print(f"replayed {run.application}/{run.workload} from "
+          f"{args.backend}:{args.path}")
+    for key, value in result.summary().items():
+        print(f"{key:>18}: {value}")
+
+    # Table 3 from disk: replay everything vs representatives only.
+    keep = result.representative_keys()
+    before, after = MetricsStore(), MetricsStore()
+    before.replay_frame(frame)
+    before.simulate_dashboard_reads()
+    after.replay_frame(frame, keep=keep)
+    after.simulate_dashboard_reads()
+    b, a = before.usage.summary(), after.usage.summary()
+    print(f"\n{'resource':>18}  {'all metrics':>14}  "
+          f"{'representatives':>15}  {'saving':>7}")
+    for key in ("cpu_seconds", "db_bytes",
+                "network_in_bytes", "network_out_bytes"):
+        saving = reduction_percent(b[key], a[key])
+        print(f"{key:>18}  {b[key]:>14.1f}  {a[key]:>15.1f}  "
+              f"{saving:>6.1f}%")
+    backend.close()
     return 0
 
 
@@ -191,8 +400,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--compare", action="store_true",
                           help="also run the batch analysis and report "
                                "streaming-vs-batch convergence")
+    p_stream.add_argument("--journal", metavar="PATH",
+                          help="write-ahead ingest journal (makes the "
+                               "run replayable after a crash)")
+    p_stream.add_argument("--checkpoint", metavar="PATH",
+                          help="checkpoint analysis state to PATH")
+    p_stream.add_argument("--checkpoint-every", type=int, default=1,
+                          metavar="N",
+                          help="checkpoint every N analyzed windows")
+    p_stream.add_argument("--resume", action="store_true",
+                          help="restore state from --checkpoint (and "
+                               "replay --journal) before streaming")
     _add_common(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_record = sub.add_parser(
+        "record",
+        help="capture a live run into a durable storage backend")
+    p_record.add_argument("--app", choices=sorted(APPLICATIONS),
+                          default="sharelatex")
+    p_record.add_argument("--backend", choices=("sqlite", "spill"),
+                          default="sqlite")
+    p_record.add_argument("--out", required=True, metavar="PATH",
+                          help="sqlite database file or spill directory")
+    p_record.add_argument("--workload", choices=("random", "constant"),
+                          default="random")
+    p_record.add_argument("--rate", type=float, default=25.0)
+    _add_common(p_record)
+    p_record.set_defaults(func=cmd_record)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-analyze a recorded backend and meter the replay")
+    p_replay.add_argument("--backend", choices=("sqlite", "spill"),
+                          default="sqlite")
+    p_replay.add_argument("--path", required=True, metavar="PATH",
+                          help="recorded sqlite file or spill directory")
+    p_replay.add_argument("--seed", type=int, default=1)
+    p_replay.set_defaults(func=cmd_replay)
 
     p_rca = sub.add_parser(
         "rca", help="OpenStack correct-vs-faulty root cause analysis")

@@ -104,6 +104,21 @@ class StreamingConfig:
     history: int = 32
     """Window analyses the engine keeps for consumers (RCA diffs)."""
 
+    bus_max_pending: int = 0
+    """Backpressure cap on points buffered in the ingestion bus before
+    the overflow policy sheds load (0 = unbounded, the default)."""
+
+    bus_overflow_policy: str = "drop_oldest"
+    """What to shed when ``bus_max_pending`` is exceeded:
+    ``"drop_oldest"`` discards the oldest buffered points,
+    ``"downsample"`` halves every buffered series (keeping every other
+    sample) until the cap holds."""
+
+    checkpoint_every_windows: int = 0
+    """Auto-checkpoint cadence of
+    :class:`repro.persistence.checkpoint.CheckpointPolicy` (0 = only
+    checkpoint when explicitly asked)."""
+
     sieve: SieveConfig = field(default_factory=SieveConfig)
     """The batch-analysis tunables applied inside every window."""
 
@@ -120,3 +135,12 @@ class StreamingConfig:
             raise ValueError("full_refresh_windows must be >= 0")
         if self.history < 2:
             raise ValueError("history must keep at least two windows")
+        if self.bus_max_pending < 0:
+            raise ValueError("bus_max_pending must be >= 0")
+        if self.bus_overflow_policy not in ("drop_oldest", "downsample"):
+            raise ValueError(
+                f"unknown bus_overflow_policy "
+                f"{self.bus_overflow_policy!r}"
+            )
+        if self.checkpoint_every_windows < 0:
+            raise ValueError("checkpoint_every_windows must be >= 0")

@@ -24,39 +24,92 @@ from repro.core.results import SieveResult
 SNAPSHOT_VERSION = 1
 
 
+def clustering_to_dict(clustering: ComponentClustering) -> dict:
+    """One component clustering as a JSON-compatible dict."""
+    return {
+        "silhouette": clustering.silhouette,
+        "k_scores": {str(k): v for k, v in clustering.k_scores.items()},
+        "filtered_metrics": list(clustering.filtered_metrics),
+        "total_metrics": clustering.total_metrics,
+        "clusters": [
+            {
+                "index": cluster.index,
+                "metrics": list(cluster.metrics),
+                "representative": cluster.representative,
+                "centroid": [float(x) for x in cluster.centroid],
+                "distances": {m: float(d)
+                              for m, d in cluster.distances.items()},
+            }
+            for cluster in clustering.clusters
+        ],
+    }
+
+
+def clustering_from_dict(component: str,
+                         payload: dict) -> ComponentClustering:
+    """Inverse of :func:`clustering_to_dict`."""
+    clusters = [
+        Cluster(
+            index=int(c["index"]),
+            metrics=list(c["metrics"]),
+            representative=c["representative"],
+            centroid=np.asarray(c["centroid"], dtype=float),
+            distances={m: float(d) for m, d in c["distances"].items()},
+        )
+        for c in payload["clusters"]
+    ]
+    return ComponentClustering(
+        component=component,
+        clusters=clusters,
+        silhouette=float(payload["silhouette"]),
+        k_scores={int(k): float(v)
+                  for k, v in payload["k_scores"].items()},
+        filtered_metrics=list(payload["filtered_metrics"]),
+        total_metrics=int(payload["total_metrics"]),
+    )
+
+
+def graph_to_dict(graph: DependencyGraph) -> dict:
+    """A dependency graph as a JSON-compatible dict."""
+    return {
+        "components": graph.components,
+        "relations": [
+            {
+                "source_component": r.source_component,
+                "source_metric": r.source_metric,
+                "target_component": r.target_component,
+                "target_metric": r.target_metric,
+                "lag": r.lag,
+                "p_value": r.p_value,
+                "f_statistic": r.f_statistic,
+            }
+            for r in graph.relations
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> DependencyGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = DependencyGraph(components=data["components"])
+    for r in data["relations"]:
+        graph.add_relation(MetricRelation(
+            source_component=r["source_component"],
+            source_metric=r["source_metric"],
+            target_component=r["target_component"],
+            target_metric=r["target_metric"],
+            lag=int(r["lag"]),
+            p_value=float(r["p_value"]),
+            f_statistic=float(r.get("f_statistic", 0.0)),
+        ))
+    return graph
+
+
 def snapshot(result: SieveResult) -> dict:
     """Serialize a :class:`SieveResult` to a JSON-compatible dict."""
-    clusterings = {}
-    for component, clustering in result.clusterings.items():
-        clusterings[component] = {
-            "silhouette": clustering.silhouette,
-            "k_scores": {str(k): v for k, v in clustering.k_scores.items()},
-            "filtered_metrics": list(clustering.filtered_metrics),
-            "total_metrics": clustering.total_metrics,
-            "clusters": [
-                {
-                    "index": cluster.index,
-                    "metrics": list(cluster.metrics),
-                    "representative": cluster.representative,
-                    "centroid": [float(x) for x in cluster.centroid],
-                    "distances": {m: float(d)
-                                  for m, d in cluster.distances.items()},
-                }
-                for cluster in clustering.clusters
-            ],
-        }
-    relations = [
-        {
-            "source_component": r.source_component,
-            "source_metric": r.source_metric,
-            "target_component": r.target_component,
-            "target_metric": r.target_metric,
-            "lag": r.lag,
-            "p_value": r.p_value,
-            "f_statistic": r.f_statistic,
-        }
-        for r in result.dependency_graph.relations
-    ]
+    clusterings = {
+        component: clustering_to_dict(clustering)
+        for component, clustering in result.clusterings.items()
+    }
     metrics_by_component = {
         component: result.run.frame.metrics_of(component)
         for component in result.run.frame.components
@@ -71,10 +124,7 @@ def snapshot(result: SieveResult) -> dict:
         },
         "metrics_by_component": metrics_by_component,
         "clusterings": clusterings,
-        "dependency_graph": {
-            "components": result.dependency_graph.components,
-            "relations": relations,
-        },
+        "dependency_graph": graph_to_dict(result.dependency_graph),
     }
 
 
@@ -107,41 +157,11 @@ def from_snapshot(data: dict) -> AnalysisSnapshot:
             f"unsupported snapshot version {version!r} "
             f"(expected {SNAPSHOT_VERSION})"
         )
-    clusterings: dict[str, ComponentClustering] = {}
-    for component, payload in data["clusterings"].items():
-        clusters = [
-            Cluster(
-                index=int(c["index"]),
-                metrics=list(c["metrics"]),
-                representative=c["representative"],
-                centroid=np.asarray(c["centroid"], dtype=float),
-                distances={m: float(d)
-                           for m, d in c["distances"].items()},
-            )
-            for c in payload["clusters"]
-        ]
-        clusterings[component] = ComponentClustering(
-            component=component,
-            clusters=clusters,
-            silhouette=float(payload["silhouette"]),
-            k_scores={int(k): float(v)
-                      for k, v in payload["k_scores"].items()},
-            filtered_metrics=list(payload["filtered_metrics"]),
-            total_metrics=int(payload["total_metrics"]),
-        )
-    graph = DependencyGraph(
-        components=data["dependency_graph"]["components"]
-    )
-    for r in data["dependency_graph"]["relations"]:
-        graph.add_relation(MetricRelation(
-            source_component=r["source_component"],
-            source_metric=r["source_metric"],
-            target_component=r["target_component"],
-            target_metric=r["target_metric"],
-            lag=int(r["lag"]),
-            p_value=float(r["p_value"]),
-            f_statistic=float(r.get("f_statistic", 0.0)),
-        ))
+    clusterings = {
+        component: clustering_from_dict(component, payload)
+        for component, payload in data["clusterings"].items()
+    }
+    graph = graph_from_dict(data["dependency_graph"])
     run = data["run"]
     return AnalysisSnapshot(
         application=run["application"],

@@ -1,4 +1,4 @@
-"""In-memory time-series store with InfluxDB-style semantics.
+"""Metered time-series store with InfluxDB-style semantics.
 
 The store accepts point writes tagged with (component, metric), answers
 range queries, and meters its own resource consumption through
@@ -7,48 +7,64 @@ monitoring configurations.  Replaying a recorded
 :class:`~repro.metrics.timeseries.MetricFrame` through a store simulates
 "what monitoring would have cost" for an arbitrary metric subset --
 exactly how the paper evaluates Sieve's reduction gains.
+
+Where the samples actually live is delegated to a pluggable
+:class:`~repro.persistence.backend.StorageBackend`: the default
+:class:`~repro.persistence.backend.MemoryBackend` preserves the
+original in-RAM behaviour, while
+:class:`~repro.persistence.sqlite_backend.SqliteBackend` /
+:class:`~repro.persistence.spill.SpillBackend` make the same metered
+store durable -- the metering itself is backend-agnostic.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.metrics.accounting import CostModel, ResourceUsage
 from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persistence.backend import StorageBackend
+
 
 class MetricsStore:
-    """Metered, in-memory stand-in for InfluxDB."""
+    """Metered stand-in for InfluxDB over a pluggable backend."""
 
-    def __init__(self, cost_model: CostModel | None = None):
+    def __init__(self, cost_model: CostModel | None = None,
+                 backend: "StorageBackend | None" = None):
         self.cost_model = cost_model or CostModel()
         self.usage = ResourceUsage()
-        self._frame = MetricFrame()
+        if backend is None:
+            # Deferred import: repro.persistence.backend itself imports
+            # repro.metrics.timeseries, so a module-level import here
+            # would close an import cycle through the package inits.
+            from repro.persistence.backend import MemoryBackend
+
+            backend = MemoryBackend()
+        self.backend = backend
 
     # -- write path ---------------------------------------------------
 
     def write_point(self, component: str, metric: str,
                     time: float, value: float) -> None:
         """Ingest a single sample."""
-        series = self._frame.series(component, metric)
-        series.append(time, value)
+        self.backend.write(component, metric, (time,), (value,))
         self.usage.charge_write(MetricKey(component, metric), 1,
                                 self.cost_model)
 
     def write_series(self, ts: TimeSeries) -> None:
         """Ingest a whole series (one vectorized bulk write)."""
-        target = self._frame.series(ts.key.component, ts.key.metric)
-        target.extend(ts.times, ts.values)
+        self.backend.write(ts.key.component, ts.key.metric,
+                           ts.times, ts.values)
         self.usage.charge_write(ts.key, len(ts), self.cost_model)
 
     def write_batch(self, component: str, metric: str,
                     times, values) -> None:
         """Ingest a batch of samples for one metric (streaming path)."""
-        series = self._frame.series(component, metric)
-        before = len(series)
-        series.extend(times, values)
+        written = self.backend.write(component, metric, times, values)
         self.usage.charge_write(MetricKey(component, metric),
-                                len(series) - before, self.cost_model)
+                                written, self.cost_model)
 
     def replay_frame(self, frame: MetricFrame,
                      keep: Iterable[MetricKey] | None = None) -> None:
@@ -70,12 +86,7 @@ class MetricsStore:
               start: float = float("-inf"),
               end: float = float("inf")) -> TimeSeries:
         """Range query for one series; empty result for unknown keys."""
-        key = MetricKey(component, metric)
-        stored = self._frame.get(key)
-        if stored is None:
-            result = TimeSeries(key)
-        else:
-            result = stored.window(start, end)
+        result = self.backend.query(component, metric, start, end)
         self.usage.charge_query(len(result), 1, self.cost_model)
         return result
 
@@ -93,24 +104,35 @@ class MetricsStore:
         saves less egress than ingress (paper Table 3: -51% vs -79%).
         """
         model = self.cost_model
-        n_series = len(self._frame)
+        n_series = self.backend.series_count()
         panels = min(n_series, model.dashboard_panels)
         self.usage.charge_query(panels * model.panel_window_samples,
                                 panels, model)
-        streamed = int(self._frame.total_samples() * model.query_fraction)
+        streamed = int(self.backend.sample_count() * model.query_fraction)
         self.usage.charge_query(streamed, n_series, model)
 
     # -- introspection ------------------------------------------------
 
     @property
     def frame(self) -> MetricFrame:
-        """The stored data (live view, do not mutate)."""
-        return self._frame
+        """The stored data as a frame.
+
+        With the default :class:`MemoryBackend` this is the live frame
+        (do not mutate); durable backends materialize a copy.
+        """
+        return self.backend.to_frame()
 
     def series_count(self) -> int:
         """Number of distinct series stored."""
-        return len(self._frame)
+        return self.backend.series_count()
 
     def sample_count(self) -> int:
         """Total samples stored."""
-        return self._frame.total_samples()
+        return self.backend.sample_count()
+
+    def flush(self) -> None:
+        """Make writes durable (no-op for the memory backend)."""
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()

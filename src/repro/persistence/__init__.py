@@ -1,0 +1,78 @@
+"""Durable persistence & replay: storage backends, journal, checkpoints.
+
+The analysis pipeline is storage-agnostic: a
+:class:`~repro.persistence.backend.StorageBackend` holds the series,
+and everything above it (the metered
+:class:`~repro.metrics.store.MetricsStore`, the streaming
+:class:`~repro.streaming.window.WindowStore`, the ``repro record`` /
+``repro replay`` CLI) delegates to whichever implementation is
+plugged in:
+
+* :class:`~repro.persistence.backend.MemoryBackend` -- the original
+  in-RAM MetricFrame (default, zero overhead);
+* :class:`~repro.persistence.sqlite_backend.SqliteBackend` -- durable
+  point log with indexed range scans in one sqlite file;
+* :class:`~repro.persistence.spill.SpillBackend` -- hot numpy tails in
+  RAM, cold immutable segments on disk (npz, or parquet when pyarrow
+  is available) behind an ``index.json``.
+
+Crash safety for streaming runs composes two pieces:
+
+* :class:`~repro.persistence.journal.IngestJournal` -- a write-ahead
+  log of every batch the ingestion bus flushes, replayable to rebuild
+  the window-store rings bit-identically;
+* :mod:`~repro.persistence.checkpoint` -- per-epoch snapshots of the
+  analysis state (clusterings, dependency graph, drift baselines, hop
+  schedule) so a restored engine continues incrementally.
+"""
+
+from repro.persistence.backend import (
+    BackendBase,
+    MemoryBackend,
+    StorageBackend,
+)
+from repro.persistence.journal import (
+    IngestJournal,
+    journal_record_count,
+    replay_journal,
+)
+from repro.persistence.spill import SpillBackend, open_backend
+from repro.persistence.sqlite_backend import SqliteBackend
+
+#: Checkpoint symbols resolve lazily (PEP 562): checkpoint.py imports
+#: the streaming engine, which imports the metrics store, which imports
+#: this package -- an eager import here would close that cycle.
+_CHECKPOINT_EXPORTS = (
+    "CheckpointPolicy",
+    "checkpoint_state",
+    "load_checkpoint",
+    "restore_engine",
+    "save_checkpoint",
+)
+
+
+def __getattr__(name: str):
+    if name in _CHECKPOINT_EXPORTS:
+        from repro.persistence import checkpoint
+
+        return getattr(checkpoint, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+__all__ = [
+    "BackendBase",
+    "CheckpointPolicy",
+    "IngestJournal",
+    "MemoryBackend",
+    "SpillBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "checkpoint_state",
+    "journal_record_count",
+    "load_checkpoint",
+    "open_backend",
+    "replay_journal",
+    "restore_engine",
+    "save_checkpoint",
+]

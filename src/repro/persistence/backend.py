@@ -1,0 +1,177 @@
+"""The storage-backend protocol and the in-memory reference backend.
+
+Sieve evaluates monitoring cost by replaying recorded runs through a
+metered store; the analysis pipeline itself never cares *where* the
+series live.  This module pins that separation down (in the spirit of
+RAFDA's split between application logic and distribution policy): a
+:class:`StorageBackend` answers point writes, range queries and frame
+materialization, and everything above it --
+:class:`~repro.metrics.store.MetricsStore`, the streaming
+:class:`~repro.streaming.window.WindowStore`, the record/replay CLI --
+is backend-agnostic.  The invariant every implementation must honour:
+replaying a recorded run out of the backend reproduces the in-memory
+batch analysis exactly (same samples, same order, bit-identical
+floats).
+
+Backends also speak the ingestion-bus subscriber protocol
+(:meth:`StorageBackend.ingest`), so ``bus.subscribe(backend)`` captures
+a live run directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Where a metrics store keeps its series."""
+
+    def write(self, component: str, metric: str, times, values) -> int:
+        """Append ordered samples to one series; returns points written."""
+        ...  # pragma: no cover - protocol definition
+
+    def query(self, component: str, metric: str,
+              start: float = float("-inf"),
+              end: float = float("inf")) -> TimeSeries:
+        """Samples with ``start <= t <= end`` (empty for unknown keys)."""
+        ...  # pragma: no cover - protocol definition
+
+    def keys(self) -> list[MetricKey]:
+        """Every stored series identity, sorted."""
+        ...  # pragma: no cover - protocol definition
+
+    def series_count(self) -> int:
+        ...  # pragma: no cover - protocol definition
+
+    def sample_count(self) -> int:
+        ...  # pragma: no cover - protocol definition
+
+    def newest_time(self, component: str, metric: str) -> float | None:
+        """Newest stored timestamp of one series (None when empty)."""
+        ...  # pragma: no cover - protocol definition
+
+    def to_frame(self,
+                 keep: Iterable[MetricKey] | None = None) -> MetricFrame:
+        """Materialize stored series as a :class:`MetricFrame`."""
+        ...  # pragma: no cover - protocol definition
+
+    def set_metadata(self, meta: dict) -> None:
+        """Attach run metadata (application, seed, call graph, ...)."""
+        ...  # pragma: no cover - protocol definition
+
+    def metadata(self) -> dict:
+        ...  # pragma: no cover - protocol definition
+
+    def flush(self) -> None:
+        """Make writes so far durable (no-op for volatile backends)."""
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+def as_arrays(times, values) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce one write batch to float arrays."""
+    t = np.asarray(times, dtype=float).reshape(-1)
+    v = np.asarray(values, dtype=float).reshape(-1)
+    if t.size != v.size:
+        raise ValueError("times and values must have equal length")
+    if t.size > 1 and np.any(np.diff(t) < 0):
+        raise ValueError("backend writes require non-decreasing times")
+    return t, v
+
+
+class BackendBase:
+    """Shared plumbing: metadata dict and the bus-subscriber alias."""
+
+    def __init__(self) -> None:
+        self._meta: dict = {}
+
+    def ingest(self, component: str, metric: str, times, values) -> None:
+        """Ingestion-bus subscriber protocol (delegates to ``write``)."""
+        self.write(component, metric, times, values)
+
+    def set_metadata(self, meta: dict) -> None:
+        self._meta = dict(meta)
+
+    def metadata(self) -> dict:
+        return dict(self._meta)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- conveniences over the primitive operations ---------------------
+
+    def newest_time(self, component: str, metric: str) -> float | None:
+        """Generic fallback: full query (backends override cheaply)."""
+        ts = self.query(component, metric)
+        return float(ts.times[-1]) if len(ts) else None
+
+    def to_frame(self,
+                 keep: Iterable[MetricKey] | None = None) -> MetricFrame:
+        keep_set = None if keep is None else set(keep)
+        frame = MetricFrame()
+        for key in self.keys():
+            if keep_set is not None and key not in keep_set:
+                continue
+            ts = self.query(key.component, key.metric)
+            if len(ts):
+                frame.add(ts)
+        return frame
+
+    def series_count(self) -> int:
+        return len(self.keys())
+
+
+class MemoryBackend(BackendBase):
+    """The original behaviour: everything in one live MetricFrame."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.frame = MetricFrame()
+
+    def write(self, component: str, metric: str, times, values) -> int:
+        t, v = as_arrays(times, values)
+        if t.size:
+            self.frame.series(component, metric).extend(t, v)
+        return int(t.size)
+
+    def query(self, component: str, metric: str,
+              start: float = float("-inf"),
+              end: float = float("inf")) -> TimeSeries:
+        key = MetricKey(component, metric)
+        stored = self.frame.get(key)
+        if stored is None:
+            return TimeSeries(key)
+        return stored.window(start, end)
+
+    def keys(self) -> list[MetricKey]:
+        return sorted(ts.key for ts in self.frame)
+
+    def newest_time(self, component: str, metric: str) -> float | None:
+        stored = self.frame.get(MetricKey(component, metric))
+        if stored is None or not len(stored):
+            return None
+        return float(stored.times[-1])
+
+    def series_count(self) -> int:
+        return len(self.frame)
+
+    def sample_count(self) -> int:
+        return self.frame.total_samples()
+
+    def to_frame(self,
+                 keep: Iterable[MetricKey] | None = None) -> MetricFrame:
+        """With ``keep=None`` this is the live frame itself (zero-copy),
+        matching the pre-backend ``MetricsStore`` semantics."""
+        if keep is None:
+            return self.frame
+        return super().to_frame(keep)

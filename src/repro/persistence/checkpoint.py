@@ -1,0 +1,281 @@
+"""Checkpoint/restore of streaming analysis state.
+
+A checkpoint freezes everything the :class:`StreamingSieve` derived
+from the stream so far -- the previous window's clusterings and
+dependency graph (the incremental-reuse state), the drift detector's
+frozen per-component baselines, the hop schedule and the lifetime
+counters -- as one JSON document per window epoch.  Raw samples are
+deliberately *not* part of it: they are replayed from the write-ahead
+ingest journal (:mod:`repro.persistence.journal`), whose deterministic
+re-ingestion rebuilds the window-store rings bit-identically.
+
+``restore_engine`` composes the two: fresh engine, journal replay,
+checkpoint applied on top.  A restarted engine then continues
+incrementally -- same reuse decisions, same drift scores, same Granger
+re-tests -- instead of re-clustering the world from scratch, and (as
+the crash-restart tests assert) produces exactly the windows an
+uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import StreamingConfig
+from repro.core.serialize import (
+    clustering_from_dict,
+    clustering_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+)
+from repro.metrics.timeseries import MetricFrame
+from repro.persistence.journal import replay_journal
+from repro.streaming.analyzer import StreamingStats, WindowAnalysis
+from repro.streaming.drift import MetricBaseline
+from repro.streaming.engine import StreamingSieve
+from repro.tracing.callgraph import CallGraph
+
+CHECKPOINT_VERSION = 1
+
+#: Config fields a restore validates against the checkpoint -- the ones
+#: that change what the replayed rings and hop schedule look like.
+_CONFIG_FINGERPRINT = ("window", "hop", "retention",
+                       "max_points_per_series", "min_window_samples",
+                       "full_refresh_windows")
+
+
+def checkpoint_state(engine: StreamingSieve) -> dict:
+    """The engine's analysis state as a JSON-compatible dict."""
+    previous = engine.analyzer.previous
+    prev_payload = None
+    if previous is not None:
+        prev_payload = {
+            "index": previous.index,
+            "start": previous.start,
+            "end": previous.end,
+            "reclustered": list(previous.reclustered),
+            "reused": list(previous.reused),
+            "reasons": dict(previous.recluster_reasons),
+            "edges_retested": previous.edges_retested,
+            "edges_reused": previous.edges_reused,
+            "clusterings": {
+                component: clustering_to_dict(clustering)
+                for component, clustering in previous.clusterings.items()
+            },
+            "graph": graph_to_dict(previous.dependency_graph),
+        }
+    drift_payload = {}
+    for component, clustering, metrics, coherence \
+            in engine.drift.baseline_items():
+        drift_payload[component] = {
+            "clustering": clustering_to_dict(clustering),
+            "metrics": {
+                name: dataclasses.asdict(baseline)
+                for name, baseline in metrics.items()
+            },
+            "coherence": {str(index): value
+                          for index, value in coherence.items()},
+        }
+    config = engine.config
+    return {
+        "version": CHECKPOINT_VERSION,
+        "seed": engine.seed,
+        "application": engine.application,
+        "workload": engine.workload,
+        "config": {name: getattr(config, name)
+                   for name in _CONFIG_FINGERPRINT},
+        "next_analysis": engine._next_analysis,
+        "last_offer": engine.last_offer,
+        "skipped_windows": engine.skipped_windows,
+        "windows_since_refresh": engine.analyzer.windows_since_refresh,
+        "stats": dataclasses.asdict(engine.stats),
+        "previous": prev_payload,
+        "drift": drift_payload,
+    }
+
+
+def save_checkpoint(engine: StreamingSieve, path) -> dict:
+    """Atomically write the engine's checkpoint to ``path``.
+
+    Returns the state dict that was written.  The write goes through a
+    temp file + rename, so a crash mid-checkpoint leaves the previous
+    checkpoint intact.
+    """
+    state = checkpoint_state(engine)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, sort_keys=True)
+    os.replace(tmp, path)
+    return state
+
+
+def load_checkpoint(path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    return state
+
+
+def _restore_previous(state: dict) -> WindowAnalysis | None:
+    payload = state["previous"]
+    if payload is None:
+        return None
+    clusterings = {
+        component: clustering_from_dict(component, data)
+        for component, data in payload["clusterings"].items()
+    }
+    return WindowAnalysis(
+        index=int(payload["index"]),
+        start=float(payload["start"]),
+        end=float(payload["end"]),
+        # Raw samples are not checkpointed; the analyzer only reads
+        # clusterings and the graph from its previous analysis.
+        frame=MetricFrame(),
+        call_graph=CallGraph(),
+        clusterings=clusterings,
+        dependency_graph=graph_from_dict(payload["graph"]),
+        reclustered=list(payload["reclustered"]),
+        reused=list(payload["reused"]),
+        recluster_reasons=dict(payload["reasons"]),
+        drift_readings={},
+        edges_retested=int(payload["edges_retested"]),
+        edges_reused=int(payload["edges_reused"]),
+        application=state["application"],
+        workload=state["workload"],
+        seed=int(state["seed"]),
+    )
+
+
+def restore_engine(checkpoint, config: StreamingConfig,
+                   journal_path=None, bus=None,
+                   store_backend=None, journal=None) -> StreamingSieve:
+    """Rebuild a streaming engine from checkpoint + ingest journal.
+
+    ``checkpoint`` is a path or an already-loaded state dict.
+    ``config`` must match the checkpointed run on every fingerprinted
+    field (window geometry, retention, refresh cadence) -- a mismatch
+    would make the replayed schedule diverge, so it raises.
+    ``journal_path`` replays the recorded ingest stream to rebuild the
+    window-store rings; ``journal``/``store_backend``/``bus`` wire the
+    *resumed* run's fresh persistence, exactly as on
+    :class:`StreamingSieve` itself.
+    """
+    state = checkpoint if isinstance(checkpoint, dict) \
+        else load_checkpoint(checkpoint)
+    for name in _CONFIG_FINGERPRINT:
+        if getattr(config, name) != state["config"][name]:
+            raise ValueError(
+                f"checkpoint/config mismatch on {name!r}: "
+                f"{state['config'][name]!r} != {getattr(config, name)!r}"
+            )
+    engine = StreamingSieve(
+        config=config,
+        seed=int(state["seed"]),
+        bus=bus,
+        application=state["application"],
+        workload=state["workload"],
+        store_backend=store_backend,
+        journal=journal,
+    )
+
+    if journal_path is not None:
+        # Replay rebuilds the rings with the durable backend detached;
+        # the backend is then teed *manually* with only the suffix it
+        # is missing.  (Re-writing already-stored batches would trip
+        # the backend's out-of-order guard, but a crash between the
+        # journal append and sink delivery can equally leave the
+        # backend short of the journal's tail -- the suffix write
+        # heals that hole.)
+        backend, engine.windows.backend = engine.windows.backend, None
+        newest: dict[tuple[str, str], float] = {}
+        try:
+            for component, metric, times, values \
+                    in replay_journal(journal_path):
+                engine.windows.ingest(component, metric, times, values)
+                if not times.size:
+                    continue
+                key = (component, metric)
+                last = newest.get(key)
+                if last is None:
+                    stored = None if backend is None \
+                        else backend.newest_time(component, metric)
+                    last = float("-inf") if stored is None \
+                        else float(stored)
+                if backend is not None:
+                    keep = int(np.searchsorted(times, last,
+                                               side="right"))
+                    if keep < times.size:
+                        backend.write(component, metric,
+                                      times[keep:], values[keep:])
+                newest[key] = max(last, float(times[-1]))
+        finally:
+            engine.windows.backend = backend
+        if newest:
+            # The resumed driver re-publishes the horizon's (possibly
+            # partially journaled) scrape cycle; the bus clip keeps
+            # the already-journaled half from being journaled,
+            # delivered and replayed a second time.
+            engine.bus.arm_resume_clip(
+                {key: last for key, last in newest.items()
+                 if last != float("-inf")}
+            )
+
+    previous = _restore_previous(state)
+    engine.analyzer.restore(previous,
+                            int(state["windows_since_refresh"]))
+    for component, payload in state["drift"].items():
+        clustering = clustering_from_dict(component,
+                                          payload["clustering"])
+        metrics = {
+            name: MetricBaseline(**baseline)
+            for name, baseline in payload["metrics"].items()
+        }
+        coherence = {int(index): float(value)
+                     for index, value in payload["coherence"].items()}
+        engine.drift.set_baseline(component, clustering, metrics,
+                                  coherence)
+    engine._next_analysis = state["next_analysis"]
+    engine.last_offer = state.get("last_offer")
+    engine.skipped_windows = int(state["skipped_windows"])
+    engine.stats = StreamingStats(**state["stats"])
+    if previous is not None:
+        engine.history.append(previous)
+    return engine
+
+
+class CheckpointPolicy:
+    """Engine consumer that checkpoints every N analyzed windows.
+
+    Subscribe it to a :class:`StreamingSieve`; with
+    ``every=None`` the cadence comes from
+    :attr:`repro.core.config.StreamingConfig.checkpoint_every_windows`
+    (0 disables automatic checkpoints entirely).
+    """
+
+    def __init__(self, engine: StreamingSieve, path,
+                 every: int | None = None):
+        self.engine = engine
+        self.path = Path(path)
+        self.every = engine.config.checkpoint_every_windows \
+            if every is None else every
+        if self.every < 0:
+            raise ValueError("checkpoint cadence must be >= 0")
+        self.checkpoints_written = 0
+        self._windows_seen = 0
+
+    def on_window(self, analysis) -> None:
+        self._windows_seen += 1
+        if self.every and self._windows_seen % self.every == 0:
+            save_checkpoint(self.engine, self.path)
+            self.checkpoints_written += 1

@@ -1,0 +1,141 @@
+"""Write-ahead ingest journal for crash-safe streaming restarts.
+
+Every batch the :class:`~repro.streaming.bus.IngestionBus` flushes is
+appended here *before* it is delivered to subscribers, one JSON line
+per (component, metric) batch.  A killed streaming process can then be
+resumed losslessly: replaying the journal through a fresh
+:class:`~repro.streaming.window.WindowStore` rebuilds the exact ring
+state the dead process held (ingestion order and eviction are
+deterministic), after which a checkpoint restores the analysis state
+on top (:mod:`repro.persistence.checkpoint`).
+
+JSON float serialization uses shortest-roundtrip ``repr``, so replayed
+samples are bit-identical to the originals.  A crash can truncate the
+final line; replay detects and discards exactly that partial record,
+and re-opening a journal for appending first truncates such a torn
+tail so new records never merge into it.
+
+One deliberate asymmetry: a batch whose *delivery* failed (a
+subscriber raised mid-flush) is dropped from delivery but kept in the
+journal -- restoring from the journal resurrects it, which is
+recovery of otherwise-lost data, not corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+#: A replayed record: (component, metric, times, values).
+JournalRecord = tuple[str, str, np.ndarray, np.ndarray]
+
+
+def _repair_torn_tail(path: Path) -> None:
+    """Truncate a partial final line left by a mid-write crash.
+
+    Every complete record ends with a newline (records contain none
+    internally), so any bytes after the last newline are a torn write;
+    appending to them would merge the next record into garbage.
+    """
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+
+
+class IngestJournal:
+    """Append-only batch log, one JSON object per line."""
+
+    def __init__(self, path, fsync: bool = False,
+                 truncate: bool = False):
+        """``fsync=True`` syncs on every :meth:`commit` -- durable
+        against power loss, at the cost of one fsync per bus flush.
+        ``truncate=True`` starts the journal fresh (a new run that is
+        not resuming); the default appends, after repairing any torn
+        tail a crash left behind."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        if truncate:
+            mode = "w"
+        else:
+            _repair_torn_tail(self.path)
+            mode = "a"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        self.records_written = 0
+
+    def append_batch(self, component: str, metric: str,
+                     times, values) -> None:
+        """Log one flushed batch (called by the bus ahead of delivery)."""
+        record = {
+            "c": component,
+            "m": metric,
+            "t": [float(x) for x in np.asarray(times).reshape(-1)],
+            "v": [float(x) for x in np.asarray(values).reshape(-1)],
+        }
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def commit(self) -> None:
+        """Push buffered lines to the OS (and to disk with ``fsync``)."""
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        self.commit()
+        self._fh.close()
+
+
+def replay_journal(path) -> Iterator[JournalRecord]:
+    """Yield every complete record of a journal, in write order.
+
+    A torn final line (the crash case) is skipped silently; a corrupt
+    line in the *middle* of the file raises, because everything after
+    it would silently vanish otherwise.  The file is streamed with one
+    line of lookahead -- journals of long runs are large, so replay
+    must not materialize them in memory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+
+    def parse(number: int, stripped: str) -> JournalRecord:
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            raise ValueError(
+                f"corrupt journal record at {path}:{number}"
+            ) from None
+        return (record["c"], record["m"],
+                np.asarray(record["t"], dtype=float),
+                np.asarray(record["v"], dtype=float))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        held: tuple[int, str] | None = None
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if held is not None:
+                yield parse(*held)  # not last -> corruption raises
+            held = (number, stripped)
+        if held is not None:
+            try:
+                yield parse(*held)
+            except ValueError:
+                return  # torn tail from a mid-write crash
+
+
+def journal_record_count(path) -> int:
+    """Complete records currently recoverable from a journal file."""
+    return sum(1 for _ in replay_journal(path))

@@ -1,0 +1,302 @@
+"""Hot/cold tiered storage: numpy rings in RAM, segments on disk.
+
+Long retentions do not fit in memory; the spill backend keeps the most
+recent ``hot_points`` samples of every series in plain numpy buffers
+and, whenever a hot buffer fills, freezes it into an immutable on-disk
+*segment* (``.npz``, or parquet when pyarrow is installed).  An
+``index.json`` in the backend directory records every segment's key,
+time span and sample count, so a range query touches only the segments
+that overlap the window -- and so a fresh process can re-open a
+recorded directory and serve the same queries without re-ingesting
+anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.metrics.timeseries import MetricKey, TimeSeries
+from repro.persistence.backend import BackendBase, as_arrays
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow  # noqa: F401
+    import pyarrow.parquet  # noqa: F401
+    HAVE_PARQUET = True
+except ImportError:  # the container image ships numpy only
+    HAVE_PARQUET = False
+
+INDEX_NAME = "index.json"
+INDEX_VERSION = 1
+
+
+class Segment:
+    """One immutable cold run of samples of one series."""
+
+    __slots__ = ("file", "start", "end", "n")
+
+    def __init__(self, file: str, start: float, end: float, n: int):
+        self.file = file
+        self.start = start
+        self.end = end
+        self.n = n
+
+    def as_dict(self) -> dict:
+        return {"file": self.file, "start": self.start,
+                "end": self.end, "n": self.n}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Segment":
+        return cls(data["file"], float(data["start"]),
+                   float(data["end"]), int(data["n"]))
+
+
+class _HotBuffer:
+    """The in-RAM tail of one series: a list of appended chunks."""
+
+    __slots__ = ("chunks", "n", "last_time")
+
+    def __init__(self) -> None:
+        self.chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self.n = 0
+        self.last_time = float("-inf")
+
+    def append(self, t: np.ndarray, v: np.ndarray) -> None:
+        self.chunks.append((t, v))
+        self.n += int(t.size)
+        self.last_time = float(t[-1])
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.chunks:
+            return np.empty(0), np.empty(0)
+        return (np.concatenate([c[0] for c in self.chunks]),
+                np.concatenate([c[1] for c in self.chunks]))
+
+    def clear(self) -> None:
+        self.chunks.clear()
+        self.n = 0
+
+
+def _write_segment(path: Path, t: np.ndarray, v: np.ndarray,
+                   fmt: str) -> None:
+    if fmt == "npz":
+        np.savez_compressed(path, t=t, v=v)
+    else:  # pragma: no cover - parquet path needs pyarrow
+        table = pyarrow.table({"t": t, "v": v})
+        pyarrow.parquet.write_table(table, path)
+
+
+def _read_segment(path: Path, fmt: str) -> tuple[np.ndarray, np.ndarray]:
+    if fmt == "npz":
+        with np.load(path) as data:
+            return data["t"], data["v"]
+    table = pyarrow.parquet.read_table(path)  # pragma: no cover
+    return (table["t"].to_numpy(), table["v"].to_numpy())  # pragma: no cover
+
+
+class SpillBackend(BackendBase):
+    """Bounded-RAM storage backend with on-disk cold segments."""
+
+    def __init__(self, directory, hot_points: int = 2048,
+                 segment_format: str = "npz"):
+        if hot_points < 8:
+            raise ValueError("hot_points must be >= 8")
+        if segment_format not in ("npz", "parquet"):
+            raise ValueError(f"unknown segment format {segment_format!r}")
+        if segment_format == "parquet" and not HAVE_PARQUET:
+            raise RuntimeError(
+                "parquet segments need pyarrow, which is not installed; "
+                "use segment_format='npz'"
+            )
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hot_points = hot_points
+        self.segment_format = segment_format
+        self._hot: dict[MetricKey, _HotBuffer] = {}
+        self._segments: dict[MetricKey, list[Segment]] = {}
+        self._next_segment = 0
+        self.spills = 0
+        index_path = self.directory / INDEX_NAME
+        if index_path.exists():
+            self._load_index(index_path)
+
+    # -- index ---------------------------------------------------------
+
+    def _load_index(self, path: Path) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != INDEX_VERSION:
+            raise ValueError(
+                f"unsupported spill index version {data.get('version')!r}"
+            )
+        self.segment_format = data.get("segment_format", "npz")
+        if self.segment_format == "parquet" and not HAVE_PARQUET:
+            # The ctor guard only saw the (default) argument; a
+            # recorded directory brings its own format and must fail
+            # here, not with a NameError at the first segment read.
+            raise RuntimeError(
+                "this spill directory uses parquet segments but "
+                "pyarrow is not installed"
+            )
+        self._meta = dict(data.get("meta", {}))
+        for entry in data["series"]:
+            key = MetricKey(entry["component"], entry["metric"])
+            segments = [Segment.from_dict(s)
+                        for s in entry["segments"]]
+            self._segments[key] = segments
+            if segments:
+                # Re-arm the out-of-order guard at the newest cold
+                # sample, so a reopened backend rejects writes that
+                # would land behind its existing segments (queries
+                # assume globally time-ordered concatenation).
+                buffer = _HotBuffer()
+                buffer.last_time = segments[-1].end
+                self._hot[key] = buffer
+        self._next_segment = int(data.get("next_segment", 0))
+
+    def _index_dict(self) -> dict:
+        return {
+            "version": INDEX_VERSION,
+            "segment_format": self.segment_format,
+            "next_segment": self._next_segment,
+            "meta": self._meta,
+            "series": [
+                {
+                    "component": key.component,
+                    "metric": key.metric,
+                    "segments": [s.as_dict() for s in segments],
+                }
+                for key, segments in sorted(self._segments.items())
+            ],
+        }
+
+    def _write_index(self) -> None:
+        path = self.directory / INDEX_NAME
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self._index_dict(), handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- write path ----------------------------------------------------
+
+    def write(self, component: str, metric: str, times, values) -> int:
+        t, v = as_arrays(times, values)
+        if not t.size:
+            return 0
+        key = MetricKey(component, metric)
+        hot = self._hot.setdefault(key, _HotBuffer())
+        if t[0] < hot.last_time:
+            raise ValueError(
+                f"out-of-order spill write at t={t[0]} for {key}"
+            )
+        hot.append(t, v)
+        if hot.n >= self.hot_points:
+            self._spill(key, hot)
+        return int(t.size)
+
+    def _spill(self, key: MetricKey, hot: _HotBuffer) -> None:
+        t, v = hot.arrays()
+        suffix = "npz" if self.segment_format == "npz" else "parquet"
+        name = f"seg-{self._next_segment:06d}.{suffix}"
+        self._next_segment += 1
+        _write_segment(self.directory / name, t, v, self.segment_format)
+        self._segments.setdefault(key, []).append(
+            Segment(name, float(t[0]), float(t[-1]), int(t.size))
+        )
+        hot.clear()
+        self.spills += 1
+
+    # -- read path -----------------------------------------------------
+
+    def _series_arrays(self, key: MetricKey, start: float,
+                       end: float) -> tuple[np.ndarray, np.ndarray]:
+        parts_t: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        for segment in self._segments.get(key, ()):
+            if segment.end < start or segment.start > end:
+                continue
+            t, v = _read_segment(self.directory / segment.file,
+                                 self.segment_format)
+            parts_t.append(t)
+            parts_v.append(v)
+        hot = self._hot.get(key)
+        if hot is not None and hot.n:
+            t, v = hot.arrays()
+            parts_t.append(t)
+            parts_v.append(v)
+        if not parts_t:
+            return np.empty(0), np.empty(0)
+        t = np.concatenate(parts_t)
+        v = np.concatenate(parts_v)
+        lo = int(np.searchsorted(t, start, side="left"))
+        hi = int(np.searchsorted(t, end, side="right"))
+        return t[lo:hi], v[lo:hi]
+
+    def query(self, component: str, metric: str,
+              start: float = float("-inf"),
+              end: float = float("inf")) -> TimeSeries:
+        key = MetricKey(component, metric)
+        t, v = self._series_arrays(key, start, end)
+        return TimeSeries(key, t, v)
+
+    def keys(self) -> list[MetricKey]:
+        known = set(self._segments) | {
+            key for key, hot in self._hot.items() if hot.n
+        }
+        return sorted(known)
+
+    def newest_time(self, component: str, metric: str) -> float | None:
+        key = MetricKey(component, metric)
+        hot = self._hot.get(key)
+        # ``last_time`` survives spills and reopen re-arming, so it is
+        # the newest sample whenever any write was seen or indexed.
+        if hot is not None and hot.last_time != float("-inf"):
+            return float(hot.last_time)
+        segments = self._segments.get(key)
+        return float(segments[-1].end) if segments else None
+
+    def sample_count(self) -> int:
+        cold = sum(segment.n for segments in self._segments.values()
+                   for segment in segments)
+        hot = sum(buffer.n for buffer in self._hot.values())
+        return cold + hot
+
+    def hot_sample_count(self) -> int:
+        """Samples currently held in RAM (the spill pressure gauge)."""
+        return sum(buffer.n for buffer in self._hot.values())
+
+    # -- durability ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist the segment index (hot tails stay in RAM)."""
+        self._write_index()
+
+    def close(self) -> None:
+        """Spill every non-empty hot tail, then persist the index."""
+        for key, hot in list(self._hot.items()):
+            if hot.n:
+                self._spill(key, hot)
+        self._write_index()
+
+    def set_metadata(self, meta: dict) -> None:
+        super().set_metadata(meta)
+        self._write_index()
+
+
+def open_backend(kind: str, path, **kwargs):
+    """Construct a backend by name (the CLI's ``--backend`` switch)."""
+    from repro.persistence.backend import MemoryBackend
+    from repro.persistence.sqlite_backend import SqliteBackend
+
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend(path, **kwargs)
+    if kind == "spill":
+        return SpillBackend(path, **kwargs)
+    raise ValueError(f"unknown backend kind {kind!r}")

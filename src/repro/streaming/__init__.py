@@ -33,6 +33,7 @@ from repro.streaming.bus import BusStats, IngestionBus
 from repro.streaming.consumers import (
     LiveScalingPolicy,
     RebindEvent,
+    TriggeredRCAReport,
     WindowDiffRCA,
 )
 from repro.streaming.drift import DriftDetector, DriftReading
@@ -51,6 +52,7 @@ __all__ = [
     "SimulationStreamDriver",
     "StreamingSieve",
     "StreamingStats",
+    "TriggeredRCAReport",
     "WindowAnalysis",
     "WindowAnalyzer",
     "WindowDiffRCA",

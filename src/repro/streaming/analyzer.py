@@ -180,6 +180,23 @@ class WindowAnalyzer:
         self.previous: WindowAnalysis | None = None
         self._windows_since_refresh = 0
 
+    def restore(self, previous: WindowAnalysis | None,
+                windows_since_refresh: int = 0) -> None:
+        """Install checkpointed incremental state.
+
+        ``analyze`` only reads the previous window's clusterings and
+        dependency graph, so a restored ``previous`` may carry an empty
+        frame/call graph (checkpoints do not persist raw samples --
+        those are replayed from the ingest journal instead).
+        """
+        self.previous = previous
+        self._windows_since_refresh = int(windows_since_refresh)
+
+    @property
+    def windows_since_refresh(self) -> int:
+        """Windows analyzed since the last scheduled full refresh."""
+        return self._windows_since_refresh
+
     def _decide_reclusters(
         self, frame: MetricFrame,
     ) -> tuple[dict[str, str], dict[str, list[DriftReading]]]:

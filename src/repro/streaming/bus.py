@@ -10,15 +10,32 @@ Telegraf -> InfluxDB hop applies to amortize per-write overhead.
 
 Subscribers are either callables ``fn(component, metric, times,
 values)`` or objects with that signature as an ``ingest`` method (a
-:class:`~repro.streaming.window.WindowStore`, a metered
-:class:`~repro.metrics.store.MetricsStore` adapter, ...).
+:class:`~repro.streaming.window.WindowStore`, a
+:class:`~repro.persistence.backend.StorageBackend`, ...).
+
+Two reliability features wrap the buffer:
+
+* **write-ahead journal** -- with :meth:`attach_journal`, every batch
+  is appended to an :class:`~repro.persistence.journal.IngestJournal`
+  *before* it is handed to any subscriber, so a killed process can be
+  resumed losslessly by replaying the journal;
+* **backpressure** -- with ``max_pending`` set, a stalled consumer can
+  no longer grow the buffers unboundedly: the configured overflow
+  policy sheds load (``drop_oldest`` discards the globally oldest
+  buffered points, ``downsample`` halves every buffered series keeping
+  the newest samples), and the shed counts surface in
+  :class:`BusStats`.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
+
+#: Valid overflow policies for a bounded bus.
+OVERFLOW_POLICIES = ("drop_oldest", "downsample")
 
 
 @dataclass
@@ -32,6 +49,18 @@ class BusStats:
     rejected_points: int = 0
     """Points dropped because they arrived out of order for their key."""
 
+    overflow_dropped: int = 0
+    """Points shed by the ``drop_oldest`` backpressure policy."""
+
+    overflow_downsampled: int = 0
+    """Points shed by the ``downsample`` backpressure policy."""
+
+    journaled_batches: int = 0
+    """Batches written to the attached write-ahead journal."""
+
+    resume_clipped: int = 0
+    """Re-published points dropped by the crash-resume overlap clip."""
+
     def as_dict(self) -> dict:
         return {
             "points_published": self.points_published,
@@ -39,30 +68,67 @@ class BusStats:
             "flushes": self.flushes,
             "points_flushed": self.points_flushed,
             "rejected_points": self.rejected_points,
+            "overflow_dropped": self.overflow_dropped,
+            "overflow_downsampled": self.overflow_downsampled,
+            "journaled_batches": self.journaled_batches,
+            "resume_clipped": self.resume_clipped,
         }
 
 
 @dataclass
 class _Buffer:
-    """Pending points of one (component, metric) key."""
+    """Pending points of one (component, metric) key.
+
+    ``start`` marks the live region: backpressure shedding advances it
+    instead of popping from the list front (O(1) per shed point), and
+    the dead prefix is compacted away once it dominates the list so a
+    shedding bus holds bounded memory.  ``last_time`` carries the
+    ordering guard independently of the list contents, so compaction
+    cannot loosen the monotonicity check."""
 
     times: list = field(default_factory=list)
     values: list = field(default_factory=list)
+    start: int = 0
+    last_time: float = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self.times) - self.start
+
+    def compact(self) -> None:
+        """Free the dead prefix when it outweighs the live region."""
+        if self.start and self.start * 2 >= len(self.times):
+            del self.times[:self.start]
+            del self.values[:self.start]
+            self.start = 0
 
 
 class IngestionBus:
     """Buffers point writes and fans batches out to subscribers."""
 
-    def __init__(self, flush_threshold: int = 4096):
+    def __init__(self, flush_threshold: int = 4096,
+                 max_pending: int = 0,
+                 overflow_policy: str = "drop_oldest"):
         """``flush_threshold`` caps buffered points before an automatic
-        flush (explicit :meth:`flush` calls still drive the cadence)."""
+        flush (explicit :meth:`flush` calls still drive the cadence).
+        ``max_pending`` (0 = unbounded) bounds the buffers even when
+        flushing is stalled; ``overflow_policy`` picks what to shed."""
         if flush_threshold < 1:
             raise ValueError("flush_threshold must be >= 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow_policy!r}"
+            )
         self.flush_threshold = flush_threshold
+        self.max_pending = max_pending
+        self.overflow_policy = overflow_policy
         self.stats = BusStats()
         self._buffers: dict[tuple[str, str], _Buffer] = {}
         self._pending = 0
         self._sinks: list = []
+        self._journal = None
+        self._resume_clip: dict[tuple[str, str], float] | None = None
 
     # -- wiring --------------------------------------------------------
 
@@ -81,24 +147,65 @@ class IngestionBus:
     def subscriber_count(self) -> int:
         return len(self._sinks)
 
+    def attach_journal(self, journal) -> None:
+        """Write every flushed batch ahead of subscriber delivery.
+
+        ``journal`` is an :class:`repro.persistence.journal.IngestJournal`
+        (or anything with ``append_batch``/``commit``).
+        """
+        self._journal = journal
+
+    def arm_resume_clip(self,
+                        newest_by_key: dict[tuple[str, str], float]
+                        ) -> None:
+        """Drop re-published samples a resumed run already holds.
+
+        Crash-resume support: the resumed driver re-simulates the
+        partially journaled scrape cycle and re-publishes it; clipping
+        at the bus keeps those duplicates out of the journal, the
+        durable backend *and* the rings in one place (a second crash
+        would otherwise replay them twice).  ``newest_by_key`` maps
+        (component, metric) to the newest journaled timestamp; each
+        entry self-disarms once publishing moves past it.
+        """
+        self._resume_clip = dict(newest_by_key) or None
+
+    def _clip_resumed(self, component: str, metric: str, time) -> bool:
+        """True when a re-published sample must be dropped."""
+        if self._resume_clip is None:
+            return False
+        key = (component, metric)
+        bound = self._resume_clip.get(key)
+        if bound is None:
+            return False
+        if time <= bound:
+            return True
+        del self._resume_clip[key]
+        if not self._resume_clip:
+            self._resume_clip = None
+        return False
+
     # -- publishing ----------------------------------------------------
 
     def publish(self, component: str, time: float,
                 metrics: dict[str, float]) -> None:
         """Accept one component scrape batch (the collector protocol)."""
         for metric, value in metrics.items():
+            if self._clip_resumed(component, metric, time):
+                self.stats.resume_clipped += 1
+                continue
             buffer = self._buffers.setdefault((component, metric),
                                               _Buffer())
-            if buffer.times and time < buffer.times[-1]:
+            if time < buffer.last_time:
                 self.stats.rejected_points += 1
                 continue
             buffer.times.append(float(time))
             buffer.values.append(float(value))
+            buffer.last_time = float(time)
             self._pending += 1
             self.stats.points_published += 1
         self.stats.batches_published += 1
-        if self._pending >= self.flush_threshold:
-            self.flush()
+        self._enforce_bounds()
 
     def publish_points(self, component: str, metric: str,
                        times, values) -> None:
@@ -109,18 +216,84 @@ class IngestionBus:
             raise ValueError("times and values must have equal length")
         if t.size == 0:
             return
+        while t.size and self._clip_resumed(component, metric, t[0]):
+            self.stats.resume_clipped += 1
+            t, v = t[1:], v[1:]
+        if t.size == 0:
+            return
         buffer = self._buffers.setdefault((component, metric), _Buffer())
-        if np.any(np.diff(t) < 0) \
-                or (buffer.times and t[0] < buffer.times[-1]):
+        if np.any(np.diff(t) < 0) or t[0] < buffer.last_time:
             self.stats.rejected_points += int(t.size)
             return
         buffer.times.extend(t.tolist())
         buffer.values.extend(v.tolist())
+        buffer.last_time = float(t[-1])
         self._pending += int(t.size)
         self.stats.points_published += int(t.size)
         self.stats.batches_published += 1
+        self._enforce_bounds()
+
+    def _enforce_bounds(self) -> None:
+        # A flush that can run drains everything, so try it first --
+        # backpressure must only shed points a flush cannot deliver
+        # (max_pending below the flush threshold, or a stalled flush
+        # cadence), never data a healthy subscriber would have taken.
         if self._pending >= self.flush_threshold:
             self.flush()
+        if self.max_pending and self._pending > self.max_pending:
+            self._shed()
+
+    # -- backpressure --------------------------------------------------
+
+    def _shed(self) -> None:
+        """Bring pending points back under ``max_pending``."""
+        if self.overflow_policy == "drop_oldest":
+            self._shed_oldest()
+        else:
+            self._shed_downsample()
+
+    def _shed_oldest(self) -> None:
+        """Discard the globally oldest buffered points."""
+        heap = [
+            (buffer.times[buffer.start], key)
+            for key, buffer in self._buffers.items()
+            if len(buffer)
+        ]
+        heapq.heapify(heap)
+        while self._pending > self.max_pending and heap:
+            _oldest, key = heapq.heappop(heap)
+            buffer = self._buffers[key]
+            buffer.start += 1
+            self._pending -= 1
+            self.stats.overflow_dropped += 1
+            if len(buffer):
+                heapq.heappush(
+                    heap, (buffer.times[buffer.start], key)
+                )
+        for buffer in self._buffers.values():
+            buffer.compact()
+
+    def _shed_downsample(self) -> None:
+        """Halve every buffered series, keeping the newest samples."""
+        while self._pending > self.max_pending:
+            shed_any = False
+            for buffer in self._buffers.values():
+                live = len(buffer)
+                if live < 2:
+                    continue
+                # Keep every second sample, anchored on the newest one
+                # (last-value semantics survive the thinning).
+                parity = (live - 1) % 2
+                kept_t = buffer.times[buffer.start + parity::2]
+                kept_v = buffer.values[buffer.start + parity::2]
+                dropped = live - len(kept_t)
+                buffer.times, buffer.values = kept_t, kept_v
+                buffer.start = 0
+                self._pending -= dropped
+                self.stats.overflow_downsampled += dropped
+                shed_any = True
+            if not shed_any:
+                break  # every buffer is a single point; nothing to thin
 
     # -- delivery ------------------------------------------------------
 
@@ -132,31 +305,61 @@ class IngestionBus:
     def flush(self) -> int:
         """Deliver every buffered batch to every subscriber.
 
-        Returns the number of points delivered.  Empty flushes are
-        cheap, so callers can flush on a timer without guarding.
+        With a journal attached, each batch is appended (and the
+        journal committed) before subscribers see it -- the write-ahead
+        contract.  Returns the number of points delivered.  Empty
+        flushes are cheap, so callers can flush on a timer without
+        guarding.
         """
         if not self._pending:
             return 0
         delivered = 0
         buffers, self._buffers = self._buffers, {}
         self._pending = 0
-        items = list(buffers.items())
-        for index, ((component, metric), buffer) in enumerate(items):
-            t = np.asarray(buffer.times, dtype=float)
-            v = np.asarray(buffer.values, dtype=float)
-            try:
-                for sink in self._sinks:
-                    sink(component, metric, t, v)
-            except Exception:
-                # Requeue everything not yet delivered so one bad
-                # subscriber/batch does not drop other keys' points.
-                for key, pending in items[index + 1:]:
-                    self._buffers[key] = pending
-                    self._pending += len(pending.times)
-                self.stats.flushes += 1
-                self.stats.points_flushed += delivered
-                raise
-            delivered += t.size
+        items = [
+            (key, buffer) for key, buffer in buffers.items() if len(buffer)
+        ]
+        try:
+            for index, ((component, metric), buffer) in enumerate(items):
+                t = np.asarray(buffer.times[buffer.start:], dtype=float)
+                v = np.asarray(buffer.values[buffer.start:], dtype=float)
+                try:
+                    if self._journal is not None:
+                        self._journal.append_batch(component, metric,
+                                                   t, v)
+                        self.stats.journaled_batches += 1
+                except Exception:
+                    # A failed journal write (disk full, closed handle)
+                    # must not lose data: the current batch was neither
+                    # journaled nor delivered, so requeue it along with
+                    # everything behind it.
+                    for key, pending in items[index:]:
+                        self._buffers[key] = pending
+                        self._pending += len(pending)
+                    self.stats.flushes += 1
+                    self.stats.points_flushed += delivered
+                    raise
+                try:
+                    for sink in self._sinks:
+                        sink(component, metric, t, v)
+                except Exception:
+                    # Requeue everything not yet delivered so one bad
+                    # subscriber/batch does not drop other keys'
+                    # points.  The failing batch itself is NOT retried
+                    # (a sink that already ingested it would receive
+                    # it twice); it stays in the write-ahead journal,
+                    # so a later restore resurrects it -- recovery,
+                    # not loss.
+                    for key, pending in items[index + 1:]:
+                        self._buffers[key] = pending
+                        self._pending += len(pending)
+                    self.stats.flushes += 1
+                    self.stats.points_flushed += delivered
+                    raise
+                delivered += t.size
+        finally:
+            if self._journal is not None:
+                self._journal.commit()
         self.stats.flushes += 1
         self.stats.points_flushed += delivered
         return delivered

@@ -16,8 +16,10 @@ Two consumers mirror the paper's case studies, moved online:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.autoscaling.rules import ScalingRule
+from repro.autoscaling.sla import SLACondition
 from repro.rca.engine import RCAEngine, RCAReport
 from repro.streaming.analyzer import WindowAnalysis
 from repro.streaming.engine import StreamingSieve
@@ -77,13 +79,44 @@ class LiveScalingPolicy:
         return self.rule.decide(now, metric_window, current_instances)
 
 
+@dataclass
+class TriggeredRCAReport:
+    """One automatically fired window-diff RCA."""
+
+    faulty_index: int
+    """Window index of the drifted+violating window."""
+
+    baseline_index: int
+    """Window index of the healthy reference it was diffed against."""
+
+    report: RCAReport
+
+
 class WindowDiffRCA:
-    """Root-cause analysis between two streaming windows."""
+    """Root-cause analysis between two streaming windows.
+
+    Used directly, :meth:`compare` diffs any two retained windows.
+    Subscribed to the engine *with an SLA condition*, it also fires
+    automatically: whenever a drift escalation and an SLA violation
+    land in the same window -- the "behaviour changed AND users are
+    hurting" coincidence that pages an operator -- it diffs that window
+    against the most recent healthy window and records the ranked
+    report (optionally forwarding it to ``on_report``).
+    """
 
     def __init__(self, engine: StreamingSieve,
-                 rca: RCAEngine | None = None):
+                 rca: RCAEngine | None = None,
+                 sla: SLACondition | None = None,
+                 threshold: float = 0.5,
+                 on_report: Callable[[TriggeredRCAReport], None]
+                 | None = None):
         self.engine = engine
         self.rca = rca or RCAEngine()
+        self.sla = sla
+        self.threshold = threshold
+        self.on_report = on_report
+        self.reports: list[TriggeredRCAReport] = []
+        self.windows_seen = 0
 
     def compare(self, correct: int = 0, faulty: int = -1,
                 threshold: float = 0.5) -> RCAReport:
@@ -96,3 +129,45 @@ class WindowDiffRCA:
         window_c, window_f = self.engine.window_pair(correct, faulty)
         return self.rca.compare_windows(window_c, window_f,
                                         threshold=threshold)
+
+    def _healthy_baseline(self,
+                          faulty: WindowAnalysis) -> WindowAnalysis | None:
+        """Newest retained window before ``faulty`` without drift."""
+        healthy = None
+        fallback = None
+        for candidate in self.engine.history:
+            # Checkpoint-restored analyses carry no frame (raw samples
+            # are not checkpointed); diffing against one would report
+            # every metric as changed.
+            if candidate.index >= faulty.index \
+                    or not len(candidate.frame):
+                continue
+            fallback = candidate
+            if "drift" not in candidate.recluster_reasons.values():
+                healthy = candidate
+        return healthy if healthy is not None else fallback
+
+    def on_window(self, analysis: WindowAnalysis) -> None:
+        """Engine callback: fire when drift and SLA pain coincide."""
+        self.windows_seen += 1
+        if self.sla is None:
+            return
+        if "drift" not in analysis.recluster_reasons.values():
+            return
+        latencies = self.engine.latencies_between(analysis.start,
+                                                  analysis.end)
+        if not self.sla.violated(latencies):
+            return
+        baseline = self._healthy_baseline(analysis)
+        if baseline is None:
+            return  # nothing healthy retained to diff against
+        report = self.rca.compare_windows(baseline, analysis,
+                                          threshold=self.threshold)
+        triggered = TriggeredRCAReport(
+            faulty_index=analysis.index,
+            baseline_index=baseline.index,
+            report=report,
+        )
+        self.reports.append(triggered)
+        if self.on_report is not None:
+            self.on_report(triggered)

@@ -176,6 +176,30 @@ class DriftDetector:
     def has_baseline(self, component: str) -> bool:
         return component in self._baselines
 
+    # -- checkpoint support --------------------------------------------
+
+    def baseline_items(self):
+        """Frozen state per component, for checkpointing.
+
+        Yields ``(component, clustering, metric_baselines, coherence)``
+        tuples; :mod:`repro.persistence.checkpoint` turns them into
+        JSON and :meth:`set_baseline` restores them exactly.
+        """
+        for component, baseline in sorted(self._baselines.items()):
+            yield (component, baseline.clustering,
+                   dict(baseline.metrics), dict(baseline.coherence))
+
+    def set_baseline(self, component: str,
+                     clustering: ComponentClustering,
+                     metrics: dict[str, MetricBaseline],
+                     coherence: dict[int, float]) -> None:
+        """Install a previously frozen baseline (checkpoint restore)."""
+        self._baselines[component] = _ComponentBaseline(
+            clustering=clustering,
+            metrics=dict(metrics),
+            coherence=dict(coherence),
+        )
+
     # -- scoring -------------------------------------------------------
 
     def score_component(self, component: str,

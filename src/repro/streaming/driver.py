@@ -15,6 +15,7 @@ of the streaming-vs-batch convergence guarantee.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 from repro.core.config import StreamingConfig
@@ -53,6 +54,7 @@ class SimulationStreamDriver:
         self.engine.workload = workload_name
         self.record_frame = record_frame
         self.seed = seed
+        self._sla_cursor = 0
         sieve_cfg = self.config.sieve
         self.session = application.open_session(
             workload_fn,
@@ -91,6 +93,7 @@ class SimulationStreamDriver:
             step = min(hop, remaining)
             self.session.advance(step)
             remaining -= step
+            self._forward_sla_samples()
             analysis = self.engine.offer(
                 self.session.now, self.session.call_graph(min_count)
             )
@@ -99,6 +102,88 @@ class SimulationStreamDriver:
                 if on_window is not None:
                     on_window(analysis)
         return produced
+
+    def fast_forward(self, to_time: float) -> None:
+        """Advance the seeded simulation to ``to_time`` silently.
+
+        Crash-resume support: the replayed ingest journal already holds
+        every sample up to the dead run's last flush, so the resumed
+        driver re-simulates that stretch (identical trace, same seed)
+        with the bus detached instead of re-publishing it.  Pass
+        :meth:`StreamingSieve.resume_horizon` -- scrapes past that
+        instant were never journaled and must be re-published by the
+        normal :meth:`run` that follows.
+        """
+        if to_time <= self.session.now:
+            return
+        bus = self.session.collector.bus
+        self.session.collector.bus = None
+        try:
+            self.session.advance(to_time - self.session.now)
+        finally:
+            self.session.collector.bus = bus
+
+    def resume_run(
+        self,
+        duration: float,
+        on_window: Callable[[WindowAnalysis], None] | None = None,
+    ) -> list[WindowAnalysis]:
+        """Continue a crash-restored engine for ``duration`` seconds.
+
+        Composes the two steps a resumed run needs before normal
+        hopping: :meth:`fast_forward` past everything the replayed
+        journal already holds (a mid-hop crash leaves journaled
+        samples *newer* than the last engine tick, so the cutoff is
+        the max of both), then a short first step that realigns the
+        engine ticks with the hop grid the dead run was on -- so the
+        resumed windows land on exactly the spans an uninterrupted
+        run would have analyzed.
+        """
+        engine = self.engine
+        target = engine.resume_horizon()
+        if target is not None and target > self.session.now:
+            sieve_cfg = self.config.sieve
+            # Rewind the fast-forward to the start of the horizon's
+            # scrape cycle: an auto-flush can land mid-cycle, leaving
+            # the journal with only part of that cycle's exporters.
+            # Re-publishing the whole cycle recovers the missing
+            # samples; the bus-level resume clip (armed by
+            # restore_engine from the replayed journal) keeps the
+            # already-journaled half out of the journal, the backend
+            # and the rings.
+            anchor = self.session.now
+            cycles = math.floor((target - anchor)
+                                / sieve_cfg.grid_interval)
+            cycle_start = anchor + cycles * sieve_cfg.grid_interval
+            self.fast_forward(cycle_start - sieve_cfg.simulation_dt)
+            # The stretch between the rewound clock and the horizon
+            # was already streamed by the dead run; re-simulating it
+            # must not consume the caller's duration budget.
+            duration += max(target - self.session.now, 0.0)
+        produced: list[WindowAnalysis] = []
+        hop = self.config.hop
+        if engine.last_offer is not None and duration > 1e-9:
+            ahead = (self.session.now - engine.last_offer) % hop
+            if 1e-9 < ahead < hop - 1e-9:
+                first = min(hop - ahead, duration)
+                produced += self.run(first, on_window=on_window)
+                duration -= first
+        if duration > 1e-9:
+            produced += self.run(duration, on_window=on_window)
+        return produced
+
+    def _forward_sla_samples(self) -> None:
+        """Hand newly recorded end-to-end latencies to the engine.
+
+        Consumers judging windows against an SLA (the auto-triggered
+        :class:`~repro.streaming.consumers.WindowDiffRCA`) read them
+        back via :meth:`StreamingSieve.latencies_between`.
+        """
+        samples = self.session.sla_samples
+        while self._sla_cursor < len(samples):
+            time, latency = samples[self._sla_cursor]
+            self.engine.observe_latency(time, latency)
+            self._sla_cursor += 1
 
     def final_analysis(self) -> WindowAnalysis | None:
         """Force a full-retention analysis at the current time.

@@ -30,17 +30,32 @@ class StreamingSieve:
 
     def __init__(self, config: StreamingConfig | None = None,
                  seed: int = 0, bus: IngestionBus | None = None,
-                 application: str = "", workload: str = "stream"):
+                 application: str = "", workload: str = "stream",
+                 store_backend=None, journal=None):
+        """``store_backend`` (a
+        :class:`~repro.persistence.backend.StorageBackend`) makes the
+        window store durable; ``journal`` (an
+        :class:`~repro.persistence.journal.IngestJournal`) makes the
+        ingest stream replayable after a crash."""
         self.config = config or StreamingConfig()
         self.seed = seed
         self.application = application
         self.workload = workload
-        self.bus = bus or IngestionBus()
+        self.bus = bus or IngestionBus(
+            max_pending=self.config.bus_max_pending,
+            overflow_policy=self.config.bus_overflow_policy,
+        )
+        if journal is not None:
+            self.bus.attach_journal(journal)
         self.windows = WindowStore(
             retention=self.config.retention,
             max_points_per_series=self.config.max_points_per_series,
+            backend=store_backend,
         )
         self.bus.subscribe(self.windows)
+        self.sla_history: deque[tuple[float, float]] = deque(maxlen=65536)
+        """Recent (time, end-to-end latency) observations (see
+        :meth:`observe_latency`)."""
         self.drift = DriftDetector(
             threshold=self.config.drift_threshold,
             shape_threshold=self.config.drift_shape_threshold,
@@ -55,6 +70,9 @@ class StreamingSieve:
         self.skipped_windows = 0
         self._consumers: list = []
         self._next_analysis: float | None = None
+        self.last_offer: float | None = None
+        """Timestamp of the most recent :meth:`offer` tick (checkpointed,
+        so a resumed driver can realign its clock with the dead run)."""
 
     # -- consumers -----------------------------------------------------
 
@@ -69,6 +87,37 @@ class StreamingSieve:
                 "consumer must be callable or expose .on_window()"
             )
 
+    def resume_horizon(self) -> float | None:
+        """The instant up to which this engine already holds history.
+
+        For a crash-restored engine this is the fast-forward cutoff: a
+        mid-hop crash leaves journaled samples *newer* than the last
+        engine tick (the bus auto-flushes inside hops), so the horizon
+        is the max of the last tick and the newest retained sample.
+        None when the engine has seen nothing at all.
+        """
+        horizon = self.last_offer
+        newest = self.windows.latest_time()
+        if newest is not None:
+            horizon = newest if horizon is None else max(horizon, newest)
+        return horizon
+
+    # -- SLA observations ----------------------------------------------
+
+    def observe_latency(self, time: float, latency: float) -> None:
+        """Record one end-to-end latency sample.
+
+        The co-simulation driver forwards the session's SLA samples
+        here so consumers (e.g. the auto-triggered
+        :class:`~repro.streaming.consumers.WindowDiffRCA`) can judge a
+        window against an SLA condition.
+        """
+        self.sla_history.append((float(time), float(latency)))
+
+    def latencies_between(self, start: float, end: float) -> list[float]:
+        """Observed latencies with ``start <= t <= end``."""
+        return [v for t, v in self.sla_history if start <= t <= end]
+
     # -- the tick ------------------------------------------------------
 
     def offer(self, now: float,
@@ -81,6 +130,7 @@ class StreamingSieve:
         static deployment map).
         """
         cfg = self.config
+        self.last_offer = now
         self.bus.flush()
 
         if self._next_analysis is None:
@@ -158,6 +208,7 @@ class StreamingSieve:
             "skipped_windows": self.skipped_windows,
             "points_retained": self.windows.total_points(),
             "points_evicted": self.windows.total_evicted(),
+            "backend_reads": self.windows.backend_reads,
             "series": self.windows.series_count(),
             **self.bus.stats.as_dict(),
         }

@@ -146,14 +146,28 @@ class RingSeries:
 
 
 class WindowStore:
-    """Per-component shards of :class:`RingSeries` (the engine's memory)."""
+    """Per-component shards of :class:`RingSeries` (the engine's memory).
+
+    With a ``backend``
+    (:class:`~repro.persistence.backend.StorageBackend`), every
+    ingested batch is also written through to durable storage, and
+    :meth:`snapshot` transparently serves windows that reach past the
+    rings' retention from the backend instead -- long retentions
+    survive restarts and windows can be replayed across runs while the
+    hot analysis path stays on the in-RAM rings.
+    """
 
     def __init__(self, retention: float = 120.0,
-                 max_points_per_series: int = 4096):
+                 max_points_per_series: int = 4096,
+                 backend=None):
         self.retention = retention
         self.max_points_per_series = max_points_per_series
+        self.backend = backend
         self._shards: dict[str, dict[str, RingSeries]] = {}
         self.points_ingested = 0
+        self.backend_reads = 0
+        """Series windows served from the backend instead of a ring."""
+
         self.first_time: float | None = None
         """Earliest timestamp ever ingested (survives eviction)."""
 
@@ -168,10 +182,15 @@ class WindowStore:
                               retention=self.retention,
                               max_points=self.max_points_per_series)
             shard[metric] = ring
-        ring.extend(times, values)
         t = np.asarray(times, dtype=float).reshape(-1)
+        v = np.asarray(values, dtype=float).reshape(-1)
+        if not t.size:
+            return
+        if self.backend is not None:
+            self.backend.write(component, metric, t, v)
+        ring.extend(t, v)
         self.points_ingested += int(t.size)
-        if t.size and (self.first_time is None or t[0] < self.first_time):
+        if self.first_time is None or t[0] < self.first_time:
             self.first_time = float(t[0])
 
     # -- bookkeeping ---------------------------------------------------
@@ -221,6 +240,21 @@ class WindowStore:
 
     # -- analysis hand-off ---------------------------------------------
 
+    def _series_window(self, ring: RingSeries, start: float,
+                       end: float) -> TimeSeries:
+        """One series' window, from the ring or the durable backend.
+
+        The backend is consulted only when samples the window needs
+        were already evicted from the ring -- i.e. the ring's retained
+        data starts after ``start`` and something was dropped.
+        """
+        if self.backend is not None and ring.evicted \
+                and (not len(ring) or start < ring.span()[0]):
+            self.backend_reads += 1
+            return self.backend.query(ring.key.component,
+                                      ring.key.metric, start, end)
+        return ring.window(start, end)
+
     def snapshot(self, start: float = float("-inf"),
                  end: float = float("inf")) -> MetricFrame:
         """Materialize ``[start, end]`` as a MetricFrame for analysis.
@@ -231,7 +265,7 @@ class WindowStore:
         frame = MetricFrame()
         for shard in self._shards.values():
             for ring in shard.values():
-                ts = ring.window(start, end)
+                ts = self._series_window(ring, start, end)
                 if len(ts):
                     frame.add(ts)
         return frame

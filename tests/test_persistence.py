@@ -1,0 +1,1028 @@
+"""Tests for the persistence subsystem: storage backends, the
+write-ahead ingest journal, checkpoint/restore, backpressure, the
+drift+SLA RCA trigger, and crash-restart determinism."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.autoscaling.sla import SLACondition
+from repro.causality.depgraph import edge_jaccard
+from repro.core import Sieve, StreamingConfig
+from repro.metrics.store import MetricsStore
+from repro.metrics.timeseries import MetricKey
+from repro.persistence import (
+    CheckpointPolicy,
+    IngestJournal,
+    MemoryBackend,
+    SpillBackend,
+    SqliteBackend,
+    journal_record_count,
+    load_checkpoint,
+    open_backend,
+    replay_journal,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.streaming import (
+    IngestionBus,
+    SimulationStreamDriver,
+    WindowDiffRCA,
+    WindowStore,
+)
+from repro.workload import constant_rate
+
+
+def _spec(name, shift=False, **kwargs):
+    custom = ()
+    if shift:
+        custom = (("mode_gauge",
+                   lambda comp, now: 500.0 if now > 45.0
+                   else comp.total_request_rate() * 1.2),)
+    defaults = dict(
+        kind="generic",
+        endpoints=(EndpointSpec("op", service_time=0.02),),
+        concurrency=16,
+        custom_metrics=custom,
+    )
+    defaults.update(kwargs)
+    return ComponentSpec(name=name, **defaults)
+
+
+def _chain_app(shift_backend=False):
+    return Application("demo", [
+        _spec("front", calls=(CallSpec("mid", delay=0.4),)),
+        _spec("mid", calls=(CallSpec("back", delay=0.4),)),
+        _spec("back", shift=shift_backend),
+    ])
+
+
+def _backend(kind, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend(tmp_path / "points.db")
+    return SpillBackend(tmp_path / "spill", hot_points=64)
+
+
+BACKENDS = ("memory", "sqlite", "spill")
+
+
+# ---------------------------------------------------------------------------
+# The backend contract
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackendContract:
+    def test_write_query_roundtrip(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        backend.write("web", "cpu", [1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+        backend.write("web", "cpu", [4.0], [40.0])
+        ts = backend.query("web", "cpu")
+        assert ts.times.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert ts.values.tolist() == [10.0, 20.0, 30.0, 40.0]
+
+    def test_range_query_is_inclusive(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        backend.write("web", "cpu", np.arange(10.0), np.arange(10.0))
+        ts = backend.query("web", "cpu", 3.0, 6.0)
+        assert ts.times.tolist() == [3.0, 4.0, 5.0, 6.0]
+
+    def test_unknown_key_is_empty(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        assert len(backend.query("nope", "nothing")) == 0
+
+    def test_counts_and_keys(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        backend.write("a", "m1", [1.0], [1.0])
+        backend.write("a", "m2", [1.0, 2.0], [1.0, 2.0])
+        backend.write("b", "m1", [1.0], [1.0])
+        assert backend.series_count() == 3
+        assert backend.sample_count() == 4
+        assert backend.keys() == [MetricKey("a", "m1"),
+                                  MetricKey("a", "m2"),
+                                  MetricKey("b", "m1")]
+
+    def test_to_frame_keep_filter(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        backend.write("a", "m1", [1.0], [1.0])
+        backend.write("a", "m2", [1.0], [2.0])
+        frame = backend.to_frame(keep=[MetricKey("a", "m2")])
+        assert len(frame) == 1
+        assert frame.get(MetricKey("a", "m2")).values.tolist() == [2.0]
+
+    def test_metadata_roundtrip(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        backend.set_metadata({"application": "demo", "seed": 3})
+        assert backend.metadata() == {"application": "demo", "seed": 3}
+
+    def test_bus_subscriber_protocol(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        bus = IngestionBus()
+        bus.subscribe(backend)
+        bus.publish("web", 1.0, {"cpu": 5.0})
+        bus.flush()
+        assert backend.sample_count() == 1
+
+    def test_newest_time(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path)
+        assert backend.newest_time("web", "cpu") is None
+        backend.write("web", "cpu", [1.0, 4.5], [1.0, 2.0])
+        assert backend.newest_time("web", "cpu") == 4.5
+
+
+class TestDurability:
+    def test_sqlite_reopen_keeps_out_of_order_guard(self, tmp_path):
+        path = tmp_path / "points.db"
+        backend = SqliteBackend(path)
+        backend.write("web", "cpu", [10.0, 11.0], [1.0, 2.0])
+        backend.close()
+        reopened = SqliteBackend(path)
+        # Appending an older timeline would corrupt the point log and
+        # only surface at read time; it must fail at the write.
+        with pytest.raises(ValueError, match="out-of-order"):
+            reopened.write("web", "cpu", [5.0], [1.0])
+        reopened.write("web", "cpu", [12.0], [3.0])
+        assert reopened.query("web", "cpu").times.tolist() \
+            == [10.0, 11.0, 12.0]
+
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = tmp_path / "points.db"
+        backend = SqliteBackend(path)
+        backend.write("web", "cpu", [1.0, 2.0], [1.0, 2.0])
+        backend.set_metadata({"seed": 7})
+        backend.close()
+        reopened = SqliteBackend(path)
+        assert reopened.sample_count() == 2
+        assert reopened.metadata()["seed"] == 7
+        assert reopened.query("web", "cpu").values.tolist() == [1.0, 2.0]
+
+    def test_spill_survives_reopen(self, tmp_path):
+        path = tmp_path / "spill"
+        backend = SpillBackend(path, hot_points=16)
+        backend.write("web", "cpu", np.arange(20.0), np.arange(20.0))
+        backend.write("web", "cpu", 20.0 + np.arange(20.0),
+                      20.0 + np.arange(20.0))
+        backend.set_metadata({"seed": 7})
+        assert backend.spills >= 2
+        backend.close()
+        reopened = SpillBackend(path)
+        assert reopened.sample_count() == 40
+        assert reopened.metadata()["seed"] == 7
+        ts = reopened.query("web", "cpu", 10.0, 20.0)
+        assert ts.times.tolist() == [float(i) for i in range(10, 21)]
+
+    def test_spill_bounds_ram(self, tmp_path):
+        backend = SpillBackend(tmp_path / "spill", hot_points=32)
+        for step in range(20):
+            t = 10.0 * step + np.arange(10.0)
+            backend.write("web", "cpu", t, np.zeros(10))
+        assert backend.hot_sample_count() < 32 + 10
+        assert backend.sample_count() == 200
+
+    def test_spill_rejects_out_of_order(self, tmp_path):
+        backend = SpillBackend(tmp_path / "spill")
+        backend.write("web", "cpu", [5.0], [1.0])
+        with pytest.raises(ValueError):
+            backend.write("web", "cpu", [4.0], [1.0])
+
+    def test_spill_reopen_keeps_out_of_order_guard(self, tmp_path):
+        backend = SpillBackend(tmp_path / "spill", hot_points=8)
+        backend.write("web", "cpu", 10.0 + np.arange(10.0),
+                      np.arange(10.0))
+        backend.close()
+        reopened = SpillBackend(tmp_path / "spill")
+        # Writing behind the existing segments would silently corrupt
+        # range queries (they assume time-ordered concatenation).
+        with pytest.raises(ValueError):
+            reopened.write("web", "cpu", [5.0], [1.0])
+        reopened.write("web", "cpu", [25.0], [1.0])  # forward is fine
+        assert reopened.query("web", "cpu").times[-1] == 25.0
+
+    def test_parquet_spill_reopen_needs_pyarrow(self, tmp_path):
+        from repro.persistence.spill import HAVE_PARQUET
+
+        if HAVE_PARQUET:
+            pytest.skip("pyarrow installed; missing-dependency path "
+                        "not reachable")
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        (spill_dir / "index.json").write_text(json.dumps({
+            "version": 1, "segment_format": "parquet",
+            "next_segment": 0, "meta": {}, "series": [],
+        }))
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            SpillBackend(spill_dir)
+
+    def test_open_backend_dispatch(self, tmp_path):
+        assert isinstance(open_backend("memory", None), MemoryBackend)
+        assert isinstance(open_backend("sqlite", tmp_path / "x.db"),
+                          SqliteBackend)
+        assert isinstance(open_backend("spill", tmp_path / "d"),
+                          SpillBackend)
+        with pytest.raises(ValueError):
+            open_backend("redis", None)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance invariant: replay through any backend reproduces the
+# in-memory batch analysis exactly.
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    sieve = Sieve(_chain_app())
+    return sieve.run(constant_rate(40.0), duration=45.0, seed=7,
+                     workload_name="replay-check")
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestReplayReproducesBatchAnalysis:
+    def test_replay_is_exact(self, kind, tmp_path, batch_result):
+        backend = _backend(kind, tmp_path)
+        for ts in batch_result.run.frame:
+            backend.write(ts.key.component, ts.key.metric,
+                          ts.times, ts.values)
+        backend.flush()
+        replayed_frame = backend.to_frame()
+        replayed_run = dataclasses.replace(batch_result.run,
+                                           frame=replayed_frame)
+        replayed = Sieve(_chain_app()).analyze(replayed_run, seed=7)
+        for component in batch_result.clusterings:
+            assert replayed.clusterings[component].labels() \
+                == batch_result.clusterings[component].labels()
+            assert replayed.clusterings[component].representatives \
+                == batch_result.clusterings[component].representatives
+        assert edge_jaccard(replayed.dependency_graph,
+                            batch_result.dependency_graph,
+                            level="metric") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# The write-ahead ingest journal
+
+
+class TestIngestJournal:
+    def test_roundtrip_is_exact(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        t = np.array([1.0, 1.5 + 1e-13, 2.0])
+        v = np.array([0.1, np.pi, -3.7e-9])
+        journal.append_batch("web", "cpu", t, v)
+        journal.append_batch("db", "mem", [3.0], [4.0])
+        journal.close()
+        records = list(replay_journal(path))
+        assert len(records) == 2
+        component, metric, rt, rv = records[0]
+        assert (component, metric) == ("web", "cpu")
+        assert rt.tolist() == t.tolist()  # bit-identical floats
+        assert rv.tolist() == v.tolist()
+        assert journal_record_count(path) == 2
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        journal.append_batch("web", "cpu", [1.0], [1.0])
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"c":"web","m":"cpu","t":[2.0],"v"')  # torn
+        assert journal_record_count(path) == 1
+
+    def test_corrupt_middle_raises(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        journal.append_batch("web", "cpu", [1.0], [1.0])
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+            handle.write('{"c":"web","m":"cpu","t":[2.0],"v":[2.0]}\n')
+        with pytest.raises(ValueError):
+            list(replay_journal(path))
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert list(replay_journal(tmp_path / "absent.journal")) == []
+
+    def test_reopen_repairs_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        journal.append_batch("web", "cpu", [1.0], [1.0])
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"c":"web","m":"cpu","t":[2.0],"v"')  # torn
+        # A resumed run re-opens the same journal: the torn tail must
+        # be truncated, or the next record merges into garbage.
+        resumed = IngestJournal(path)
+        resumed.append_batch("web", "cpu", [3.0], [3.0])
+        resumed.close()
+        records = list(replay_journal(path))
+        assert [(c, m, t.tolist()) for c, m, t, _v in records] \
+            == [("web", "cpu", [1.0]), ("web", "cpu", [3.0])]
+
+    def test_truncate_starts_fresh(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        journal.append_batch("web", "cpu", [50.0], [1.0])
+        journal.close()
+        fresh = IngestJournal(path, truncate=True)
+        fresh.append_batch("web", "cpu", [1.0], [1.0])
+        fresh.close()
+        records = list(replay_journal(path))
+        assert len(records) == 1
+        assert records[0][2].tolist() == [1.0]
+
+    def test_bus_journals_ahead_of_delivery(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        journal = IngestJournal(path)
+        bus = IngestionBus()
+        bus.attach_journal(journal)
+        delivered = []
+        bus.subscribe(lambda c, m, t, v: delivered.append((c, m)))
+        bus.publish("web", 1.0, {"cpu": 1.0, "mem": 2.0})
+        bus.publish("web", 1.5, {"cpu": 2.0, "mem": 3.0})
+        bus.flush()
+        journal.close()
+        records = list(replay_journal(path))
+        assert {(c, m) for c, m, _t, _v in records} == set(delivered)
+        assert bus.stats.journaled_batches == 2
+        # Replaying through a window store rebuilds the exact state.
+        store = WindowStore()
+        for component, metric, t, v in records:
+            store.ingest(component, metric, t, v)
+        assert store.total_points() == 4
+
+    def test_failing_journal_write_requeues_everything(self, tmp_path):
+        class BrokenJournal:
+            def append_batch(self, *_args):
+                raise OSError("disk full")
+
+            def commit(self):
+                pass
+
+        delivered = []
+        bus = IngestionBus()
+        bus.attach_journal(BrokenJournal())
+        bus.subscribe(lambda c, m, t, v: delivered.append((c, m)))
+        bus.publish_points("web", "cpu", [1.0], [1.0])
+        bus.publish_points("db", "mem", [1.0], [1.0])
+        with pytest.raises(OSError):
+            bus.flush()
+        # Nothing was journaled or delivered -- nothing may be lost.
+        assert delivered == []
+        assert bus.pending_points == 2
+
+    def test_failing_sink_still_journals_its_batch(self, tmp_path):
+        path = tmp_path / "ingest.journal"
+        bus = IngestionBus()
+        bus.attach_journal(IngestJournal(path))
+
+        def explode(component, metric, times, values):
+            raise RuntimeError("sink down")
+
+        bus.subscribe(explode)
+        bus.publish_points("web", "cpu", [1.0], [1.0])
+        with pytest.raises(RuntimeError):
+            bus.flush()
+        # The write-ahead contract: the batch hit the journal first.
+        assert journal_record_count(path) == 1
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+
+
+class TestBackpressure:
+    def test_drop_oldest_keeps_newest_points(self):
+        bus = IngestionBus(flush_threshold=10_000, max_pending=10,
+                           overflow_policy="drop_oldest")
+        bus.publish_points("web", "cpu", np.arange(8.0), np.zeros(8))
+        bus.publish_points("db", "mem", 8.0 + np.arange(8.0),
+                           np.zeros(8))
+        assert bus.pending_points == 10
+        assert bus.stats.overflow_dropped == 6
+        received = {}
+        bus.subscribe(lambda c, m, t, v: received.update({(c, m): t}))
+        bus.flush()
+        # The six oldest points (cpu t=0..5) were shed.
+        assert received[("web", "cpu")].tolist() == [6.0, 7.0]
+        assert len(received[("db", "mem")]) == 8
+
+    def test_downsample_halves_and_keeps_newest(self):
+        bus = IngestionBus(flush_threshold=10_000, max_pending=10,
+                           overflow_policy="downsample")
+        bus.publish_points("web", "cpu", np.arange(16.0), np.arange(16.0))
+        assert bus.pending_points <= 10
+        assert bus.stats.overflow_downsampled >= 6
+        received = {}
+        bus.subscribe(lambda c, m, t, v: received.update({(c, m): t}))
+        bus.flush()
+        kept = received[("web", "cpu")]
+        assert kept[-1] == 15.0  # newest sample survives thinning
+        assert len(kept) <= 10
+
+    def test_flush_drains_before_shedding(self):
+        # A healthy subscriber must see every point: crossing the
+        # flush threshold delivers the buffers, so backpressure never
+        # sheds data a flush could have drained.
+        received = []
+        bus = IngestionBus(flush_threshold=4096, max_pending=8192)
+        bus.subscribe(lambda c, m, t, v: received.append(t.size))
+        bus.publish_points("web", "cpu", np.arange(20_000.0),
+                           np.zeros(20_000))
+        assert sum(received) == 20_000
+        assert bus.stats.overflow_dropped == 0
+        assert bus.pending_points == 0
+
+    def test_drop_oldest_keeps_buffer_memory_bounded(self):
+        # The stalled-consumer case backpressure exists for: pending
+        # is capped below the flush threshold, so shedding (not
+        # flushing) is the only drain -- the underlying lists must not
+        # keep every published point alive.
+        bus = IngestionBus(flush_threshold=100_000, max_pending=64,
+                           overflow_policy="drop_oldest")
+        for step in range(5_000):
+            bus.publish("web", float(step), {"cpu": 0.0})
+        assert bus.pending_points <= 64
+        buffer = bus._buffers[("web", "cpu")]
+        assert len(buffer.times) <= 2 * 64 + 1
+        # The ordering guard survives compaction.
+        bus.publish("web", 1.0, {"cpu": 0.0})  # far in the past
+        assert bus.stats.rejected_points == 1
+
+    def test_unbounded_bus_never_sheds(self):
+        bus = IngestionBus(flush_threshold=10_000)
+        bus.publish_points("web", "cpu", np.arange(100.0), np.zeros(100))
+        assert bus.pending_points == 100
+        assert bus.stats.overflow_dropped == 0
+        assert bus.stats.overflow_downsampled == 0
+
+    def test_stats_surface_in_engine_summary(self):
+        config = StreamingConfig(bus_max_pending=64,
+                                 bus_overflow_policy="downsample")
+        from repro.streaming import StreamingSieve
+
+        engine = StreamingSieve(config=config, seed=1)
+        assert engine.bus.max_pending == 64
+        assert engine.bus.overflow_policy == "downsample"
+        summary = engine.summary()
+        assert "overflow_dropped" in summary
+        assert "overflow_downsampled" in summary
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(bus_overflow_policy="explode")
+        with pytest.raises(ValueError):
+            IngestionBus(max_pending=-1)
+
+
+# ---------------------------------------------------------------------------
+# WindowStore with a durable backend
+
+
+class TestWindowStoreBackend:
+    def test_snapshot_reaches_past_retention(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "points.db")
+        store = WindowStore(retention=10.0, max_points_per_series=32,
+                            backend=backend)
+        for step in range(100):
+            store.ingest("web", "cpu", [float(step)], [float(step)])
+        assert store.total_evicted() > 0
+        # A recent window comes from the ring...
+        recent = store.snapshot(95.0, 99.0)
+        assert store.backend_reads == 0
+        assert len(recent.get(MetricKey("web", "cpu"))) == 5
+        # ...but an old window transparently falls back to the backend.
+        old = store.snapshot(10.0, 20.0)
+        assert store.backend_reads == 1
+        ts = old.get(MetricKey("web", "cpu"))
+        assert ts.times.tolist() == [float(i) for i in range(10, 21)]
+
+    def test_full_history_snapshot_from_backend(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "points.db")
+        store = WindowStore(retention=10.0, max_points_per_series=32,
+                            backend=backend)
+        for step in range(50):
+            store.ingest("web", "cpu", [float(step)], [0.0])
+        frame = store.snapshot()
+        assert frame.get(MetricKey("web", "cpu")).times[0] == 0.0
+        assert len(frame.get(MetricKey("web", "cpu"))) == 50
+
+    def test_without_backend_old_windows_stay_truncated(self):
+        store = WindowStore(retention=10.0, max_points_per_series=32)
+        for step in range(100):
+            store.ingest("web", "cpu", [float(step)], [0.0])
+        old = store.snapshot(10.0, 20.0)
+        assert len(old) == 0  # evicted, nothing to serve
+
+    def test_resume_clip_drops_republished_duplicates(self):
+        bus = IngestionBus()
+        received = []
+        bus.subscribe(
+            lambda c, m, t, v: received.append((c, m, t.tolist())))
+        bus.arm_resume_clip({("web", "cpu"): 2.0})
+        bus.publish("web", 1.5, {"cpu": 1.0, "mem": 1.0})  # cpu clipped
+        bus.publish("web", 2.0, {"cpu": 2.0})  # at bound -> clipped
+        bus.publish("web", 2.5, {"cpu": 3.0})  # past bound -> disarms
+        bus.publish("web", 1.0, {"cpu": 0.0})  # genuinely late
+        bus.flush()
+        assert bus.stats.resume_clipped == 2
+        assert bus.stats.rejected_points == 1
+        by_key = {(c, m): t for c, m, t in received}
+        assert by_key[("web", "cpu")] == [2.5]
+        assert by_key[("web", "mem")] == [1.5]
+
+    def test_resume_clip_on_prebatched_points(self):
+        bus = IngestionBus()
+        bus.arm_resume_clip({("db", "mem"): 3.0})
+        bus.publish_points("db", "mem", [1.0, 2.0, 3.0, 4.0],
+                           [1.0, 2.0, 3.0, 4.0])
+        assert bus.stats.resume_clipped == 3
+        assert bus.pending_points == 1
+
+
+# ---------------------------------------------------------------------------
+# Metered MetricsStore over every backend
+
+
+class TestMetricsStoreBackends:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_metering_is_backend_agnostic(self, kind, tmp_path):
+        reference = MetricsStore()
+        store = MetricsStore(backend=_backend(kind, tmp_path))
+        for target in (reference, store):
+            target.write_batch("web", "cpu", [1.0, 2.0], [1.0, 2.0])
+            target.write_point("web", "mem", 1.0, 5.0)
+            target.query("web", "cpu", 1.5, 2.0)
+            target.simulate_dashboard_reads()
+        assert store.usage.summary() == reference.usage.summary()
+        assert store.series_count() == 2
+        assert store.sample_count() == 3
+
+    def test_replay_frame_keep_subset(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "points.db")
+        source = MetricsStore()
+        source.write_batch("c", "m1", [1.0, 2.0], [1.0, 2.0])
+        source.write_batch("c", "m2", [1.0, 2.0], [3.0, 4.0])
+        durable = MetricsStore(backend=backend)
+        durable.replay_frame(source.frame, keep=[MetricKey("c", "m2")])
+        assert durable.sample_count() == 2
+        assert backend.query("c", "m2").values.tolist() == [3.0, 4.0]
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore
+
+
+def _streaming_driver(seed=3, config=None, engine=None, shift=False):
+    config = config or StreamingConfig(window=20.0, hop=10.0,
+                                       retention=300.0)
+    return SimulationStreamDriver(
+        _chain_app(shift_backend=shift), constant_rate(40.0),
+        config=config, seed=seed, record_frame=False, engine=engine,
+    )
+
+
+class TestCheckpointRestore:
+    @pytest.fixture(scope="class")
+    def checkpointed(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("checkpoint")
+        journal = IngestJournal(tmp / "ingest.journal")
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+        from repro.streaming import StreamingSieve
+
+        engine = StreamingSieve(config=config, seed=3, journal=journal,
+                                application="demo", workload="stream")
+        driver = _streaming_driver(config=config, engine=engine)
+        driver.run(60.0)
+        save_checkpoint(driver.engine, tmp / "state.ckpt")
+        journal.commit()
+        return tmp, config, driver
+
+    def test_checkpoint_file_is_json(self, checkpointed):
+        tmp, _config, driver = checkpointed
+        state = load_checkpoint(tmp / "state.ckpt")
+        assert state["version"] == 1
+        assert state["stats"]["windows"] == driver.engine.stats.windows
+        assert state["previous"] is not None
+
+    def test_restore_rebuilds_rings_and_state(self, checkpointed):
+        tmp, config, driver = checkpointed
+        restored = restore_engine(tmp / "state.ckpt", config,
+                                  journal_path=tmp / "ingest.journal")
+        original = driver.engine
+        assert restored.windows.total_points() \
+            == original.windows.total_points()
+        assert restored.windows.first_time == original.windows.first_time
+        assert restored._next_analysis == original._next_analysis
+        assert restored.last_offer == original.last_offer
+        assert restored.stats.as_dict() == original.stats.as_dict()
+        prev_r, prev_o = restored.analyzer.previous, \
+            original.analyzer.previous
+        assert prev_r.index == prev_o.index
+        for component in prev_o.clusterings:
+            assert prev_r.clusterings[component].labels() \
+                == prev_o.clusterings[component].labels()
+        assert edge_jaccard(prev_r.dependency_graph,
+                            prev_o.dependency_graph,
+                            level="metric") == 1.0
+        # Drift baselines restored exactly.
+        frozen_r = {c: (m, coh) for c, _cl, m, coh
+                    in restored.drift.baseline_items()}
+        frozen_o = {c: (m, coh) for c, _cl, m, coh
+                    in original.drift.baseline_items()}
+        assert frozen_r == frozen_o
+
+    def test_restore_rejects_config_mismatch(self, checkpointed):
+        tmp, _config, _driver = checkpointed
+        other = StreamingConfig(window=30.0, hop=10.0, retention=300.0)
+        with pytest.raises(ValueError, match="mismatch"):
+            restore_engine(tmp / "state.ckpt", other)
+
+    def test_restore_heals_backend_missing_journal_tail(self, tmp_path):
+        from repro.persistence import checkpoint_state
+        from repro.streaming import StreamingSieve
+
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+        # The dead run journaled two batches but crashed between the
+        # journal append and sink delivery of the second -- the durable
+        # backend is short of the journal's tail.
+        backend = SqliteBackend(tmp_path / "points.db")
+        backend.write("web", "cpu", [1.0, 2.0], [1.0, 2.0])
+        journal = IngestJournal(tmp_path / "ingest.journal")
+        journal.append_batch("web", "cpu", [1.0, 2.0], [1.0, 2.0])
+        journal.append_batch("web", "cpu", [3.0, 4.0], [3.0, 4.0])
+        journal.close()
+        state = checkpoint_state(StreamingSieve(config=config, seed=1))
+
+        restored = restore_engine(state, config,
+                                  journal_path=tmp_path
+                                  / "ingest.journal",
+                                  store_backend=backend)
+        assert restored.windows.total_points() == 4
+        # The backend hole was healed without duplicating the prefix.
+        assert backend.sample_count() == 4
+        assert backend.query("web", "cpu").times.tolist() \
+            == [1.0, 2.0, 3.0, 4.0]
+
+    def test_checkpoint_policy_cadence(self, tmp_path):
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0,
+                                 checkpoint_every_windows=2)
+        driver = _streaming_driver(config=config)
+        policy = CheckpointPolicy(driver.engine,
+                                  tmp_path / "auto.ckpt")
+        assert policy.every == 2
+        driver.engine.subscribe(policy)
+        analyses = driver.run(70.0)
+        assert policy.checkpoints_written == len(analyses) // 2
+        assert (tmp_path / "auto.ckpt").exists()
+
+
+# ---------------------------------------------------------------------------
+# Crash-restart determinism (the acceptance scenario)
+
+
+class TestCrashRestartDeterminism:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("crash")
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+
+        # The uninterrupted reference run.
+        uninterrupted = _streaming_driver(config=config)
+        reference_windows = uninterrupted.run(90.0)
+
+        # The doomed run: journal + checkpoint-every-window, killed
+        # after 50 simulated seconds by simply dropping the driver.
+        from repro.streaming import StreamingSieve
+
+        journal = IngestJournal(tmp / "ingest.journal")
+        engine = StreamingSieve(
+            config=config, seed=3, journal=journal,
+            application="demo", workload="stream",
+        )
+        doomed = _streaming_driver(config=config, engine=engine)
+        policy = CheckpointPolicy(engine, tmp / "state.ckpt", every=1)
+        engine.subscribe(policy)
+        early_windows = doomed.run(50.0)
+        journal.commit()
+        del doomed  # the "crash"
+
+        # The resurrected run: restore state, fast-forward the seeded
+        # simulation to the dead engine's last tick, keep streaming.
+        restored = restore_engine(tmp / "state.ckpt", config,
+                                  journal_path=tmp / "ingest.journal")
+        resumed = _streaming_driver(config=config, engine=restored)
+        late_windows = resumed.resume_run(90.0 - 50.0)
+        return (uninterrupted, reference_windows,
+                early_windows, resumed, late_windows)
+
+    def test_window_schedule_is_identical(self, runs):
+        _u, reference, early, _r, late = runs
+        combined = early + late
+        assert [(a.index, a.start, a.end) for a in combined] \
+            == [(a.index, a.start, a.end) for a in reference]
+
+    def test_recluster_decisions_are_identical(self, runs):
+        _u, reference, early, _r, late = runs
+        combined = early + late
+        assert [a.recluster_reasons for a in combined] \
+            == [a.recluster_reasons for a in reference]
+
+    def test_final_clusterings_identical(self, runs):
+        _u, reference, _early, _resumed, late = runs
+        assert late, "restart produced no windows"
+        final_ref = reference[-1]
+        final_res = late[-1]
+        assert set(final_res.clusterings) == set(final_ref.clusterings)
+        for component in final_ref.clusterings:
+            assert final_res.clusterings[component].labels() \
+                == final_ref.clusterings[component].labels()
+
+    def test_final_edges_jaccard_one(self, runs):
+        _u, reference, _early, _resumed, late = runs
+        assert edge_jaccard(late[-1].dependency_graph,
+                            reference[-1].dependency_graph,
+                            level="metric") == 1.0
+
+    def test_mid_hop_crash_resume_stays_on_hop_grid(self, tmp_path):
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+        from repro.streaming import StreamingSieve
+
+        journal = IngestJournal(tmp_path / "ingest.journal")
+        # Small flush threshold: the bus auto-flushes (and journals)
+        # several times inside every hop, like a big deployment.
+        bus = IngestionBus(flush_threshold=128)
+        engine = StreamingSieve(config=config, seed=3, bus=bus,
+                                journal=journal,
+                                application="demo", workload="stream")
+        doomed = _streaming_driver(config=config, engine=engine)
+        engine.subscribe(CheckpointPolicy(engine,
+                                          tmp_path / "state.ckpt",
+                                          every=1))
+        doomed.run(40.0)
+        windows_before = engine.stats.windows
+        last_offer = engine.last_offer
+        # Crash 3.7s into the next hop, after mid-hop auto-flushes
+        # journaled samples newer than the last engine tick.
+        doomed.session.advance(3.7)
+        journal.commit()
+        del doomed
+
+        restored = restore_engine(tmp_path / "state.ckpt", config,
+                                  journal_path=tmp_path
+                                  / "ingest.journal")
+        assert restored.windows.latest_time() > last_offer
+        resumed = _streaming_driver(config=config, engine=restored)
+        produced = resumed.resume_run(20.0)
+        # resume_run realigned the ticks with the dead run's hop grid:
+        # the same window spans an uninterrupted run would analyze.
+        # (A trailing off-grid window can follow when the requested
+        # duration is not a hop multiple -- plain run() semantics.)
+        assert [round(a.end) for a in produced[:2]] == [55, 65]
+        assert all(a.end - a.start == pytest.approx(20.0)
+                   for a in produced)
+        assert restored.stats.windows == windows_before + len(produced)
+
+    def test_mid_cycle_partial_flush_resume_is_lossless(self, tmp_path):
+        # The sharpest crash window: an auto-flush lands in the middle
+        # of a scrape cycle, so the journal holds only part of that
+        # cycle's exporters when the process dies.  resume_run rewinds
+        # to the cycle start and re-publishes it (the overlap clip
+        # drops the journaled half), so the resumed run still matches
+        # an uninterrupted one exactly.
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+        from repro.streaming import StreamingSieve
+
+        reference = _streaming_driver(config=config)
+        reference_windows = reference.run(60.0)
+
+        journal = IngestJournal(tmp_path / "ingest.journal")
+        bus = IngestionBus(flush_threshold=64)  # flushes mid-cycle
+        engine = StreamingSieve(config=config, seed=3, bus=bus,
+                                journal=journal,
+                                application="demo", workload="stream")
+        doomed = _streaming_driver(config=config, engine=engine)
+        engine.subscribe(CheckpointPolicy(engine,
+                                          tmp_path / "state.ckpt",
+                                          every=1))
+        doomed.run(40.0)
+        doomed.session.advance(1.3)  # partial scrape cycles, no offer
+        journal.commit()
+        del doomed
+
+        resumed_journal = IngestJournal(tmp_path / "ingest.journal")
+        restored = restore_engine(tmp_path / "state.ckpt", config,
+                                  journal_path=tmp_path
+                                  / "ingest.journal",
+                                  journal=resumed_journal)
+        resumed = _streaming_driver(config=config, engine=restored)
+        late = resumed.resume_run(20.0)
+        resumed_journal.commit()
+        assert restored.bus.stats.resume_clipped > 0
+        # The crash-advance streamed ~1.3s the reference never saw, so
+        # the resumed run may append one extra trailing window; the
+        # window sharing the reference's index must match it exactly.
+        final_ref = reference_windows[-1]
+        final_res = next(a for a in late
+                         if a.index == final_ref.index)
+        assert (final_res.start, final_res.end) \
+            == (final_ref.start, final_ref.end)
+        for component in final_ref.clusterings:
+            assert final_res.clusterings[component].labels() \
+                == final_ref.clusterings[component].labels()
+        assert edge_jaccard(final_res.dependency_graph,
+                            final_ref.dependency_graph,
+                            level="metric") == 1.0
+        # A second restore from the now-grown journal must not replay
+        # duplicates: the first resume's re-published overlap cycle
+        # was kept out of the journal by the bus clip.
+        second = restore_engine(tmp_path / "state.ckpt", config,
+                                journal_path=tmp_path
+                                / "ingest.journal")
+        for component in second.windows.components:
+            for metric in second.windows.metrics_of(component):
+                ring = second.windows.series(component, metric)
+                assert np.all(np.diff(ring.times) > 0), \
+                    f"duplicated samples in {component}/{metric}"
+
+    def test_full_retention_analysis_matches(self, runs):
+        uninterrupted, _ref, _early, resumed, _late = runs
+        final_u = uninterrupted.final_analysis()
+        final_r = resumed.final_analysis()
+        assert final_u is not None and final_r is not None
+        for component in final_u.clusterings:
+            assert final_r.clusterings[component].labels() \
+                == final_u.clusterings[component].labels()
+        assert edge_jaccard(final_r.dependency_graph,
+                            final_u.dependency_graph,
+                            level="metric") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Drift + SLA coincidence fires the RCA consumer
+
+
+class TestAutoTriggeredRCA:
+    @pytest.fixture(scope="class")
+    def fired(self):
+        config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+        driver = _streaming_driver(config=config, shift=True)
+        seen = []
+        rca = WindowDiffRCA(
+            driver.engine,
+            sla=SLACondition(percentile=90.0, threshold=1e-9),
+            on_report=seen.append,
+        )
+        driver.engine.subscribe(rca)
+        analyses = driver.run(90.0)
+        return driver, rca, seen, analyses
+
+    def test_fires_on_drift_plus_violation(self, fired):
+        _driver, rca, seen, analyses = fired
+        assert rca.windows_seen == len(analyses)
+        assert rca.reports, "drift + SLA violation never fired RCA"
+        assert seen == rca.reports
+
+    def test_report_diffs_healthy_against_drifted(self, fired):
+        _driver, rca, _seen, analyses = fired
+        triggered = rca.reports[0]
+        drifted = next(a for a in analyses
+                       if "drift" in a.recluster_reasons.values())
+        assert triggered.faulty_index == drifted.index
+        assert triggered.baseline_index < triggered.faulty_index
+        report = triggered.report
+        assert set(report.diffs) == {"front", "mid", "back"}
+        report.cluster_novelty_histogram()
+
+    def test_quiet_without_sla_condition(self):
+        config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+        driver = _streaming_driver(config=config, shift=True)
+        rca = WindowDiffRCA(driver.engine)  # no SLA -> manual only
+        driver.engine.subscribe(rca)
+        driver.run(60.0)
+        assert rca.reports == []
+
+    def test_engine_records_latency_observations(self, fired):
+        driver, _rca, _seen, _analyses = fired
+        assert len(driver.engine.sla_history) > 0
+        start, end = driver.engine.sla_history[0][0], \
+            driver.engine.sla_history[-1][0]
+        assert driver.engine.latencies_between(start, end)
+
+
+# ---------------------------------------------------------------------------
+# CLI record / replay / resume plumbing
+
+
+class TestCLIPersistence:
+    def test_parser_accepts_new_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "stream", "--journal", "j.log", "--checkpoint", "c.json",
+            "--checkpoint-every", "3", "--resume",
+        ])
+        assert args.func.__name__ == "cmd_stream"
+        assert args.checkpoint_every == 3
+        args = parser.parse_args(
+            ["record", "--backend", "spill", "--out", "d"])
+        assert args.func.__name__ == "cmd_record"
+        args = parser.parse_args(
+            ["replay", "--backend", "sqlite", "--path", "x.db"])
+        assert args.func.__name__ == "cmd_replay"
+
+    def test_record_then_replay_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = tmp_path / "run.db"
+        assert main(["record", "--app", "sharelatex",
+                     "--backend", "sqlite", "--out", str(db),
+                     "--duration", "15", "--workload", "constant"]) == 0
+        assert db.exists()
+        assert main(["replay", "--backend", "sqlite",
+                     "--path", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert "reduction_factor" in out
+        assert "network_out_bytes" in out
+
+    def test_replay_empty_backend_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = SqliteBackend(tmp_path / "empty.db")
+        empty.close()
+        assert main(["replay", "--backend", "sqlite",
+                     "--path", str(tmp_path / "empty.db")]) == 2
+
+    def test_resume_without_checkpoint_fails(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["stream", "--duration", "10", "--resume",
+                     "--journal", str(tmp_path / "j.log"),
+                     "--checkpoint",
+                     str(tmp_path / "missing.ckpt")]) == 2
+
+    def test_resume_without_journal_fails(self, tmp_path):
+        from repro.cli import main
+
+        ckpt = tmp_path / "state.ckpt"
+        ckpt.write_text("{}")
+        assert main(["stream", "--duration", "10", "--resume",
+                     "--checkpoint", str(ckpt)]) == 2
+
+    def test_resume_rejects_mismatched_trace(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.streaming import StreamingSieve
+
+        # Checkpoint a sharelatex/constant run at the CLI's default
+        # window geometry, then resume with a different seed/workload:
+        # that would continue a *different* simulation on the old
+        # rings, so it must be refused.
+        engine = StreamingSieve(
+            config=StreamingConfig(checkpoint_every_windows=1),
+            seed=1, application="sharelatex", workload="constant",
+        )
+        ckpt = tmp_path / "state.ckpt"
+        save_checkpoint(engine, ckpt)
+        base = ["stream", "--resume", "--duration", "10",
+                "--journal", str(tmp_path / "j.log"),
+                "--checkpoint", str(ckpt)]
+        assert main(base + ["--workload", "constant",
+                            "--seed", "2"]) == 2
+        assert main(base + ["--seed", "1"]) == 2  # workload: random
+        assert "mismatch" in capsys.readouterr().err
+
+    def test_fresh_run_clears_stale_checkpoint(self, tmp_path):
+        from repro.cli import main
+
+        stale = tmp_path / "state.ckpt"
+        stale.write_text('{"version": 1}')
+        # Too short for any window: no new checkpoint gets written, so
+        # the stale one must be gone (a crash here followed by --resume
+        # would otherwise restore the previous session's state).
+        assert main(["stream", "--duration", "5", "--window", "10",
+                     "--workload", "constant",
+                     "--journal", str(tmp_path / "j.log"),
+                     "--checkpoint", str(stale)]) == 0
+        assert not stale.exists()
+
+    def test_record_overwrites_existing_backend(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = tmp_path / "run.db"
+        args = ["record", "--backend", "sqlite", "--out", str(db),
+                "--duration", "8", "--workload", "constant"]
+        assert main(args) == 0
+        first = SqliteBackend(db).sample_count()
+        # A second recording must start fresh, not append a second
+        # (out-of-order) timeline onto the first.
+        assert main(args) == 0
+        assert SqliteBackend(db).sample_count() == first
