@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare results against baselines.
+
+Compares freshly produced benchmark JSON files (``BENCH_*.json``)
+against the committed baselines in ``benchmarks/baselines/`` and
+fails when a time-like metric got more than ``--factor`` slower (or a
+rate-like metric more than ``--factor`` lower).  CI runs it hard on
+pushes and ``--warn-only`` on pull requests, so a PR shows the
+regression without blocking on runner noise.
+
+Only relative regressions are gated; keys are classified by suffix:
+
+* lower-is-better: ``*_s``, ``*_ms``, ``*_seconds``, ``*_blocked_s``
+* higher-is-better: ``*_per_sec``, ``*_per_s``, ``speedup*``
+* everything else (counts, core counts, labels) is informational.
+
+Baselines were recorded on one reference machine; a 2x default factor
+absorbs normal machine-to-machine spread while still catching real
+algorithmic regressions.  Refresh a baseline by re-running the
+benchmark and copying the JSON into ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+LOWER_IS_BETTER = ("_s", "_ms", "_seconds", "_blocked_s")
+HIGHER_IS_BETTER = ("_per_sec", "_per_s")
+
+
+def _leaves(node, prefix=""):
+    """Flatten nested dicts to {dotted.path: numeric value}."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_leaves(value, path))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+    return out
+
+
+def _direction(path: str) -> str | None:
+    key = path.rsplit(".", 1)[-1]
+    if "speedup" in key or key.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    if key.endswith(LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def compare(baseline: dict, current: dict,
+            factor: float) -> tuple[list[str], int]:
+    """Returns (report lines, number of regressions)."""
+    lines, regressions = [], 0
+    base_leaves = _leaves(baseline)
+    curr_leaves = _leaves(current)
+    for path in sorted(base_leaves):
+        direction = _direction(path)
+        if direction is None or path not in curr_leaves:
+            continue
+        base, curr = base_leaves[path], curr_leaves[path]
+        if base <= 0.0:
+            continue
+        ratio = curr / base
+        if direction == "lower":
+            regressed = ratio > factor
+            trend = f"{ratio:.2f}x slower" if ratio > 1.0 \
+                else f"{1.0 / ratio:.2f}x faster"
+        else:
+            regressed = ratio < 1.0 / factor
+            trend = f"{1.0 / ratio:.2f}x lower" if ratio < 1.0 \
+                else f"{ratio:.2f}x higher"
+        marker = "REGRESSION" if regressed else "ok"
+        lines.append(f"  {marker:>10}  {path:<48} "
+                     f"{base:>12.4f} -> {curr:>12.4f}  ({trend})")
+        regressions += int(regressed)
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", metavar="RESULT.json",
+                        help="freshly produced benchmark JSON files")
+    parser.add_argument("--baselines",
+                        default=str(Path(__file__).parent / "baselines"),
+                        help="directory holding committed baselines")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown factor (default 2.0)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (PR mode)")
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baselines)
+    total_regressions = 0
+    for result_path in map(Path, args.results):
+        baseline_path = baseline_dir / result_path.name
+        if not result_path.exists():
+            print(f"{result_path}: missing result file", file=sys.stderr)
+            total_regressions += 1
+            continue
+        if not baseline_path.exists():
+            print(f"{result_path.name}: no baseline committed; "
+                  f"skipping (add one under {baseline_dir})")
+            continue
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(result_path) as fh:
+            current = json.load(fh)
+        lines, regressions = compare(baseline, current, args.factor)
+        total_regressions += regressions
+        print(f"{result_path.name} vs {baseline_path} "
+              f"(factor {args.factor:g}x):")
+        print("\n".join(lines) if lines else "  (no gated metrics)")
+
+    if total_regressions:
+        verdict = f"{total_regressions} benchmark regression(s)"
+        if args.warn_only:
+            print(f"WARNING: {verdict} (warn-only mode, not failing)")
+            return 0
+        print(f"FAIL: {verdict}", file=sys.stderr)
+        return 1
+    print("benchmark gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

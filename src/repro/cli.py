@@ -35,6 +35,7 @@ from repro.apps import (
     run_ab_benchmark,
 )
 from repro.core import Sieve, SieveConfig, StreamingConfig, save_snapshot
+from repro.parallel import EXECUTOR_KINDS, BatchingWriter, make_executor
 from repro.metrics.accounting import reduction_percent
 from repro.metrics.store import MetricsStore
 from repro.persistence import (
@@ -65,6 +66,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--duration", type=float, default=120.0,
                         help="simulated seconds of load")
+
+
+def _add_parallel(parser: argparse.ArgumentParser,
+                  note: str = "") -> None:
+    parser.add_argument("--executor", choices=EXECUTOR_KINDS,
+                        default="serial",
+                        help="where per-component analysis shards run "
+                             "(process = true parallelism; identical "
+                             "results to serial on the same seed)"
+                             + note)
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="pool size for thread/process executors "
+                             "(0 = all cores; 1 falls back to serial)")
+
+
+def _overwrite_backend_path(out: Path) -> None:
+    """Clear a backend target so a new recording starts fresh.
+
+    Appending a second run's timeline to an existing backend would be
+    rejected as out-of-order.
+    """
+    if out.exists():
+        shutil.rmtree(out) if out.is_dir() else out.unlink()
+    for sidecar in (Path(str(out) + "-wal"), Path(str(out) + "-shm")):
+        sidecar.unlink(missing_ok=True)
 
 
 def cmd_pipeline(args) -> int:
@@ -98,6 +124,9 @@ def cmd_stream(args) -> int:
         hop=args.hop,
         retention=max(args.retention, args.window),
         checkpoint_every_windows=args.checkpoint_every,
+        executor=args.executor,
+        executor_workers=args.workers,
+        writer=args.writer,
     )
     workload = _build_workload(args)
     if args.resume and not args.journal:
@@ -106,20 +135,7 @@ def cmd_stream(args) -> int:
         print("--resume needs --journal (the ingest log to replay)",
               file=sys.stderr)
         return 2
-    # A fresh (non-resume) run starts its journal over; appending a
-    # second run's timeline onto an old journal would make any later
-    # replay reject the restart of time as out-of-order.
-    journal = IngestJournal(args.journal, truncate=not args.resume) \
-        if args.journal else None
-    if not args.resume and args.checkpoint \
-            and Path(args.checkpoint).exists():
-        # A stale checkpoint from a previous session must not survive
-        # a fresh start: if this run crashed before its first window,
-        # --resume would otherwise restore the *old* session's state
-        # over the new journal.
-        Path(args.checkpoint).unlink()
-
-    engine = None
+    state = None
     if args.resume:
         if not (args.checkpoint and Path(args.checkpoint).exists()):
             print("--resume needs an existing --checkpoint file",
@@ -143,16 +159,45 @@ def cmd_stream(args) -> int:
                 print(f"--resume {name} mismatch: checkpoint has "
                       f"{recorded!r}, given {given!r}", file=sys.stderr)
             return 2
+
+    store_backend = None
+    if args.store:
+        if not args.resume:
+            _overwrite_backend_path(Path(args.store))
+        store_backend = open_backend(args.store_backend, args.store)
+        if config.writer == "async":
+            # The concurrent-ingest path: durable writes happen on a
+            # dedicated thread so the bus never blocks on them.
+            store_backend = BatchingWriter(
+                store_backend,
+                max_batches=config.writer_queue_batches,
+            )
+    # A fresh (non-resume) run starts its journal over; appending a
+    # second run's timeline onto an old journal would make any later
+    # replay reject the restart of time as out-of-order.
+    journal = IngestJournal(args.journal, truncate=not args.resume) \
+        if args.journal else None
+    if not args.resume and args.checkpoint \
+            and Path(args.checkpoint).exists():
+        # A stale checkpoint from a previous session must not survive
+        # a fresh start: if this run crashed before its first window,
+        # --resume would otherwise restore the *old* session's state
+        # over the new journal.
+        Path(args.checkpoint).unlink()
+
+    if args.resume:
         engine = restore_engine(state, config,
                                 journal_path=args.journal,
-                                journal=journal)
+                                journal=journal,
+                                store_backend=store_backend)
         print(f"resumed from {args.checkpoint} "
               f"(window {engine.stats.windows}, "
               f"{engine.windows.total_points()} points replayed)")
-    elif journal is not None:
+    else:
         engine = StreamingSieve(
             config=config, seed=args.seed, journal=journal,
             application=args.app, workload=args.workload,
+            store_backend=store_backend,
         )
 
     driver = SimulationStreamDriver(
@@ -194,20 +239,32 @@ def cmd_stream(args) -> int:
         remaining = max(args.duration - driver.session.elapsed, 0.0)
     print(f"streaming {args.app} for {remaining:.0f}s "
           f"(window={config.window:.0f}s hop={config.hop:.0f}s "
-          f"retention={config.retention:.0f}s)")
-    if remaining > 0:
-        if args.resume:
-            # resume_run fast-forwards the seeded co-simulation past
-            # everything the replayed journal holds, then realigns the
-            # engine ticks with the dead run's hop grid.
-            driver.resume_run(remaining, on_window=on_window)
-        else:
-            driver.run(remaining, on_window=on_window)
-    if journal is not None:
-        journal.commit()
+          f"retention={config.retention:.0f}s "
+          f"executor={config.executor})")
+    try:
+        if remaining > 0:
+            if args.resume:
+                # resume_run fast-forwards the seeded co-simulation
+                # past everything the replayed journal holds, then
+                # realigns the engine ticks with the dead run's hop
+                # grid.
+                driver.resume_run(remaining, on_window=on_window)
+            else:
+                driver.run(remaining, on_window=on_window)
+        if journal is not None:
+            journal.commit()
+    finally:
+        driver.engine.close()
+        if store_backend is not None:
+            # Drain the (possibly asynchronous) writer even on an
+            # interrupted run -- queued batches must reach disk.
+            store_backend.close()
     print()
     for key, value in driver.engine.summary().items():
         print(f"{key:>24}: {value}")
+    if isinstance(store_backend, BatchingWriter):
+        for key, value in store_backend.stats.as_dict().items():
+            print(f"{key:>24}: {value}")
     if args.compare:
         final = driver.final_analysis()
         batch = driver.batch_result()
@@ -230,14 +287,15 @@ def cmd_record(args) -> int:
     """
     application = APPLICATIONS[args.app]()
     sieve_cfg = SieveConfig()
-    out = Path(args.out)
-    if out.exists():
-        # Recording overwrites: appending a second run's timeline to
-        # an existing backend would be rejected as out-of-order.
-        shutil.rmtree(out) if out.is_dir() else out.unlink()
-    for sidecar in (Path(str(out) + "-wal"), Path(str(out) + "-shm")):
-        sidecar.unlink(missing_ok=True)
+    # Recording overwrites: appending a second run's timeline to an
+    # existing backend would be rejected as out-of-order.
+    _overwrite_backend_path(Path(args.out))
     backend = open_backend(args.backend, args.out)
+    if args.writer == "async":
+        # Concurrent ingest: durable writes happen on a dedicated
+        # thread, so a multi-process collector fleet never stalls on
+        # the backend (reads drain the queue first).
+        backend = BatchingWriter(backend)
     bus = IngestionBus()
     bus.subscribe(backend)
     session = application.open_session(
@@ -250,6 +308,9 @@ def cmd_record(args) -> int:
         bus=bus,
         record_frame=False,
     )
+    if args.executor != "serial":
+        print("note: --executor has no effect on record "
+              "(no analysis stage runs); see stream/replay")
     session.advance(args.duration)
     bus.flush()
     call_graph = session.call_graph(
@@ -264,6 +325,11 @@ def cmd_record(args) -> int:
     })
     samples = backend.sample_count()
     series = backend.series_count()
+    if isinstance(backend, BatchingWriter):
+        stats = backend.stats
+        print(f"async writer: {stats.batches_written} batches "
+              f"({stats.points_written} points) via writer thread, "
+              f"peak queue depth {stats.max_queue_depth}")
     backend.close()
     print(f"recorded {samples} samples across {series} series "
           f"to {args.backend}:{args.out}")
@@ -294,7 +360,12 @@ def cmd_replay(args) -> int:
     )
     builder = APPLICATIONS.get(meta.get("application"),
                                build_sharelatex_application)
-    result = Sieve(builder()).analyze(run, seed=run.seed)
+    executor = make_executor(args.executor, args.workers or None)
+    try:
+        result = Sieve(builder(), executor=executor) \
+            .analyze(run, seed=run.seed)
+    finally:
+        executor.close()
     print(f"replayed {run.application}/{run.workload} from "
           f"{args.backend}:{args.path}")
     for key, value in result.summary().items():
@@ -411,6 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--resume", action="store_true",
                           help="restore state from --checkpoint (and "
                                "replay --journal) before streaming")
+    p_stream.add_argument("--store", metavar="PATH",
+                          help="write ingested samples through to a "
+                               "durable store backend at PATH")
+    p_stream.add_argument("--store-backend",
+                          choices=("sqlite", "spill"),
+                          default="sqlite",
+                          help="backend kind behind --store")
+    p_stream.add_argument("--writer", choices=("sync", "async"),
+                          default="sync",
+                          help="drive the --store backend inline "
+                               "(sync) or through a batching writer "
+                               "thread (async) so ingest never blocks "
+                               "on durable writes")
+    _add_parallel(p_stream)
     _add_common(p_stream)
     p_stream.set_defaults(func=cmd_stream)
 
@@ -426,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--workload", choices=("random", "constant"),
                           default="random")
     p_record.add_argument("--rate", type=float, default=25.0)
+    p_record.add_argument("--writer", choices=("sync", "async"),
+                          default="sync",
+                          help="drive the backend inline (sync) or "
+                               "through a batching writer thread "
+                               "(async)")
+    _add_parallel(p_record,
+                  note="; recording runs no analysis, so this only "
+                       "matters to scripts sharing flags with "
+                       "stream/replay")
     _add_common(p_record)
     p_record.set_defaults(func=cmd_record)
 
@@ -437,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--path", required=True, metavar="PATH",
                           help="recorded sqlite file or spill directory")
     p_replay.add_argument("--seed", type=int, default=1)
+    _add_parallel(p_replay)
     p_replay.set_defaults(func=cmd_replay)
 
     p_rca = sub.add_parser(

@@ -204,16 +204,60 @@ def reduce_component(
     )
 
 
+#: A shard-executor payload: one component's full reduction input.
+ReducePayload = tuple[str, dict[str, TimeSeries], float, float, int, int]
+
+
+def reduce_payload(
+    component: str,
+    view: dict[str, TimeSeries],
+    interval: float = DEFAULT_GRID_INTERVAL,
+    variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
+    max_k: int = DEFAULT_MAX_K,
+    seed: int = 0,
+) -> ReducePayload:
+    """Package one component's reduction as a picklable task payload."""
+    return (component, view, interval, variance_threshold, max_k, seed)
+
+
+def reduce_component_task(
+    payload: ReducePayload,
+) -> tuple[str, ComponentClustering]:
+    """Shard-executor task: run Step #2 for one payload.
+
+    Module-level and pure (the clustering is a deterministic function
+    of the payload, seeded per component name), so process pools can
+    pickle it and parallel results merge identically to serial runs.
+    """
+    component, view, interval, variance_threshold, max_k, seed = payload
+    return component, reduce_component(
+        component,
+        view,
+        interval=interval,
+        variance_threshold=variance_threshold,
+        max_k=max_k,
+        seed=seed,
+    )
+
+
 def reduce_frame(
     frame: MetricFrame,
     interval: float = DEFAULT_GRID_INTERVAL,
     variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
     max_k: int = DEFAULT_MAX_K,
     seed: int = 0,
+    executor=None,
 ) -> dict[str, ComponentClustering]:
-    """Reduce every component of a recorded run."""
-    return {
-        component: reduce_component(
+    """Reduce every component of a recorded run.
+
+    ``executor`` (a :class:`repro.parallel.executor.ShardExecutor`, or
+    anything with an order-preserving ``map``) fans the per-component
+    reductions out to workers; None runs them inline.  Components are
+    reduced independently, so the merged result is identical either
+    way.
+    """
+    payloads = [
+        reduce_payload(
             component,
             frame.component_view(component),
             interval=interval,
@@ -222,4 +266,9 @@ def reduce_frame(
             seed=seed,
         )
         for component in frame.components
-    }
+    ]
+    if executor is None:
+        results = [reduce_component_task(payload) for payload in payloads]
+    else:
+        results = executor.map(reduce_component_task, payloads)
+    return dict(results)

@@ -119,6 +119,33 @@ class StreamingConfig:
     :class:`repro.persistence.checkpoint.CheckpointPolicy` (0 = only
     checkpoint when explicitly asked)."""
 
+    executor: str = "serial"
+    """Shard-executor strategy for per-component window work
+    (re-reduce + re-cluster, drift shape checks): ``"serial"`` runs
+    inline, ``"thread"`` on a thread pool, ``"process"`` on a process
+    pool (true parallelism; same clusterings as serial -- tested).
+    See :mod:`repro.parallel.executor`."""
+
+    executor_workers: int = 0
+    """Pool size for the thread/process executors (0 = all cores).
+    A pool sized at one worker falls back to the serial executor."""
+
+    writer: str = "sync"
+    """How a durable store backend is driven: ``"sync"`` writes on the
+    ingest path, ``"async"`` batches through a dedicated writer thread
+    (:class:`repro.parallel.writer.BatchingWriter`) so the bus never
+    blocks on durable writes."""
+
+    writer_queue_batches: int = 256
+    """Bound of the async writer's batch queue; a full queue blocks
+    the ingest path (backpressure) instead of growing unboundedly."""
+
+    journal_rotate_on_checkpoint: bool = True
+    """Rotate the write-ahead ingest journal at checkpoint epochs and
+    retire segments older than the retention horizon (a checkpoint
+    plus the retained window makes older segments redundant for
+    restart), so the journal no longer grows unboundedly."""
+
     sieve: SieveConfig = field(default_factory=SieveConfig)
     """The batch-analysis tunables applied inside every window."""
 
@@ -144,3 +171,11 @@ class StreamingConfig:
             )
         if self.checkpoint_every_windows < 0:
             raise ValueError("checkpoint_every_windows must be >= 0")
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.executor_workers < 0:
+            raise ValueError("executor_workers must be >= 0")
+        if self.writer not in ("sync", "async"):
+            raise ValueError(f"unknown writer {self.writer!r}")
+        if self.writer_queue_batches < 1:
+            raise ValueError("writer_queue_batches must be >= 1")

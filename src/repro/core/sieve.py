@@ -22,9 +22,15 @@ class Sieve:
     """
 
     def __init__(self, application: Application,
-                 config: SieveConfig | None = None):
+                 config: SieveConfig | None = None,
+                 executor=None):
+        """``executor`` (a
+        :class:`repro.parallel.executor.ShardExecutor`) fans the
+        per-component reductions of :meth:`analyze` out to workers;
+        None keeps them inline.  The caller owns its lifecycle."""
         self.application = application
         self.config = config or SieveConfig()
+        self.executor = executor
 
     # -- Step 1 -----------------------------------------------------------
 
@@ -59,6 +65,7 @@ class Sieve:
             variance_threshold=cfg.variance_threshold,
             max_k=cfg.max_clusters,
             seed=seed,
+            executor=self.executor,
         )
         graph = extract_dependencies(
             run.frame,

@@ -1,0 +1,184 @@
+"""Shard executors: where per-component analysis work actually runs.
+
+Sieve's windowed analysis is embarrassingly parallel across components:
+every component's re-reduce/re-cluster (and every drift shape check) is
+a pure function of that component's own samples and the run seed.  A
+:class:`ShardExecutor` pins down the *distribution policy* for that
+fan-out -- inline, a thread pool, or a process pool -- while the
+analysis pipeline stays oblivious to which one is plugged in (the
+RAFDA separation of application logic from distribution policy).
+
+The contract every strategy honours:
+
+* ``map(fn, payloads)`` returns results **in payload order**, so the
+  caller's merge is deterministic regardless of completion order;
+* ``fn`` and every payload/result must be picklable for the process
+  strategy (module-level task functions, plain-data payloads);
+* per-payload work is independent -- executors never share state
+  between tasks.
+
+Because results are merged in submission order and every task is a
+pure seeded function, ``serial``, ``thread`` and ``process`` produce
+bit-identical analyses (asserted by the determinism tests).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+#: Valid executor strategy names, in escalation order.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Below this many payloads a pooled executor runs inline -- the fixed
+#: dispatch cost (pickling, wakeups) dwarfs any overlap win.
+MIN_PARALLEL_PAYLOADS = 2
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not pin one (all cores)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class ShardExecutor:
+    """Base strategy: run shard tasks inline, in submission order.
+
+    Also the ``serial`` strategy itself -- and the documented fallback
+    that :func:`make_executor` returns for any pool sized at one
+    worker, where a pool only adds dispatch overhead.
+    """
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.tasks_dispatched = 0
+        """Payloads handed to :meth:`map` over this executor's lifetime."""
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+    ) -> list[Any]:
+        """Apply ``fn`` to every payload; results in payload order."""
+        items = payloads if isinstance(payloads, Sequence) else list(payloads)
+        self.tasks_dispatched += len(items)
+        return self._run(fn, items)
+
+    def _run(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Release pooled workers (inline strategies: no-op)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        """Executor identity for summaries and benchmark records."""
+        return {
+            "executor": self.kind,
+            "executor_workers": self.workers,
+            "tasks_dispatched": self.tasks_dispatched,
+        }
+
+
+class _PooledExecutor(ShardExecutor):
+    """Shared plumbing of the thread/process strategies.
+
+    The pool is created lazily on first use and reused across windows
+    (worker warm-up is paid once per engine, not once per window).
+    Batches smaller than :data:`MIN_PARALLEL_PAYLOADS` run inline.
+    """
+
+    #: Extra keyword arguments for the pool's ``map`` call.
+    _map_kwargs: dict = {}
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers or default_workers())
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _run(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) < MIN_PARALLEL_PAYLOADS:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items, **self._map_kwargs))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadShardExecutor(_PooledExecutor):
+    """Shards on a thread pool.
+
+    Numpy kernels release the GIL only partially, so threads mostly pay
+    off when the per-shard work blocks (backend reads, I/O-bound
+    tasks); for pure re-clustering CPU work prefer ``process``.
+    """
+
+    kind = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-shard",
+        )
+
+
+class ProcessShardExecutor(_PooledExecutor):
+    """Shards on a process pool -- true parallelism for CPU-bound work.
+
+    Task functions must be module-level and payloads picklable.  Work
+    is dispatched with ``chunksize=1`` so components spread across
+    workers even when their costs are skewed (the per-window critical
+    path is the largest component).
+    """
+
+    kind = "process"
+
+    # chunksize=1 spreads skewed per-component costs across workers.
+    _map_kwargs = {"chunksize": 1}
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def make_executor(
+    kind: str = "serial",
+    workers: int | None = None,
+) -> ShardExecutor:
+    """Build the executor for a strategy name.
+
+    ``workers=None`` (or 0) sizes pools to :func:`default_workers`.
+    A pooled strategy pinned to a single worker falls back to the
+    serial executor: one worker cannot overlap anything, so the pool
+    would only add dispatch and pickling overhead (the "pool-size-1
+    fallback" the tests pin down).
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r} (expected one of {EXECUTOR_KINDS})"
+        )
+    sized = workers if workers else None
+    if sized is not None and sized < 1:
+        raise ValueError("workers must be >= 1")
+    if kind == "serial":
+        return ShardExecutor()
+    resolved = sized or default_workers()
+    if resolved == 1:
+        return ShardExecutor()
+    if kind == "thread":
+        return ThreadShardExecutor(resolved)
+    return ProcessShardExecutor(resolved)

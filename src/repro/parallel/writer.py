@@ -1,0 +1,237 @@
+"""Concurrent ingest: a batching writer thread in front of a backend.
+
+Durable backends pay real latency per write (sqlite transactions,
+spill-segment serialization).  With the bus wired straight to such a
+backend, every flush blocks ingestion for the duration of the write.
+:class:`BatchingWriter` decouples the two: ``write`` enqueues the
+batch on a bounded queue and returns immediately, while a dedicated
+writer thread drains the queue into the wrapped backend in arrival
+order.  The bus never blocks on durable writes unless the queue is
+full -- at which point blocking *is* the backpressure.
+
+Crash safety composes with the write-ahead ingest journal rather than
+duplicating it: every queued batch was journaled by the bus before it
+reached this writer, so batches lost in the queue at kill time are
+re-derived on restart (``restore_engine`` replays the journal and
+heals the backend's missing tail via ``newest_time``).  A crash can
+therefore never lose acknowledged data, only un-fsynced work the
+journal re-creates -- the torn-write contract the tests pin down.
+
+Reads are *drain-through*: ``query``/``to_frame``/``sample_count``
+first wait for the queue to empty, so the writer is read-your-writes
+consistent.  ``flush`` drains and then flushes the inner backend --
+the checkpoint hook (:class:`~repro.persistence.checkpoint
+.CheckpointPolicy` flushes the store's backend before every
+checkpoint, bounding the un-durable window to one checkpoint epoch).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
+from repro.persistence.backend import as_arrays
+
+#: Queue sentinel asking the writer thread to exit.
+_STOP = object()
+
+
+class WriterError(RuntimeError):
+    """A backend write failed on the writer thread.
+
+    Raised on the *caller's* next interaction with the writer; the
+    original backend exception is chained as ``__cause__``.
+    """
+
+
+@dataclass
+class WriterStats:
+    """Observability counters of one :class:`BatchingWriter`."""
+
+    batches_enqueued: int = 0
+    points_enqueued: int = 0
+    batches_written: int = 0
+    points_written: int = 0
+    drains: int = 0
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "writer_batches_enqueued": self.batches_enqueued,
+            "writer_points_enqueued": self.points_enqueued,
+            "writer_batches_written": self.batches_written,
+            "writer_points_written": self.points_written,
+            "writer_drains": self.drains,
+            "writer_max_queue_depth": self.max_queue_depth,
+        }
+
+
+class BatchingWriter:
+    """Asynchronous, order-preserving front of a storage backend.
+
+    Speaks the full :class:`~repro.persistence.backend.StorageBackend`
+    protocol (plus the bus-subscriber ``ingest`` alias), so anything
+    that accepts a backend accepts a wrapped one.
+    """
+
+    def __init__(self, backend, max_batches: int = 256):
+        if max_batches < 1:
+            raise ValueError("max_batches must be >= 1")
+        self.backend = backend
+        self.stats = WriterStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=max_batches)
+        self._error: BaseException | None = None
+        self._closed = False
+        self._aborted = False
+        self._thread = threading.Thread(
+            target=self._writer_loop,
+            name="repro-ingest-writer",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- the writer thread ---------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                if self._error is not None or self._aborted:
+                    continue  # fail-stop: preserve the first error
+                component, metric, t, v = item
+                try:
+                    self.backend.write(component, metric, t, v)
+                    self.stats.batches_written += 1
+                    self.stats.points_written += int(t.size)
+                except BaseException as exc:
+                    self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_error(self) -> None:
+        if self._error is not None:
+            raise WriterError(
+                f"backend write failed on the writer thread: {self._error!r}"
+            ) from self._error
+
+    def _check(self) -> None:
+        self._raise_error()
+        if self._closed:
+            raise RuntimeError("writer is closed")
+
+    # -- writes (async) ------------------------------------------------
+
+    def write(self, component: str, metric: str, times, values) -> int:
+        """Enqueue one batch; blocks only when the queue is full."""
+        self._check()
+        t, v = as_arrays(times, values)
+        if not t.size:
+            return 0
+        self._queue.put((component, metric, t.copy(), v.copy()))
+        self.stats.batches_enqueued += 1
+        self.stats.points_enqueued += int(t.size)
+        depth = self._queue.qsize()
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        return int(t.size)
+
+    def ingest(self, component: str, metric: str, times, values) -> None:
+        """Ingestion-bus subscriber protocol (delegates to ``write``)."""
+        self.write(component, metric, times, values)
+
+    # -- synchronization -----------------------------------------------
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches enqueued but not yet written."""
+        return self._queue.qsize()
+
+    def drain(self) -> None:
+        """Block until every enqueued batch reached the backend."""
+        self._queue.join()
+        self.stats.drains += 1
+        self._check()
+
+    def flush(self) -> None:
+        """Drain the queue, then make the inner backend durable."""
+        self.drain()
+        self.backend.flush()
+
+    # -- reads (drain-through: read-your-writes) -----------------------
+
+    def query(
+        self,
+        component: str,
+        metric: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> TimeSeries:
+        self.drain()
+        return self.backend.query(component, metric, start, end)
+
+    def keys(self) -> list[MetricKey]:
+        self.drain()
+        return self.backend.keys()
+
+    def series_count(self) -> int:
+        self.drain()
+        return self.backend.series_count()
+
+    def sample_count(self) -> int:
+        self.drain()
+        return self.backend.sample_count()
+
+    def newest_time(self, component: str, metric: str) -> float | None:
+        self.drain()
+        return self.backend.newest_time(component, metric)
+
+    def to_frame(self, keep: Iterable[MetricKey] | None = None) -> MetricFrame:
+        self.drain()
+        return self.backend.to_frame(keep)
+
+    def set_metadata(self, meta: dict) -> None:
+        self.drain()
+        self.backend.set_metadata(meta)
+
+    def metadata(self) -> dict:
+        self.drain()
+        return self.backend.metadata()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Drain, stop the thread and close the inner backend."""
+        if self._closed:
+            return
+        self._queue.join()
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join()
+        self.backend.close()
+        self._raise_error()
+
+    def abort(self) -> None:
+        """Simulate a crash: discard queued batches, write nothing more.
+
+        The inner backend is left exactly as the last completed write
+        left it -- not flushed, not closed -- which is what a killed
+        process leaves on disk.  Used by the crash-safety tests; the
+        journal replay path is what recovers the discarded batches.
+        """
+        if self._closed:
+            return
+        self._aborted = True
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join()
+
+    def __enter__(self) -> "BatchingWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -34,6 +34,7 @@ from repro.persistence.backend import (
 from repro.persistence.journal import (
     IngestJournal,
     journal_record_count,
+    journal_segments,
     replay_journal,
 )
 from repro.persistence.spill import SpillBackend, open_backend
@@ -70,6 +71,7 @@ __all__ = [
     "StorageBackend",
     "checkpoint_state",
     "journal_record_count",
+    "journal_segments",
     "load_checkpoint",
     "open_backend",
     "replay_journal",

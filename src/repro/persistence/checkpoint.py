@@ -261,21 +261,55 @@ class CheckpointPolicy:
     ``every=None`` the cadence comes from
     :attr:`repro.core.config.StreamingConfig.checkpoint_every_windows`
     (0 disables automatic checkpoints entirely).
+
+    Each checkpoint epoch also bounds the durable state around it:
+
+    * the window store's backend is flushed *before* the checkpoint
+      lands (an asynchronous :class:`repro.parallel.writer
+      .BatchingWriter` drains its queue here), so every sample the
+      checkpoint covers is on disk -- the un-durable window is at most
+      one epoch;
+    * the write-ahead ingest journal is rotated *after* it, and
+      segments older than the retention horizon are retired -- a
+      checkpoint plus the retained window makes them redundant for
+      restart, so the journal stops growing unboundedly.  Disable via
+      :attr:`~repro.core.config.StreamingConfig
+      .journal_rotate_on_checkpoint` (or ``rotate_journal=False``) to
+      keep the full history, e.g. for offline replay of a whole run.
     """
 
     def __init__(self, engine: StreamingSieve, path,
-                 every: int | None = None):
+                 every: int | None = None,
+                 rotate_journal: bool | None = None):
         self.engine = engine
         self.path = Path(path)
         self.every = engine.config.checkpoint_every_windows \
             if every is None else every
         if self.every < 0:
             raise ValueError("checkpoint cadence must be >= 0")
+        self.rotate_journal = \
+            engine.config.journal_rotate_on_checkpoint \
+            if rotate_journal is None else rotate_journal
         self.checkpoints_written = 0
         self._windows_seen = 0
 
     def on_window(self, analysis) -> None:
         self._windows_seen += 1
-        if self.every and self._windows_seen % self.every == 0:
-            save_checkpoint(self.engine, self.path)
-            self.checkpoints_written += 1
+        if not self.every or self._windows_seen % self.every:
+            return
+        # Flush-on-checkpoint: the checkpoint must never describe
+        # samples the durable store has not absorbed yet.
+        self.engine.windows.flush_backend()
+        save_checkpoint(self.engine, self.path)
+        self.checkpoints_written += 1
+        journal = self.engine.bus.journal
+        if journal is None or not self.rotate_journal \
+                or not hasattr(journal, "rotate"):
+            return
+        journal.rotate()
+        # Anchor retirement at the stalest series, not the global
+        # clock: a quiet series' ring keeps samples its own newest
+        # minus retention, and replay must still rebuild them.
+        stalest = self.engine.windows.stalest_series_time()
+        if stalest is not None:
+            journal.retire(stalest - self.engine.config.retention)

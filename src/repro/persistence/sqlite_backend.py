@@ -48,7 +48,12 @@ class SqliteBackend(BackendBase):
         super().__init__()
         self.path = str(path)
         self.commit_every = commit_every
-        self._conn = sqlite3.connect(self.path)
+        # check_same_thread=False lets a dedicated writer thread (the
+        # concurrent-ingest BatchingWriter) own the write path while
+        # readers drain it first -- access is serialized in time by the
+        # callers, which is the documented contract for disabling the
+        # same-thread guard.
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
         if self.path != ":memory:":
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")

@@ -22,7 +22,11 @@ from dataclasses import dataclass, field
 
 from repro.causality.depgraph import DependencyGraph
 from repro.causality.pairwise import extract_dependencies
-from repro.clustering.reduction import ComponentClustering, reduce_component
+from repro.clustering.reduction import (
+    ComponentClustering,
+    reduce_component_task,
+    reduce_payload,
+)
 from repro.core.config import StreamingConfig
 from repro.core.incremental import (
     changed_metric_components,
@@ -32,6 +36,7 @@ from repro.core.incremental import (
 from repro.core.results import SieveResult
 from repro.metrics.store import MetricsStore
 from repro.metrics.timeseries import MetricFrame
+from repro.parallel.executor import ShardExecutor
 from repro.simulator.app import LoadedRun
 from repro.streaming.drift import DriftDetector, DriftReading
 from repro.tracing.callgraph import CallGraph
@@ -170,13 +175,20 @@ class WindowAnalyzer:
 
     def __init__(self, config: StreamingConfig | None = None,
                  drift_detector: DriftDetector | None = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 executor: ShardExecutor | None = None):
+        """``executor`` decides where per-component shards (reduce +
+        re-cluster, drift shape checks) run -- inline by default; see
+        :func:`repro.parallel.executor.make_executor`.  Results are
+        merged in component order, so every strategy produces the same
+        analysis."""
         self.config = config or StreamingConfig()
         self.drift = drift_detector or DriftDetector(
             threshold=self.config.drift_threshold,
             shape_threshold=self.config.drift_shape_threshold,
         )
         self.seed = seed
+        self.executor = executor or ShardExecutor()
         self.previous: WindowAnalysis | None = None
         self._windows_since_refresh = 0
 
@@ -216,7 +228,8 @@ class WindowAnalyzer:
                 "metric-set" if component in self.previous.clusterings
                 else "initial"
             )
-        drifted, readings = self.drift.drifted_components(frame)
+        drifted, readings = self.drift.drifted_components(
+            frame, executor=self.executor)
         for component in drifted:
             reasons.setdefault(component, "drift")
         return reasons, readings
@@ -233,31 +246,48 @@ class WindowAnalyzer:
         # clusterings are dropped above (we only keep frame components),
         # and their stale dependency relations must not be carried
         # forward either, so they count as changed for the graph merge.
-        if self.previous is not None:
-            vanished = set(self.previous.clusterings) \
+        previous = self.previous
+        if previous is not None:
+            vanished = set(previous.clusterings) \
                 - set(frame.components)
             changed |= vanished
             for component in vanished:
                 self.drift.forget(component)
+
+        # Fan the re-clustered components out to the shard executor.
+        # Each payload is a pure seeded task; merging in component
+        # order keeps the analysis identical across strategies.
+        views = {
+            component: frame.component_view(component)
+            for component in frame.components
+            if component in changed
+        }
+        produced = dict(self.executor.map(reduce_component_task, [
+            reduce_payload(
+                component, views[component],
+                interval=cfg.grid_interval,
+                variance_threshold=cfg.variance_threshold,
+                max_k=cfg.max_clusters,
+                seed=self.seed,
+            )
+            for component in frame.components if component in changed
+        ]))
 
         clusterings: dict[str, ComponentClustering] = {}
         reclustered: list[str] = []
         reused: list[str] = []
         for component in frame.components:
             if component in changed:
-                view = frame.component_view(component)
-                clusterings[component] = reduce_component(
-                    component, view,
-                    interval=cfg.grid_interval,
-                    variance_threshold=cfg.variance_threshold,
-                    max_k=cfg.max_clusters,
-                    seed=self.seed,
-                )
-                self.drift.rebase(component, clusterings[component], view)
+                clusterings[component] = produced[component]
+                self.drift.rebase(component, produced[component],
+                                  views[component])
                 reclustered.append(component)
             else:
+                # Unreached when previous is None: every component is
+                # then in ``changed`` with reason "initial".
+                assert previous is not None
                 clusterings[component] = \
-                    self.previous.clusterings[component]
+                    previous.clusterings[component]
                 reused.append(component)
 
         touched = restricted_call_graph(call_graph, changed)
@@ -267,11 +297,11 @@ class WindowAnalyzer:
             interval=cfg.grid_interval,
             filter_bidirectional=cfg.filter_bidirectional,
         )
-        if self.previous is None:
+        if previous is None:
             graph, edges_reused = fresh, 0
         else:
             graph, edges_reused = merge_dependency_graphs(
-                self.previous.dependency_graph, fresh, changed,
+                previous.dependency_graph, fresh, changed,
                 clusterings.keys(),
             )
 

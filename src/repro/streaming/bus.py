@@ -155,6 +155,14 @@ class IngestionBus:
         """
         self._journal = journal
 
+    @property
+    def journal(self):
+        """The attached write-ahead journal, or None.
+
+        Exposed so lifecycle hooks (checkpoint-epoch journal rotation)
+        can reach the journal without threading it separately."""
+        return self._journal
+
     def arm_resume_clip(self,
                         newest_by_key: dict[tuple[str, str], float]
                         ) -> None:

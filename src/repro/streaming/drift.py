@@ -129,6 +129,58 @@ def _lag1_autocorr(values: np.ndarray) -> float:
                          0.0, 1.0))
 
 
+def score_baseline(component: str, baseline: _ComponentBaseline,
+                   view: dict[str, TimeSeries],
+                   min_samples: int = DEFAULT_MIN_SAMPLES,
+                   ) -> list[DriftReading]:
+    """Score one fresh component window against a frozen baseline.
+
+    Module-level and pure -- a deterministic function of the frozen
+    baseline and the fresh samples -- so shard executors can run the
+    per-component shape checks on worker processes and merge readings
+    identically to an inline pass.
+    """
+    readings: list[DriftReading] = []
+    representatives = {
+        cluster.representative: cluster
+        for cluster in baseline.clustering.clusters
+    }
+    for metric, frozen in baseline.metrics.items():
+        ts = view.get(metric)
+        if ts is None or len(ts) < min_samples:
+            continue
+        values = ts.values
+        samples = _drift_samples(values, frozen.counter)
+        scale = frozen.scale
+        reading = DriftReading(
+            component=component,
+            metric=metric,
+            location_shift=abs(float(samples.mean()) - frozen.mean)
+            / scale,
+            spread_shift=abs(float(samples.std()) - frozen.std) / scale,
+        )
+        cluster = representatives.get(metric)
+        if cluster is not None and values.size >= min_samples:
+            coherence = baseline.coherence.get(cluster.index, 0.0)
+            if coherence > 0.0:
+                reading.shape_distance = \
+                    coherence * cluster.distance_to(values)
+        readings.append(reading)
+    return readings
+
+
+#: A shard-executor payload: one component's drift-scoring input.
+ScorePayload = tuple[str, _ComponentBaseline, dict[str, TimeSeries], int]
+
+
+def score_baseline_task(
+        payload: ScorePayload) -> tuple[str, list[DriftReading]]:
+    """Shard-executor task wrapper around :func:`score_baseline`."""
+    component, baseline, view, min_samples = payload
+    return component, score_baseline(component, baseline, view,
+                                     min_samples)
+
+
 class DriftDetector:
     """Scores fresh windows against frozen clustering baselines."""
 
@@ -208,33 +260,8 @@ class DriftDetector:
         baseline = self._baselines.get(component)
         if baseline is None:
             return []
-        readings: list[DriftReading] = []
-        representatives = {
-            cluster.representative: cluster
-            for cluster in baseline.clustering.clusters
-        }
-        for metric, frozen in baseline.metrics.items():
-            ts = view.get(metric)
-            if ts is None or len(ts) < self.min_samples:
-                continue
-            values = ts.values
-            samples = _drift_samples(values, frozen.counter)
-            scale = frozen.scale
-            reading = DriftReading(
-                component=component,
-                metric=metric,
-                location_shift=abs(float(samples.mean()) - frozen.mean)
-                / scale,
-                spread_shift=abs(float(samples.std()) - frozen.std) / scale,
-            )
-            cluster = representatives.get(metric)
-            if cluster is not None and values.size >= self.min_samples:
-                coherence = baseline.coherence.get(cluster.index, 0.0)
-                if coherence > 0.0:
-                    reading.shape_distance = \
-                        coherence * cluster.distance_to(values)
-            readings.append(reading)
-        return readings
+        return score_baseline(component, baseline, view,
+                              self.min_samples)
 
     def is_drifted(self, readings: list[DriftReading]) -> bool:
         """Whether any reading crosses a configured threshold."""
@@ -245,21 +272,31 @@ class DriftDetector:
         )
 
     def drifted_components(
-        self, frame: MetricFrame,
+        self, frame: MetricFrame, executor=None,
     ) -> tuple[list[str], dict[str, list[DriftReading]]]:
         """Score every baselined component present in ``frame``.
 
         Returns the drifted component names plus all readings (for
         observability -- quiet components report their scores too).
+        ``executor`` (a shard executor with an order-preserving
+        ``map``) fans the per-component scoring out to workers;
+        components are scored independently, so the merged result is
+        identical to the inline pass.
         """
+        payloads: list[ScorePayload] = [
+            (component, self._baselines[component],
+             frame.component_view(component), self.min_samples)
+            for component in frame.components
+            if component in self._baselines
+        ]
+        if executor is None:
+            scored = [score_baseline_task(payload)
+                      for payload in payloads]
+        else:
+            scored = executor.map(score_baseline_task, payloads)
         drifted: list[str] = []
         all_readings: dict[str, list[DriftReading]] = {}
-        for component in frame.components:
-            if component not in self._baselines:
-                continue
-            readings = self.score_component(
-                component, frame.component_view(component)
-            )
+        for component, readings in scored:
             all_readings[component] = readings
             if self.is_drifted(readings):
                 drifted.append(component)

@@ -197,6 +197,16 @@ class SimulationStreamDriver:
             self.session.now, self.session.call_graph(min_count)
         )
 
+    def close(self) -> None:
+        """Shut the engine's shard executor down (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "SimulationStreamDriver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def batch_result(self, seed: int | None = None) -> SieveResult:
         """The offline ``Sieve`` result for the trace just streamed.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.config import StreamingConfig
+from repro.parallel.executor import ShardExecutor, make_executor
 from repro.streaming.analyzer import (
     StreamingStats,
     WindowAnalysis,
@@ -31,12 +32,16 @@ class StreamingSieve:
     def __init__(self, config: StreamingConfig | None = None,
                  seed: int = 0, bus: IngestionBus | None = None,
                  application: str = "", workload: str = "stream",
-                 store_backend=None, journal=None):
+                 store_backend=None, journal=None,
+                 executor: ShardExecutor | None = None):
         """``store_backend`` (a
         :class:`~repro.persistence.backend.StorageBackend`) makes the
         window store durable; ``journal`` (an
         :class:`~repro.persistence.journal.IngestJournal`) makes the
-        ingest stream replayable after a crash."""
+        ingest stream replayable after a crash.  ``executor``
+        overrides the shard executor the config would build
+        (``config.executor`` / ``config.executor_workers``); the
+        engine owns it and shuts it down in :meth:`close`."""
         self.config = config or StreamingConfig()
         self.seed = seed
         self.application = application
@@ -60,8 +65,12 @@ class StreamingSieve:
             threshold=self.config.drift_threshold,
             shape_threshold=self.config.drift_shape_threshold,
         )
+        self.executor = executor if executor is not None else \
+            make_executor(self.config.executor,
+                          self.config.executor_workers or None)
         self.analyzer = WindowAnalyzer(
             config=self.config, drift_detector=self.drift, seed=seed,
+            executor=self.executor,
         )
         self.history: deque[WindowAnalysis] = deque(
             maxlen=self.config.history
@@ -210,5 +219,17 @@ class StreamingSieve:
             "points_evicted": self.windows.total_evicted(),
             "backend_reads": self.windows.backend_reads,
             "series": self.windows.series_count(),
+            **self.executor.describe(),
             **self.bus.stats.as_dict(),
         }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shard executor's pooled workers (idempotent).
+
+        The window store's backend is *not* closed here -- its
+        lifecycle belongs to whoever opened it (the CLI, a test, a
+        collector process).
+        """
+        self.executor.close()

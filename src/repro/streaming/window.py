@@ -232,11 +232,42 @@ class WindowStore:
                     newest = last if newest is None else max(newest, last)
         return newest
 
+    def stalest_series_time(self) -> float | None:
+        """Newest timestamp of the *stalest* non-empty series.
+
+        Ring eviction is per-series relative to that series' own
+        newest sample, so a series that went quiet (vanished
+        component, sparse exporter) retains old samples long after the
+        global clock moved on.  Journal retirement must therefore be
+        anchored here, not at :meth:`latest_time`: everything any ring
+        still retains is newer than ``stalest - retention``.
+        """
+        stalest = None
+        for shard in self._shards.values():
+            for ring in shard.values():
+                if len(ring):
+                    last = ring.span()[1]
+                    stalest = last if stalest is None \
+                        else min(stalest, last)
+        return stalest
+
     def evict_before(self, cutoff: float) -> int:
         """Force an age-based eviction pass over every ring."""
         return sum(ring.evict_before(cutoff)
                    for shard in self._shards.values()
                    for ring in shard.values())
+
+    def flush_backend(self) -> None:
+        """Make write-through storage durable (no-op without backend).
+
+        With an asynchronous writer
+        (:class:`repro.parallel.writer.BatchingWriter`) in front of
+        the backend this also drains its queue -- the checkpoint
+        policy calls it so every sample a checkpoint covers is on disk
+        before the checkpoint lands.
+        """
+        if self.backend is not None:
+            self.backend.flush()
 
     # -- analysis hand-off ---------------------------------------------
 
