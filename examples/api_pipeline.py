@@ -1,0 +1,97 @@
+"""The public pipeline API, end to end: spec file in, session out.
+
+Everything the pipeline needs for one run -- application, workload,
+analysis tunables, storage / executor / consumer policy -- lives in a
+declarative :class:`~repro.api.spec.RunSpec` that round-trips through
+TOML or JSON.  This walkthrough:
+
+1. declares a streaming run with the fluent
+   :class:`~repro.api.session.PipelineBuilder` and saves it to a spec
+   file (the artifact you would commit next to an experiment);
+2. loads the file back and runs it through
+   :func:`~repro.api.session.build_pipeline` -- the same call the
+   ``repro`` CLI delegates to -- then compacts the durable store;
+3. registers a third-party workload plugin and shows that specs can
+   name it exactly like a builtin;
+4. re-runs the loaded spec and shows the windows are reproduced
+   identically (the ``repro spec`` reproducibility contract).
+
+Run with:  PYTHONPATH=src python examples/api_pipeline.py
+"""
+
+import math
+import tempfile
+from pathlib import Path
+
+from repro.api import (
+    WORKLOADS,
+    PipelineBuilder,
+    build_pipeline,
+    load_spec,
+    register_workload,
+    save_spec,
+)
+from repro.causality.depgraph import edge_jaccard
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "run.toml"
+        store_path = Path(tmp) / "run.db"
+
+        # 1. Declare the run once, save the spec.
+        spec = (PipelineBuilder("sharelatex").mode("stream")
+                .workload("constant", rate=30.0)
+                .storage("sqlite", str(store_path), retention=15.0)
+                .streaming(window=15.0, hop=10.0, retention=120.0)
+                .duration(45.0).seed(1).spec())
+        save_spec(spec, spec_path)
+        print(f"spec written: {spec_path.name} "
+              f"({spec_path.stat().st_size} bytes of TOML)")
+
+        # 2. Load and run it -- exactly what `repro stream --spec
+        #    run.toml` does under the hood.
+        loaded = load_spec(spec_path)
+        assert loaded == spec
+        session = build_pipeline(loaded)
+        try:
+            outcome = session.run()
+            print(f"windows analyzed: {outcome.summary['windows']}, "
+                  f"series stored: {session.backend.series_count()}")
+            stats = session.compact()  # trim past storage.retention
+            print(f"compacted store: {stats}")
+        finally:
+            session.close()
+
+        # 3. A third-party workload plugin: one registration call and
+        #    every spec, config and CLI flag can name it.
+        if "sine" not in WORKLOADS:
+            @register_workload("sine")
+            def _sine(duration, seed, rate, *, period=30.0, **options):
+                return lambda now: rate * (
+                    1.0 + 0.5 * math.sin(2.0 * math.pi * now / period)
+                )
+
+        plugin_spec = (PipelineBuilder("sharelatex").mode("pipeline")
+                       .workload("sine", rate=25.0, period=20.0)
+                       .duration(40.0).seed(2).spec())
+        with build_pipeline(plugin_spec) as batch:
+            result = batch.run()
+        print(f"plugin workload run: "
+              f"{result.total_metrics()} metrics -> "
+              f"{result.total_representatives()} representatives")
+
+        # 4. Reproducibility: the same spec yields the same windows.
+        with build_pipeline(loaded) as session:
+            again = session.run()
+        pairs = zip(outcome.analyses, again.analyses)
+        jaccards = [
+            edge_jaccard(left.dependency_graph, right.dependency_graph)
+            for left, right in pairs
+        ]
+        print(f"re-run edge Jaccard per window: "
+              f"{[round(j, 3) for j in jaccards]} (1.0 = identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,408 +1,488 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The CLI is a *thin adapter* over the public pipeline API
+(:mod:`repro.api`): each subcommand parses its flags into a
+declarative :class:`~repro.api.spec.RunSpec` -- or loads one from a
+``--spec run.toml``/``run.json`` file, with explicitly passed flags
+overriding the file -- and delegates to
+:func:`~repro.api.session.build_pipeline`.  No bus, backend, executor
+or consumer is constructed here; every policy name resolves through
+the plugin registries, so registered extensions are immediately
+reachable from the command line.
+
 Subcommands mirror the paper's workflows:
 
-* ``pipeline`` -- run Load -> Reduce -> Identify on an application and
-  print the reduction and dependency summary (optionally write a JSON
-  snapshot);
-* ``stream`` -- run the streaming analysis engine against a live
-  co-simulated application and print per-window summaries (with
-  ``--journal``/``--checkpoint`` the run is crash-safe, and
-  ``--resume`` continues a killed run from its checkpoint);
-* ``record`` -- capture a live run into a durable storage backend
-  (sqlite file or spill directory);
-* ``replay`` -- re-analyze a recorded backend from disk and replay it
-  through the metered store, reproducing the Table 3 monitoring-cost
-  comparison without re-running the application;
-* ``rca`` -- run the OpenStack correct/faulty comparison and print the
-  ranked root-cause candidates;
+* ``pipeline`` -- run Load -> Reduce -> Identify on an application;
+* ``stream`` -- the streaming analysis engine against a live
+  co-simulated application (crash-safe with ``--journal`` /
+  ``--checkpoint``, resumable with ``--resume``);
+* ``record`` -- capture a live run into a durable storage backend;
+* ``replay`` -- re-analyze a recorded backend from disk (Table 3);
+* ``rca`` -- the OpenStack correct/faulty root-cause comparison;
 * ``trace-overhead`` -- the Figure 5 tracing-technique comparison;
-* ``catalog`` -- list the components and metric counts of an
-  application model.
+* ``catalog`` -- list an application model's components;
+* ``spec`` -- emit the fully resolved spec of any invocation, for
+  reproducibility: re-feeding it via ``--spec`` reproduces the run
+  bit-identically.
 """
 
 from __future__ import annotations
 
 import argparse
-import shutil
 import sys
-from pathlib import Path
+from typing import Any
 
-from repro.apps import (
-    build_openstack_application,
-    build_sharelatex_application,
-    openstack_fault_plan,
-    run_ab_benchmark,
+from repro.api import (
+    APPLICATIONS,
+    BACKENDS,
+    EXECUTORS,
+    WORKLOADS,
+    RunSpec,
+    build_pipeline,
+    load_spec,
+    spec_to_json,
+    spec_to_toml,
 )
-from repro.core import Sieve, SieveConfig, StreamingConfig, save_snapshot
-from repro.parallel import EXECUTOR_KINDS, BatchingWriter, make_executor
-from repro.metrics.accounting import reduction_percent
-from repro.metrics.store import MetricsStore
-from repro.persistence import (
-    CheckpointPolicy,
-    IngestJournal,
-    load_checkpoint,
-    open_backend,
-    restore_engine,
-)
-from repro.rca import RCAEngine
-from repro.simulator.app import LoadedRun
-from repro.streaming import (
-    IngestionBus,
-    SimulationStreamDriver,
-    StreamingSieve,
-)
-from repro.tracing.callgraph import CallGraph
-from repro.tracing.sysdig import SysdigTracer
-from repro.workload import RallyRunner, RandomWorkload, constant_rate
-
-APPLICATIONS = {
-    "sharelatex": build_sharelatex_application,
-    "openstack": build_openstack_application,
-}
+from repro.api.spec import RUN_MODES
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--duration", type=float, default=120.0,
+# -- flag registration -----------------------------------------------------
+#
+# Each _add_* helper registers one flag group; ``suppress=True`` builds
+# the shadow parser whose namespace contains *only* explicitly passed
+# flags (argparse.SUPPRESS defaults), which is how spec-file overriding
+# knows which flags the user actually typed.
+
+
+def _dflt(suppress: bool, value: Any) -> Any:
+    return argparse.SUPPRESS if suppress else value
+
+
+def _add_common(parser, suppress: bool = False) -> None:
+    parser.add_argument("--seed", type=int,
+                        default=_dflt(suppress, 1))
+    parser.add_argument("--duration", type=float,
+                        default=_dflt(suppress, 120.0),
                         help="simulated seconds of load")
 
 
-def _add_parallel(parser: argparse.ArgumentParser,
+def _add_spec_file(parser) -> None:
+    parser.add_argument("--spec", metavar="PATH",
+                        help="load a RunSpec file (.toml or .json); "
+                             "explicitly passed flags override it")
+
+
+def _add_app(parser, suppress: bool = False) -> None:
+    parser.add_argument("--app", choices=APPLICATIONS.names(),
+                        default=_dflt(suppress, "sharelatex"))
+
+
+def _add_workload(parser, suppress: bool = False) -> None:
+    parser.add_argument("--workload", choices=WORKLOADS.names(),
+                        default=_dflt(suppress, "random"))
+    parser.add_argument("--rate", type=float,
+                        default=_dflt(suppress, 25.0),
+                        help="request rate of rate-shaped workloads")
+
+
+def _add_parallel(parser, suppress: bool = False,
                   note: str = "") -> None:
-    parser.add_argument("--executor", choices=EXECUTOR_KINDS,
-                        default="serial",
+    parser.add_argument("--executor", choices=EXECUTORS.names(),
+                        default=_dflt(suppress, "serial"),
                         help="where per-component analysis shards run "
                              "(process = true parallelism; identical "
                              "results to serial on the same seed)"
                              + note)
-    parser.add_argument("--workers", type=int, default=0, metavar="N",
+    parser.add_argument("--workers", type=int,
+                        default=_dflt(suppress, 0), metavar="N",
                         help="pool size for thread/process executors "
                              "(0 = all cores; 1 falls back to serial)")
 
 
-def _overwrite_backend_path(out: Path) -> None:
-    """Clear a backend target so a new recording starts fresh.
+def _add_compact(parser) -> None:
+    parser.add_argument("--compact", action="store_true",
+                        default=False,
+                        help="compact the durable store after the run "
+                             "(merge small spill segments / VACUUM "
+                             "sqlite, dropping samples past the "
+                             "--store-retention horizon)")
 
-    Appending a second run's timeline to an existing backend would be
-    rejected as out-of-order.
+
+def _add_stream_flags(parser, suppress: bool = False) -> None:
+    _add_app(parser, suppress)
+    parser.add_argument("--window", type=float,
+                        default=_dflt(suppress, 20.0),
+                        help="analysis window span, seconds")
+    parser.add_argument("--hop", type=float,
+                        default=_dflt(suppress, 10.0),
+                        help="analysis cadence, seconds")
+    parser.add_argument("--retention", type=float,
+                        default=_dflt(suppress, 120.0),
+                        help="ring-buffer retention, seconds")
+    parser.add_argument("--adaptive-hop", action="store_true",
+                        default=_dflt(suppress, False),
+                        help="scale the analysis cadence with drift "
+                             "pressure (quiet systems analyze less "
+                             "often), bounded by --hop-min/--hop-max")
+    parser.add_argument("--hop-min", type=float,
+                        default=_dflt(suppress, 0.0),
+                        help="lower bound of the adaptive cadence "
+                             "(0 = --hop)")
+    parser.add_argument("--hop-max", type=float,
+                        default=_dflt(suppress, 0.0),
+                        help="upper bound of the adaptive cadence "
+                             "(0 = 4x --hop)")
+    _add_workload(parser, suppress)
+    parser.add_argument("--compare", action="store_true",
+                        default=_dflt(suppress, False),
+                        help="also run the batch analysis and report "
+                             "streaming-vs-batch convergence")
+    parser.add_argument("--journal", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="write-ahead ingest journal (makes the "
+                             "run replayable after a crash)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="checkpoint analysis state to PATH")
+    parser.add_argument("--checkpoint-every", type=int,
+                        default=_dflt(suppress, 1), metavar="N",
+                        help="checkpoint every N analyzed windows")
+    parser.add_argument("--resume", action="store_true",
+                        default=_dflt(suppress, False),
+                        help="restore state from --checkpoint (and "
+                             "replay --journal) before streaming")
+    parser.add_argument("--store", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="write ingested samples through to a "
+                             "durable store backend at PATH")
+    parser.add_argument("--store-backend", choices=BACKENDS.names(),
+                        default=_dflt(suppress, "sqlite"),
+                        help="backend kind behind --store")
+    parser.add_argument("--store-retention", type=float,
+                        default=_dflt(suppress, 0.0),
+                        help="compaction horizon of --compact / "
+                             "Session.compact(), seconds "
+                             "(0 keeps everything)")
+    parser.add_argument("--writer", choices=("sync", "async"),
+                        default=_dflt(suppress, "sync"),
+                        help="drive the --store backend inline "
+                             "(sync) or through a batching writer "
+                             "thread (async) so ingest never blocks "
+                             "on durable writes")
+    _add_parallel(parser, suppress)
+    _add_common(parser, suppress)
+
+
+def _add_record_flags(parser, suppress: bool = False) -> None:
+    _add_app(parser, suppress)
+    parser.add_argument("--backend", choices=BACKENDS.names(),
+                        default=_dflt(suppress, "sqlite"))
+    parser.add_argument("--out", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="sqlite database file or spill directory")
+    _add_workload(parser, suppress)
+    parser.add_argument("--store-retention", type=float,
+                        default=_dflt(suppress, 0.0),
+                        help="compaction horizon of --compact, seconds")
+    parser.add_argument("--writer", choices=("sync", "async"),
+                        default=_dflt(suppress, "sync"),
+                        help="drive the backend inline (sync) or "
+                             "through a batching writer thread "
+                             "(async)")
+    _add_parallel(parser, suppress,
+                  note="; recording runs no analysis, so this only "
+                       "matters to scripts sharing flags with "
+                       "stream/replay")
+    _add_common(parser, suppress)
+
+
+def _add_replay_flags(parser, suppress: bool = False) -> None:
+    parser.add_argument("--backend", choices=BACKENDS.names(),
+                        default=_dflt(suppress, "sqlite"))
+    parser.add_argument("--path", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="recorded sqlite file or spill directory")
+    parser.add_argument("--seed", type=int, default=_dflt(suppress, 1))
+    _add_parallel(parser, suppress)
+
+
+def _add_pipeline_flags(parser, suppress: bool = False) -> None:
+    _add_app(parser, suppress)
+    parser.add_argument("--snapshot", metavar="PATH",
+                        default=_dflt(suppress, ""),
+                        help="write the analysis snapshot as JSON")
+    _add_common(parser, suppress)
+
+
+def _add_rca_flags(parser, suppress: bool = False) -> None:
+    parser.add_argument("--iterations", type=int,
+                        default=_dflt(suppress, 15),
+                        help="Rally boot_and_delete iterations")
+    parser.add_argument("--threshold", type=float,
+                        default=_dflt(suppress, 0.5),
+                        choices=[0.0, 0.5, 0.6, 0.7])
+    _add_common(parser, suppress)
+
+
+def _add_trace_flags(parser, suppress: bool = False) -> None:
+    parser.add_argument("--requests", type=int,
+                        default=_dflt(suppress, 10_000))
+    parser.add_argument("--seed", type=int, default=_dflt(suppress, 1))
+
+
+def _add_catalog_flags(parser, suppress: bool = False) -> None:
+    _add_app(parser, suppress)
+
+
+_MODE_FLAGS = {
+    "pipeline": _add_pipeline_flags,
+    "stream": _add_stream_flags,
+    "record": _add_record_flags,
+    "replay": _add_replay_flags,
+    "rca": _add_rca_flags,
+    "trace-overhead": _add_trace_flags,
+    "catalog": _add_catalog_flags,
+}
+
+
+# -- flags -> RunSpec ------------------------------------------------------
+
+
+def _merge(base: dict, overrides: dict) -> dict:
+    """Recursively overlay ``overrides`` onto ``base`` (in place)."""
+    for key, value in overrides.items():
+        if isinstance(value, dict) and isinstance(base.get(key), dict):
+            _merge(base[key], value)
+        else:
+            base[key] = value
+    return base
+
+
+def _spec_from_args(args, mode: str) -> RunSpec:
+    """Resolve the declarative spec of one invocation.
+
+    Without ``--spec`` the flags (including their defaults) *are* the
+    spec; with it, the file is the base and only explicitly passed
+    flags override.
     """
-    if out.exists():
-        shutil.rmtree(out) if out.is_dir() else out.unlink()
-    for sidecar in (Path(str(out) + "-wal"), Path(str(out) + "-shm")):
-        sidecar.unlink(missing_ok=True)
+    spec_path = getattr(args, "spec", None)
+    provided: set = getattr(args, "_provided", set(vars(args)))
+    if spec_path:
+        data = load_spec(spec_path).to_dict()
+        if data.get("mode") not in (None, mode):
+            raise ValueError(
+                f"--spec file declares mode {data['mode']!r}, "
+                f"but the {mode!r} subcommand was invoked"
+            )
+    else:
+        data = {}
+        provided = set(vars(args))  # defaults are the spec
+
+    overrides: dict = {}
+
+    def put(path: str, dest: str, value_map=None) -> None:
+        if dest not in provided or not hasattr(args, dest):
+            return
+        value = getattr(args, dest)
+        if value_map is not None:
+            value = value_map(value)
+        node = overrides
+        *heads, last = path.split(".")
+        for head in heads:
+            node = node.setdefault(head, {})
+        node[last] = value
+
+    put("app", "app")
+    put("seed", "seed")
+    put("duration", "duration")
+    put("snapshot", "snapshot")
+    put("workload.kind", "workload")
+    put("workload.rate", "rate")
+    put("streaming.window", "window")
+    put("streaming.hop", "hop")
+    put("streaming.retention", "retention")
+    put("streaming.adaptive_hop", "adaptive_hop")
+    put("streaming.hop_min", "hop_min")
+    put("streaming.hop_max", "hop_max")
+    put("streaming.checkpoint_every_windows", "checkpoint_every")
+    put("streaming.executor", "executor")
+    put("streaming.executor_workers", "workers")
+    put("streaming.writer", "writer")
+    put("journal", "journal")
+    put("checkpoint", "checkpoint")
+    put("resume", "resume")
+    put("compare", "compare")
+    if mode in ("record", "replay"):
+        put("storage.kind", "backend")
+        put("storage.path", "out" if mode == "record" else "path")
+    else:
+        put("storage.kind", "store_backend")
+        put("storage.path", "store")
+    put("storage.retention", "store_retention")
+    put("extra.iterations", "iterations")
+    put("extra.threshold", "threshold")
+    put("extra.requests", "requests")
+
+    data = _merge(data, overrides)
+    data["mode"] = mode
+    if mode == "rca":
+        # The RCA case study is defined on the OpenStack model.
+        data.setdefault("app", "openstack")
+    streaming = data.get("streaming")
+    if streaming and "window" in streaming:
+        # The historical CLI contract: a window wider than the
+        # retention flag silently widens retention to cover it.
+        retention = streaming.get("retention", 120.0)
+        streaming["retention"] = max(retention, streaming["window"])
+    return RunSpec.from_dict(data)
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def _build(args, mode: str):
+    """Resolve flags (+ any --spec file) into a built session.
+
+    Raises ValueError/FileNotFoundError for user errors -- every
+    subcommand maps those to stderr + exit code 2 via :func:`_guarded`.
+    """
+    spec = _spec_from_args(args, mode)
+    return spec, build_pipeline(spec)
+
+
+def _guarded(args, mode: str):
+    """(spec, session, error_code): user errors become (None, None, 2)."""
+    try:
+        spec, session = _build(args, mode)
+    except (ValueError, FileNotFoundError) as exc:
+        print(exc, file=sys.stderr)
+        return None, None, 2
+    return spec, session, 0
 
 
 def cmd_pipeline(args) -> int:
-    application = APPLICATIONS[args.app]()
-    sieve = Sieve(application)
-    workload = RandomWorkload(duration=args.duration, seed=args.seed)
-    result = sieve.run(workload, duration=args.duration, seed=args.seed,
-                       workload_name="random")
+    spec, session, code = _guarded(args, "pipeline")
+    if code:
+        return code
+    with session:
+        result = session.run()
     summary = result.summary()
     for key, value in summary.items():
         print(f"{key:>18}: {value}")
     hub = result.dependency_graph.most_connected_metric()
     if hub is not None:
         print(f"{'guiding metric':>18}: {hub[0]}/{hub[1]}")
-    if args.snapshot:
-        save_snapshot(result, args.snapshot)
-        print(f"{'snapshot':>18}: written to {args.snapshot}")
+    if spec.snapshot:
+        print(f"{'snapshot':>18}: written to {spec.snapshot}")
     return 0
 
 
-def _build_workload(args):
-    if args.workload == "random":
-        return RandomWorkload(duration=args.duration, seed=args.seed)
-    return constant_rate(args.rate)
+def _print_window(analysis) -> None:
+    s = analysis.summary()
+    reasons = ", ".join(
+        f"{reason}:{len(names)}"
+        for reason, names in sorted(s["reasons"].items())
+    ) or "-"
+    print(f"window {s['window']:>3}  "
+          f"[{s['span'][0]:>7.1f}, {s['span'][1]:>7.1f}]  "
+          f"metrics={s['metrics']:>4}  reps={s['representatives']:>3}  "
+          f"relations={s['relations']:>4}  "
+          f"recluster={s['reclustered']:>2} ({reasons})  "
+          f"reuse={s['reused']:>2}  "
+          f"analysis={s['analysis_ms']:>8.1f}ms")
 
 
 def cmd_stream(args) -> int:
-    application = APPLICATIONS[args.app]()
-    config = StreamingConfig(
-        window=args.window,
-        hop=args.hop,
-        retention=max(args.retention, args.window),
-        checkpoint_every_windows=args.checkpoint_every,
-        executor=args.executor,
-        executor_workers=args.workers,
-        writer=args.writer,
-    )
-    workload = _build_workload(args)
-    if args.resume and not args.journal:
-        # Without the journal the restored rings are empty and the
-        # resumed windows silently diverge from an uninterrupted run.
-        print("--resume needs --journal (the ingest log to replay)",
-              file=sys.stderr)
-        return 2
-    state = None
-    if args.resume:
-        if not (args.checkpoint and Path(args.checkpoint).exists()):
-            print("--resume needs an existing --checkpoint file",
-                  file=sys.stderr)
-            return 2
-        state = load_checkpoint(args.checkpoint)
-        # The resumed co-simulation must be the *same* trace the dead
-        # run was on; a mismatched seed/app/workload would silently
-        # continue a different simulation on top of the old rings.
-        mismatched = [
-            (name, recorded, given)
-            for name, recorded, given in (
-                ("seed", state["seed"], args.seed),
-                ("app", state["application"], args.app),
-                ("workload", state["workload"], args.workload),
-            )
-            if recorded != given
-        ]
-        if mismatched:
-            for name, recorded, given in mismatched:
-                print(f"--resume {name} mismatch: checkpoint has "
-                      f"{recorded!r}, given {given!r}", file=sys.stderr)
-            return 2
-
-    store_backend = None
-    if args.store:
-        if not args.resume:
-            _overwrite_backend_path(Path(args.store))
-        store_backend = open_backend(args.store_backend, args.store)
-        if config.writer == "async":
-            # The concurrent-ingest path: durable writes happen on a
-            # dedicated thread so the bus never blocks on them.
-            store_backend = BatchingWriter(
-                store_backend,
-                max_batches=config.writer_queue_batches,
-            )
-    # A fresh (non-resume) run starts its journal over; appending a
-    # second run's timeline onto an old journal would make any later
-    # replay reject the restart of time as out-of-order.
-    journal = IngestJournal(args.journal, truncate=not args.resume) \
-        if args.journal else None
-    if not args.resume and args.checkpoint \
-            and Path(args.checkpoint).exists():
-        # A stale checkpoint from a previous session must not survive
-        # a fresh start: if this run crashed before its first window,
-        # --resume would otherwise restore the *old* session's state
-        # over the new journal.
-        Path(args.checkpoint).unlink()
-
-    if args.resume:
-        engine = restore_engine(state, config,
-                                journal_path=args.journal,
-                                journal=journal,
-                                store_backend=store_backend)
-        print(f"resumed from {args.checkpoint} "
-              f"(window {engine.stats.windows}, "
-              f"{engine.windows.total_points()} points replayed)")
-    else:
-        engine = StreamingSieve(
-            config=config, seed=args.seed, journal=journal,
-            application=args.app, workload=args.workload,
-            store_backend=store_backend,
-        )
-
-    driver = SimulationStreamDriver(
-        application, workload, config=config, seed=args.seed,
-        workload_name=args.workload, record_frame=args.compare,
-        engine=engine,
-    )
-    if args.checkpoint:
-        # ``--checkpoint-every 0`` genuinely disables the cadence
-        # (matching StreamingConfig's documented semantics).
-        policy = CheckpointPolicy(driver.engine, args.checkpoint,
-                                  every=args.checkpoint_every)
-        driver.engine.subscribe(policy)
-
-
-    def on_window(analysis) -> None:
-        s = analysis.summary()
-        reasons = ", ".join(
-            f"{reason}:{len(names)}"
-            for reason, names in sorted(s["reasons"].items())
-        ) or "-"
-        print(f"window {s['window']:>3}  "
-              f"[{s['span'][0]:>7.1f}, {s['span'][1]:>7.1f}]  "
-              f"metrics={s['metrics']:>4}  reps={s['representatives']:>3}  "
-              f"relations={s['relations']:>4}  "
-              f"recluster={s['reclustered']:>2} ({reasons})  "
-              f"reuse={s['reused']:>2}  "
-              f"analysis={s['analysis_ms']:>8.1f}ms")
-
-    if args.resume:
-        # How far the dead run got: its resume horizon relative to the
-        # fresh session's post-warmup clock (the same cutoff
-        # resume_run fast-forwards to).
-        target = driver.engine.resume_horizon()
-        elapsed_dead = 0.0 if target is None \
-            else max(target - driver.session.now, 0.0)
-        remaining = max(args.duration - elapsed_dead, 0.0)
-    else:
-        remaining = max(args.duration - driver.session.elapsed, 0.0)
-    print(f"streaming {args.app} for {remaining:.0f}s "
-          f"(window={config.window:.0f}s hop={config.hop:.0f}s "
-          f"retention={config.retention:.0f}s "
-          f"executor={config.executor})")
+    spec, session, code = _guarded(args, "stream")
+    if code:
+        return code
+    config = spec.streaming
     try:
-        if remaining > 0:
-            if args.resume:
-                # resume_run fast-forwards the seeded co-simulation
-                # past everything the replayed journal holds, then
-                # realigns the engine ticks with the dead run's hop
-                # grid.
-                driver.resume_run(remaining, on_window=on_window)
-            else:
-                driver.run(remaining, on_window=on_window)
-        if journal is not None:
-            journal.commit()
-    finally:
-        driver.engine.close()
-        if store_backend is not None:
-            # Drain the (possibly asynchronous) writer even on an
-            # interrupted run -- queued batches must reach disk.
-            store_backend.close()
-    print()
-    for key, value in driver.engine.summary().items():
-        print(f"{key:>24}: {value}")
-    if isinstance(store_backend, BatchingWriter):
-        for key, value in store_backend.stats.as_dict().items():
+        if session.resumed:
+            print(f"resumed from {spec.checkpoint} "
+                  f"(window {session.engine.stats.windows}, "
+                  f"{session.engine.windows.total_points()} "
+                  f"points replayed)")
+        print(f"streaming {spec.app} for {session.remaining():.0f}s "
+              f"(window={config.window:.0f}s hop={config.hop:.0f}s "
+              f"retention={config.retention:.0f}s "
+              f"executor={config.executor})")
+        outcome = session.run(on_window=_print_window)
+        print()
+        for key, value in outcome.summary.items():
             print(f"{key:>24}: {value}")
-    if args.compare:
-        final = driver.final_analysis()
-        batch = driver.batch_result()
-        from repro.causality.depgraph import edge_jaccard
-        if final is not None:
+        if outcome.writer_stats:
+            for key, value in outcome.writer_stats.items():
+                print(f"{key:>24}: {value}")
+        if spec.compare and outcome.final is not None:
             print(f"{'stream reps (final)':>24}: "
-                  f"{final.total_representatives()}")
-            print(f"{'batch reps':>24}: {batch.total_representatives()}")
-            print(f"{'edge jaccard':>24}: "
-                  f"{edge_jaccard(final.dependency_graph, batch.dependency_graph):.3f}")
+                  f"{outcome.final.total_representatives()}")
+            print(f"{'batch reps':>24}: "
+                  f"{outcome.batch.total_representatives()}")
+            print(f"{'edge jaccard':>24}: {outcome.edge_jaccard:.3f}")
+        if getattr(args, "compact", False):
+            for key, value in session.compact().items():
+                print(f"{'compact ' + key:>24}: {value}")
+    finally:
+        session.close()
     return 0
 
 
 def cmd_record(args) -> int:
-    """Capture a live co-simulated run into a durable backend.
-
-    Recording needs only the scrape stream and the final call graph,
-    so the session publishes straight to the backend -- no windowed
-    analysis runs (clustering and Granger belong to ``replay``).
-    """
-    application = APPLICATIONS[args.app]()
-    sieve_cfg = SieveConfig()
-    # Recording overwrites: appending a second run's timeline to an
-    # existing backend would be rejected as out-of-order.
-    _overwrite_backend_path(Path(args.out))
-    backend = open_backend(args.backend, args.out)
-    if args.writer == "async":
-        # Concurrent ingest: durable writes happen on a dedicated
-        # thread, so a multi-process collector fleet never stalls on
-        # the backend (reads drain the queue first).
-        backend = BatchingWriter(backend)
-    bus = IngestionBus()
-    bus.subscribe(backend)
-    session = application.open_session(
-        _build_workload(args),
-        seed=args.seed,
-        dt=sieve_cfg.simulation_dt,
-        scrape_interval=sieve_cfg.grid_interval,
-        workload_name=args.workload,
-        warmup=sieve_cfg.warmup,
-        bus=bus,
-        record_frame=False,
-    )
-    if args.executor != "serial":
-        print("note: --executor has no effect on record "
-              "(no analysis stage runs); see stream/replay")
-    session.advance(args.duration)
-    bus.flush()
-    call_graph = session.call_graph(
-        sieve_cfg.callgraph_min_connections
-    )
-    backend.set_metadata({
-        "application": args.app,
-        "workload": args.workload,
-        "seed": args.seed,
-        "duration": args.duration,
-        "call_graph": call_graph.edges(),
-    })
-    samples = backend.sample_count()
-    series = backend.series_count()
-    if isinstance(backend, BatchingWriter):
-        stats = backend.stats
-        print(f"async writer: {stats.batches_written} batches "
-              f"({stats.points_written} points) via writer thread, "
-              f"peak queue depth {stats.max_queue_depth}")
-    backend.close()
-    print(f"recorded {samples} samples across {series} series "
-          f"to {args.backend}:{args.out}")
+    spec, session, code = _guarded(args, "record")
+    if code:
+        return code
+    try:
+        if spec.streaming.executor != "serial":
+            print("note: --executor has no effect on record "
+                  "(no analysis stage runs); see stream/replay")
+        outcome = session.run()
+        if outcome.writer_stats:
+            stats = outcome.writer_stats
+            print(f"async writer: {stats['writer_batches_written']} "
+                  f"batches ({stats['writer_points_written']} points) "
+                  f"via writer thread, peak queue depth "
+                  f"{stats['writer_max_queue_depth']}")
+        if getattr(args, "compact", False):
+            for key, value in session.compact().items():
+                print(f"compact {key}: {value}")
+        print(f"recorded {outcome.samples} samples across "
+              f"{outcome.series} series "
+              f"to {outcome.backend}:{outcome.path}")
+    finally:
+        session.close()
     return 0
 
 
 def cmd_replay(args) -> int:
-    """Re-analyze a recorded backend and meter the Table 3 replay."""
-    backend = open_backend(args.backend, args.path)
-    meta = backend.metadata()
-    frame = backend.to_frame()
-    if not len(frame):
-        print(f"no series found in {args.backend}:{args.path}",
-              file=sys.stderr)
-        return 2
-    call_graph = CallGraph()
-    for caller, callee, count in meta.get("call_graph", []):
-        call_graph.record_call(caller, callee, int(count))
-    run = LoadedRun(
-        application=meta.get("application", "recorded"),
-        workload=meta.get("workload", "recorded"),
-        seed=int(meta.get("seed", args.seed)),
-        duration=float(meta.get("duration", 0.0)),
-        frame=frame,
-        call_graph=call_graph,
-        store=MetricsStore(),
-        tracer=SysdigTracer(),
-    )
-    builder = APPLICATIONS.get(meta.get("application"),
-                               build_sharelatex_application)
-    executor = make_executor(args.executor, args.workers or None)
+    spec, session, code = _guarded(args, "replay")
+    if code:
+        return code
     try:
-        result = Sieve(builder(), executor=executor) \
-            .analyze(run, seed=run.seed)
+        outcome = session.run()
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     finally:
-        executor.close()
-    print(f"replayed {run.application}/{run.workload} from "
-          f"{args.backend}:{args.path}")
-    for key, value in result.summary().items():
+        session.close()
+    print(f"replayed {outcome.application}/{outcome.workload} "
+          f"from {outcome.source}")
+    for key, value in outcome.result.summary().items():
         print(f"{key:>18}: {value}")
-
-    # Table 3 from disk: replay everything vs representatives only.
-    keep = result.representative_keys()
-    before, after = MetricsStore(), MetricsStore()
-    before.replay_frame(frame)
-    before.simulate_dashboard_reads()
-    after.replay_frame(frame, keep=keep)
-    after.simulate_dashboard_reads()
-    b, a = before.usage.summary(), after.usage.summary()
     print(f"\n{'resource':>18}  {'all metrics':>14}  "
           f"{'representatives':>15}  {'saving':>7}")
-    for key in ("cpu_seconds", "db_bytes",
-                "network_in_bytes", "network_out_bytes"):
-        saving = reduction_percent(b[key], a[key])
-        print(f"{key:>18}  {b[key]:>14.1f}  {a[key]:>15.1f}  "
+    for key, before, after, saving in outcome.costs:
+        print(f"{key:>18}  {before:>14.1f}  {after:>15.1f}  "
               f"{saving:>6.1f}%")
-    backend.close()
     return 0
 
 
 def cmd_rca(args) -> int:
-    application = build_openstack_application()
-    sieve = Sieve(application)
-    rally = RallyRunner(times=args.iterations, concurrency=5,
-                        seed=args.seed)
-    duration = min(rally.duration, args.duration)
-    correct = sieve.run(rally, duration=duration, seed=args.seed,
-                        workload_name="rally-correct")
-    faulty = sieve.run(rally, duration=duration, seed=args.seed,
-                       fault_plan=openstack_fault_plan(),
-                       workload_name="rally-faulty")
-    report = RCAEngine().compare(correct, faulty,
-                                 threshold=args.threshold)
+    _spec, session, code = _guarded(args, "rca")
+    if code:
+        return code
+    with session:
+        report = session.run()
     print(f"{'rank':>4}  {'component':<22} {'novelty':>8}  key metrics")
     for candidate in report.final_ranking:
         highlights = [m for m in candidate.metrics
@@ -414,11 +494,11 @@ def cmd_rca(args) -> int:
 
 
 def cmd_trace_overhead(args) -> int:
-    results = {
-        name: run_ab_benchmark(name, n_requests=args.requests,
-                               seed=args.seed)
-        for name in ("native", "tcpdump", "sysdig", "ptrace")
-    }
+    _spec, session, code = _guarded(args, "trace-overhead")
+    if code:
+        return code
+    with session:
+        results = session.run()
     native = results["native"].completion_time
     print(f"{'technique':<10} {'time [s]':>10} {'slowdown':>10}")
     for name, outcome in results.items():
@@ -428,16 +508,53 @@ def cmd_trace_overhead(args) -> int:
 
 
 def cmd_catalog(args) -> int:
-    application = APPLICATIONS[args.app]()
-    print(f"{args.app}: {len(application.specs)} components")
-    for spec in application.specs:
-        calls = ", ".join(c.target for c in spec.calls) or "-"
-        print(f"  {spec.name:<20} kind={spec.kind:<13} "
-              f"endpoints={len(spec.endpoints)}  calls: {calls}")
+    spec, session, code = _guarded(args, "catalog")
+    if code:
+        return code
+    with session:
+        application = session.run()
+    print(f"{spec.app}: {len(application.specs)} components")
+    for spec_ in application.specs:
+        calls = ", ".join(c.target for c in spec_.calls) or "-"
+        print(f"  {spec_.name:<20} kind={spec_.kind:<13} "
+              f"endpoints={len(spec_.endpoints)}  calls: {calls}")
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
+def cmd_spec(args) -> int:
+    """Emit the fully resolved spec of a (hypothetical) invocation."""
+    try:
+        spec = _spec_from_args(args, args.spec_mode)
+    except (ValueError, FileNotFoundError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    out = getattr(args, "output", None)
+    fmt = getattr(args, "format", None)
+    if fmt is None:
+        # Case-insensitive, matching load_spec's suffix dispatch --
+        # an emitted run.TOML must parse back as TOML, not JSON.
+        fmt = "toml" if out and out.lower().endswith(".toml") \
+            else "json"
+    text = spec_to_toml(spec) if fmt == "toml" else spec_to_json(spec)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"spec written to {out}")
+    else:
+        print(text)
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def build_parser(suppress: bool = False) -> argparse.ArgumentParser:
+    """The CLI parser.
+
+    ``suppress=True`` builds the shadow parser used to detect which
+    flags an invocation explicitly passed (everything not passed is
+    absent from its namespace), the basis of ``--spec`` overriding.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sieve reproduction command-line interface",
@@ -446,120 +563,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pipeline = sub.add_parser(
         "pipeline", help="run the full Sieve pipeline on an application")
-    p_pipeline.add_argument("--app", choices=sorted(APPLICATIONS),
-                            default="sharelatex")
-    p_pipeline.add_argument("--snapshot", metavar="PATH",
-                            help="write the analysis snapshot as JSON")
-    _add_common(p_pipeline)
+    _add_pipeline_flags(p_pipeline, suppress)
+    _add_spec_file(p_pipeline)
     p_pipeline.set_defaults(func=cmd_pipeline)
 
     p_stream = sub.add_parser(
         "stream",
         help="run the streaming analysis engine on a live application")
-    p_stream.add_argument("--app", choices=sorted(APPLICATIONS),
-                          default="sharelatex")
-    p_stream.add_argument("--window", type=float, default=20.0,
-                          help="analysis window span, seconds")
-    p_stream.add_argument("--hop", type=float, default=10.0,
-                          help="analysis cadence, seconds")
-    p_stream.add_argument("--retention", type=float, default=120.0,
-                          help="ring-buffer retention, seconds")
-    p_stream.add_argument("--workload", choices=("random", "constant"),
-                          default="random")
-    p_stream.add_argument("--rate", type=float, default=25.0,
-                          help="request rate of the constant workload")
-    p_stream.add_argument("--compare", action="store_true",
-                          help="also run the batch analysis and report "
-                               "streaming-vs-batch convergence")
-    p_stream.add_argument("--journal", metavar="PATH",
-                          help="write-ahead ingest journal (makes the "
-                               "run replayable after a crash)")
-    p_stream.add_argument("--checkpoint", metavar="PATH",
-                          help="checkpoint analysis state to PATH")
-    p_stream.add_argument("--checkpoint-every", type=int, default=1,
-                          metavar="N",
-                          help="checkpoint every N analyzed windows")
-    p_stream.add_argument("--resume", action="store_true",
-                          help="restore state from --checkpoint (and "
-                               "replay --journal) before streaming")
-    p_stream.add_argument("--store", metavar="PATH",
-                          help="write ingested samples through to a "
-                               "durable store backend at PATH")
-    p_stream.add_argument("--store-backend",
-                          choices=("sqlite", "spill"),
-                          default="sqlite",
-                          help="backend kind behind --store")
-    p_stream.add_argument("--writer", choices=("sync", "async"),
-                          default="sync",
-                          help="drive the --store backend inline "
-                               "(sync) or through a batching writer "
-                               "thread (async) so ingest never blocks "
-                               "on durable writes")
-    _add_parallel(p_stream)
-    _add_common(p_stream)
+    _add_stream_flags(p_stream, suppress)
+    _add_spec_file(p_stream)
+    _add_compact(p_stream)
     p_stream.set_defaults(func=cmd_stream)
 
     p_record = sub.add_parser(
         "record",
         help="capture a live run into a durable storage backend")
-    p_record.add_argument("--app", choices=sorted(APPLICATIONS),
-                          default="sharelatex")
-    p_record.add_argument("--backend", choices=("sqlite", "spill"),
-                          default="sqlite")
-    p_record.add_argument("--out", required=True, metavar="PATH",
-                          help="sqlite database file or spill directory")
-    p_record.add_argument("--workload", choices=("random", "constant"),
-                          default="random")
-    p_record.add_argument("--rate", type=float, default=25.0)
-    p_record.add_argument("--writer", choices=("sync", "async"),
-                          default="sync",
-                          help="drive the backend inline (sync) or "
-                               "through a batching writer thread "
-                               "(async)")
-    _add_parallel(p_record,
-                  note="; recording runs no analysis, so this only "
-                       "matters to scripts sharing flags with "
-                       "stream/replay")
-    _add_common(p_record)
+    _add_record_flags(p_record, suppress)
+    _add_spec_file(p_record)
+    _add_compact(p_record)
     p_record.set_defaults(func=cmd_record)
 
     p_replay = sub.add_parser(
         "replay",
         help="re-analyze a recorded backend and meter the replay")
-    p_replay.add_argument("--backend", choices=("sqlite", "spill"),
-                          default="sqlite")
-    p_replay.add_argument("--path", required=True, metavar="PATH",
-                          help="recorded sqlite file or spill directory")
-    p_replay.add_argument("--seed", type=int, default=1)
-    _add_parallel(p_replay)
+    _add_replay_flags(p_replay, suppress)
+    _add_spec_file(p_replay)
     p_replay.set_defaults(func=cmd_replay)
 
     p_rca = sub.add_parser(
         "rca", help="OpenStack correct-vs-faulty root cause analysis")
-    p_rca.add_argument("--iterations", type=int, default=15,
-                       help="Rally boot_and_delete iterations")
-    p_rca.add_argument("--threshold", type=float, default=0.5,
-                       choices=[0.0, 0.5, 0.6, 0.7])
-    _add_common(p_rca)
+    _add_rca_flags(p_rca, suppress)
     p_rca.set_defaults(func=cmd_rca)
 
     p_trace = sub.add_parser(
         "trace-overhead", help="Figure 5 tracing-overhead comparison")
-    p_trace.add_argument("--requests", type=int, default=10_000)
-    p_trace.add_argument("--seed", type=int, default=1)
+    _add_trace_flags(p_trace, suppress)
     p_trace.set_defaults(func=cmd_trace_overhead)
 
     p_catalog = sub.add_parser(
         "catalog", help="list an application model's components")
-    p_catalog.add_argument("--app", choices=sorted(APPLICATIONS),
-                           default="sharelatex")
+    _add_catalog_flags(p_catalog, suppress)
     p_catalog.set_defaults(func=cmd_catalog)
+
+    p_spec = sub.add_parser(
+        "spec",
+        help="emit the resolved run spec of an invocation "
+             "(re-feed via --spec to reproduce it bit-identically)")
+    spec_sub = p_spec.add_subparsers(dest="spec_mode", required=True)
+    for mode in RUN_MODES:
+        p_mode = spec_sub.add_parser(mode)
+        _MODE_FLAGS[mode](p_mode, suppress)
+        _add_spec_file(p_mode)
+        p_mode.add_argument("-o", "--output", metavar="PATH",
+                            help="write the spec here instead of "
+                                 "stdout (.toml selects TOML)")
+        p_mode.add_argument("--format", choices=("json", "toml"),
+                            help="output format (default: by --out "
+                                 "suffix, else json)")
+        p_mode.set_defaults(func=cmd_spec, spec_mode=mode)
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Which flags were explicitly passed (vs. argparse defaults):
+    # parse again with every default suppressed -- the attributes left
+    # in that namespace are exactly the provided ones.
+    shadow = build_parser(suppress=True).parse_args(argv)
+    args._provided = set(vars(shadow))
     return args.func(args)
 
 

@@ -77,7 +77,24 @@ class StreamingConfig:
     """Span of each analysis window, seconds of ingested data."""
 
     hop: float = 10.0
-    """Cadence between consecutive window analyses, seconds."""
+    """Cadence between consecutive window analyses, seconds (the
+    *initial* cadence when :attr:`adaptive_hop` is enabled)."""
+
+    adaptive_hop: bool = False
+    """Scale the analysis cadence with drift pressure: a window whose
+    re-clusters include a drift escalation halves the live hop (down
+    to :attr:`hop_min`), a fully reused window stretches it by 25%
+    (up to :attr:`hop_max`), so quiet systems analyze less often and
+    drifting ones are watched closely.  Off by default -- the fixed
+    :attr:`hop` cadence is the reproducible baseline."""
+
+    hop_min: float = 0.0
+    """Lower bound of the adaptive cadence, seconds (0 = :attr:`hop`,
+    i.e. adaptation only ever slows analysis down)."""
+
+    hop_max: float = 0.0
+    """Upper bound of the adaptive cadence, seconds (0 = four times
+    :attr:`hop`)."""
 
     retention: float = 120.0
     """How long the per-metric ring buffers keep samples, seconds."""
@@ -96,6 +113,12 @@ class StreamingConfig:
     drift_shape_threshold: float = 0.75
     """Coherence-weighted shape distance (SBD) above which a cluster
     representative counts as drifted."""
+
+    drift_detector: str = "standard"
+    """Which registered drift detector the engine scores windows with
+    (see :data:`repro.api.registry.DRIFT_DETECTORS`); third-party
+    detectors plug in via
+    :func:`repro.api.register_drift_detector`."""
 
     full_refresh_windows: int = 0
     """Force a full re-cluster every N windows (0 = rely purely on
@@ -149,9 +172,23 @@ class StreamingConfig:
     sieve: SieveConfig = field(default_factory=SieveConfig)
     """The batch-analysis tunables applied inside every window."""
 
+    def hop_bounds(self) -> tuple[float, float]:
+        """Resolved (min, max) cadence of the adaptive hop."""
+        lo = self.hop_min or self.hop
+        hi = self.hop_max or 4.0 * self.hop
+        return lo, hi
+
     def __post_init__(self) -> None:
         if self.window <= 0 or self.hop <= 0 or self.retention <= 0:
             raise ValueError("window, hop and retention must be positive")
+        if self.hop_min < 0 or self.hop_max < 0:
+            raise ValueError("hop bounds must be >= 0 (0 = default)")
+        lo, hi = self.hop_bounds()
+        if self.adaptive_hop and not lo <= self.hop <= hi:
+            raise ValueError(
+                f"adaptive cadence needs hop_min <= hop <= hop_max, "
+                f"got {lo} <= {self.hop} <= {hi}"
+            )
         if self.retention < self.window:
             raise ValueError("retention must cover at least one window")
         if self.max_points_per_series < 8:
@@ -171,8 +208,23 @@ class StreamingConfig:
             )
         if self.checkpoint_every_windows < 0:
             raise ValueError("checkpoint_every_windows must be >= 0")
-        if self.executor not in ("serial", "thread", "process"):
-            raise ValueError(f"unknown executor {self.executor!r}")
+        # Executor and drift-detector choices resolve through the
+        # plugin registries, so a third-party strategy registered via
+        # repro.api passes validation exactly like a builtin.  The
+        # import is local: the registry module is a leaf, but this
+        # module loads far too early to import it at module scope.
+        from repro.api.registry import DRIFT_DETECTORS, EXECUTORS
+
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r} "
+                f"(registered: {', '.join(EXECUTORS.names())})"
+            )
+        if self.drift_detector not in DRIFT_DETECTORS:
+            raise ValueError(
+                f"unknown drift detector {self.drift_detector!r} "
+                f"(registered: {', '.join(DRIFT_DETECTORS.names())})"
+            )
         if self.executor_workers < 0:
             raise ValueError("executor_workers must be >= 0")
         if self.writer not in ("sync", "async"):

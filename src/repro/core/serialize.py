@@ -11,6 +11,7 @@ sample data (which lives in the metrics store).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 
@@ -18,10 +19,66 @@ import numpy as np
 
 from repro.causality.depgraph import DependencyGraph, MetricRelation
 from repro.clustering.reduction import Cluster, ComponentClustering
+from repro.core.config import SieveConfig, StreamingConfig
 from repro.core.results import SieveResult
 
 #: Schema version written into every snapshot.
 SNAPSHOT_VERSION = 1
+
+
+# -- configuration codecs --------------------------------------------------
+#
+# The declarative run specs of :mod:`repro.api` embed the two config
+# dataclasses; these codecs pin their JSON/TOML-compatible dict shape
+# (tuples become lists, nested configs become nested tables) and
+# reject unknown keys on the way back in, so a typo in a spec file
+# fails loudly instead of silently running with defaults.
+
+
+def _check_known(data: dict, cls: type, known: set[str]) -> None:
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): "
+            f"{', '.join(sorted(unknown))}"
+        )
+
+
+def sieve_config_to_dict(config: SieveConfig) -> dict:
+    """A :class:`SieveConfig` as a JSON/TOML-compatible dict."""
+    data = dataclasses.asdict(config)
+    data["granger_lags"] = [int(lag) for lag in config.granger_lags]
+    return data
+
+
+def sieve_config_from_dict(data: dict) -> SieveConfig:
+    """Inverse of :func:`sieve_config_to_dict` (partial dicts allowed:
+    absent fields keep the paper's defaults)."""
+    known = {f.name for f in dataclasses.fields(SieveConfig)}
+    _check_known(data, SieveConfig, known)
+    kwargs = dict(data)
+    if "granger_lags" in kwargs:
+        kwargs["granger_lags"] = tuple(
+            int(lag) for lag in kwargs["granger_lags"]
+        )
+    return SieveConfig(**kwargs)
+
+
+def streaming_config_to_dict(config: StreamingConfig) -> dict:
+    """A :class:`StreamingConfig` (with its nested sieve) as a dict."""
+    data = dataclasses.asdict(config)
+    data["sieve"] = sieve_config_to_dict(config.sieve)
+    return data
+
+
+def streaming_config_from_dict(data: dict) -> StreamingConfig:
+    """Inverse of :func:`streaming_config_to_dict` (partial allowed)."""
+    known = {f.name for f in dataclasses.fields(StreamingConfig)}
+    _check_known(data, StreamingConfig, known)
+    kwargs = dict(data)
+    if "sieve" in kwargs:
+        kwargs["sieve"] = sieve_config_from_dict(kwargs["sieve"])
+    return StreamingConfig(**kwargs)
 
 
 def clustering_to_dict(clustering: ComponentClustering) -> dict:

@@ -159,26 +159,22 @@ def make_executor(
     kind: str = "serial",
     workers: int | None = None,
 ) -> ShardExecutor:
-    """Build the executor for a strategy name.
+    """Build the executor for a registered strategy name.
 
-    ``workers=None`` (or 0) sizes pools to :func:`default_workers`.
-    A pooled strategy pinned to a single worker falls back to the
-    serial executor: one worker cannot overlap anything, so the pool
-    would only add dispatch and pickling overhead (the "pool-size-1
-    fallback" the tests pin down).
+    ``kind`` resolves through the plugin registry
+    (:data:`repro.api.registry.EXECUTORS`), so strategies registered
+    via :func:`repro.api.register_executor` work exactly like the
+    builtins.  ``workers=None`` (or 0) sizes pools to
+    :func:`default_workers`.  A builtin pooled strategy pinned to a
+    single worker falls back to the serial executor: one worker cannot
+    overlap anything, so the pool would only add dispatch and pickling
+    overhead (the "pool-size-1 fallback" the tests pin down).
     """
-    if kind not in EXECUTOR_KINDS:
-        raise ValueError(
-            f"unknown executor {kind!r} (expected one of {EXECUTOR_KINDS})"
-        )
+    # Local import: the registry module is a leaf, but repro.api must
+    # not be a hard import at executor load time.
+    from repro.api.registry import EXECUTORS
+
     sized = workers if workers else None
     if sized is not None and sized < 1:
         raise ValueError("workers must be >= 1")
-    if kind == "serial":
-        return ShardExecutor()
-    resolved = sized or default_workers()
-    if resolved == 1:
-        return ShardExecutor()
-    if kind == "thread":
-        return ThreadShardExecutor(resolved)
-    return ProcessShardExecutor(resolved)
+    return EXECUTORS.create(kind, sized)

@@ -202,6 +202,12 @@ class BatchingWriter:
         self.drain()
         return self.backend.metadata()
 
+    def compact(self, retention: float | None = None) -> dict:
+        """Drain, then compact the inner backend (order-preserving:
+        nothing queued can be older than what compaction drops)."""
+        self.drain()
+        return self.backend.compact(retention=retention)
+
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:

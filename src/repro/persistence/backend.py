@@ -71,6 +71,12 @@ class StorageBackend(Protocol):
         """Make writes so far durable (no-op for volatile backends)."""
         ...  # pragma: no cover - protocol definition
 
+    def compact(self, retention: float | None = None) -> dict:
+        """Reclaim storage; samples older than (per-series newest -
+        ``retention``) may be dropped (None keeps everything).
+        Returns backend-specific compaction stats."""
+        ...  # pragma: no cover - protocol definition
+
     def close(self) -> None:
         ...  # pragma: no cover - protocol definition
 
@@ -104,6 +110,10 @@ class BackendBase:
 
     def flush(self) -> None:
         pass
+
+    def compact(self, retention: float | None = None) -> dict:
+        """Nothing to reclaim by default (volatile backends)."""
+        return {}
 
     def close(self) -> None:
         pass

@@ -46,11 +46,18 @@ CHECKPOINT_VERSION = 1
 #: that change what the replayed rings and hop schedule look like.
 _CONFIG_FINGERPRINT = ("window", "hop", "retention",
                        "max_points_per_series", "min_window_samples",
-                       "full_refresh_windows")
+                       "full_refresh_windows", "adaptive_hop",
+                       "hop_min", "hop_max")
 
 
-def checkpoint_state(engine: StreamingSieve) -> dict:
-    """The engine's analysis state as a JSON-compatible dict."""
+def checkpoint_state(engine: StreamingSieve,
+                     spec: dict | None = None) -> dict:
+    """The engine's analysis state as a JSON-compatible dict.
+
+    ``spec`` (a resolved :meth:`repro.api.spec.RunSpec.to_dict`
+    payload) is embedded verbatim when given, so a later ``--resume``
+    can revalidate that it continues the *same declared run* -- not
+    just the same window geometry."""
     previous = engine.analyzer.previous
     prev_payload = None
     if previous is not None:
@@ -82,7 +89,7 @@ def checkpoint_state(engine: StreamingSieve) -> dict:
                           for index, value in coherence.items()},
         }
     config = engine.config
-    return {
+    state = {
         "version": CHECKPOINT_VERSION,
         "seed": engine.seed,
         "application": engine.application,
@@ -91,22 +98,28 @@ def checkpoint_state(engine: StreamingSieve) -> dict:
                    for name in _CONFIG_FINGERPRINT},
         "next_analysis": engine._next_analysis,
         "last_offer": engine.last_offer,
+        "current_hop": engine.current_hop,
         "skipped_windows": engine.skipped_windows,
         "windows_since_refresh": engine.analyzer.windows_since_refresh,
         "stats": dataclasses.asdict(engine.stats),
         "previous": prev_payload,
         "drift": drift_payload,
     }
+    if spec is not None:
+        state["spec"] = spec
+    return state
 
 
-def save_checkpoint(engine: StreamingSieve, path) -> dict:
+def save_checkpoint(engine: StreamingSieve, path,
+                    spec: dict | None = None) -> dict:
     """Atomically write the engine's checkpoint to ``path``.
 
     Returns the state dict that was written.  The write goes through a
     temp file + rename, so a crash mid-checkpoint leaves the previous
-    checkpoint intact.
+    checkpoint intact.  ``spec`` is embedded as on
+    :func:`checkpoint_state`.
     """
-    state = checkpoint_state(engine)
+    state = checkpoint_state(engine, spec=spec)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
@@ -173,11 +186,15 @@ def restore_engine(checkpoint, config: StreamingConfig,
     """
     state = checkpoint if isinstance(checkpoint, dict) \
         else load_checkpoint(checkpoint)
+    defaults = StreamingConfig()
     for name in _CONFIG_FINGERPRINT:
-        if getattr(config, name) != state["config"][name]:
+        # Older checkpoints predate some fingerprint fields (e.g. the
+        # adaptive-hop bounds); absent keys compare against defaults.
+        recorded = state["config"].get(name, getattr(defaults, name))
+        if getattr(config, name) != recorded:
             raise ValueError(
                 f"checkpoint/config mismatch on {name!r}: "
-                f"{state['config'][name]!r} != {getattr(config, name)!r}"
+                f"{recorded!r} != {getattr(config, name)!r}"
             )
     engine = StreamingSieve(
         config=config,
@@ -247,6 +264,8 @@ def restore_engine(checkpoint, config: StreamingConfig,
                                   coherence)
     engine._next_analysis = state["next_analysis"]
     engine.last_offer = state.get("last_offer")
+    engine.current_hop = float(state.get("current_hop")
+                               or config.hop)
     engine.skipped_windows = int(state["skipped_windows"])
     engine.stats = StreamingStats(**state["stats"])
     if previous is not None:
@@ -280,8 +299,13 @@ class CheckpointPolicy:
 
     def __init__(self, engine: StreamingSieve, path,
                  every: int | None = None,
-                 rotate_journal: bool | None = None):
+                 rotate_journal: bool | None = None,
+                 spec: dict | None = None):
+        """``spec`` (a resolved run-spec dict) is embedded in every
+        checkpoint this policy writes, so resumes revalidate against
+        the declared run."""
         self.engine = engine
+        self.spec = spec
         self.path = Path(path)
         self.every = engine.config.checkpoint_every_windows \
             if every is None else every
@@ -300,7 +324,7 @@ class CheckpointPolicy:
         # Flush-on-checkpoint: the checkpoint must never describe
         # samples the durable store has not absorbed yet.
         self.engine.windows.flush_backend()
-        save_checkpoint(self.engine, self.path)
+        save_checkpoint(self.engine, self.path, spec=self.spec)
         self.checkpoints_written += 1
         journal = self.engine.bus.journal
         if journal is None or not self.rotate_journal \

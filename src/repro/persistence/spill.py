@@ -16,7 +16,6 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable
 
 import numpy as np
 
@@ -102,7 +101,8 @@ class SpillBackend(BackendBase):
     """Bounded-RAM storage backend with on-disk cold segments."""
 
     def __init__(self, directory, hot_points: int = 2048,
-                 segment_format: str = "npz"):
+                 segment_format: str = "npz",
+                 compact_min_points: int = 0):
         if hot_points < 8:
             raise ValueError("hot_points must be >= 8")
         if segment_format not in ("npz", "parquet"):
@@ -112,10 +112,18 @@ class SpillBackend(BackendBase):
                 "parquet segments need pyarrow, which is not installed; "
                 "use segment_format='npz'"
             )
+        if compact_min_points < 0:
+            raise ValueError("compact_min_points must be >= 0")
         super().__init__()
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hot_points = hot_points
+        self.compact_min_points = compact_min_points or hot_points
+        """Segments smaller than this are merge candidates for
+        :meth:`compact` (default: a full hot buffer's worth).  Small
+        segments accumulate from partial tails spilled at every
+        :meth:`close`, so a long-lived recorded directory fragments
+        over restart cycles until compaction merges them."""
         self.segment_format = segment_format
         self._hot: dict[MetricKey, _HotBuffer] = {}
         self._segments: dict[MetricKey, list[Segment]] = {}
@@ -270,6 +278,97 @@ class SpillBackend(BackendBase):
         """Samples currently held in RAM (the spill pressure gauge)."""
         return sum(buffer.n for buffer in self._hot.values())
 
+    # -- compaction ----------------------------------------------------
+
+    def compact(self, retention: float | None = None) -> dict:
+        """Merge small cold segments and drop segments past retention.
+
+        Two passes per series, mirroring the journal's retirement
+        semantics:
+
+        * **retention** -- with ``retention`` given, segments wholly
+          older than (that series' newest sample - ``retention``) are
+          dropped.  The anchor is per-series, so a series that went
+          quiet never loses its only replayable history to a global
+          clock that moved on without it.
+        * **merge** -- consecutive runs of segments smaller than
+          :attr:`compact_min_points` are rewritten as one segment, so
+          a directory fragmented by many record/reopen cycles stops
+          paying per-segment open cost on every range query.
+
+        The rewritten index lands atomically before any source file is
+        unlinked; a crash mid-compaction leaves at worst orphaned
+        segment files that a later compaction run ignores.  Returns
+        compaction stats.
+        """
+        dropped_segments = 0
+        dropped_samples = 0
+        merged_segments = 0
+        written_segments = 0
+        removed_files: list[str] = []
+        for key in sorted(self._segments):
+            segments = self._segments[key]
+            if retention is not None and segments:
+                newest = self.newest_time(key.component, key.metric)
+                cutoff = (newest if newest is not None
+                          else segments[-1].end) - retention
+                keep = [s for s in segments if s.end >= cutoff]
+                for segment in segments:
+                    if segment.end < cutoff:
+                        dropped_segments += 1
+                        dropped_samples += segment.n
+                        removed_files.append(segment.file)
+                segments = keep
+            merged: list[Segment] = []
+            run: list[Segment] = []
+
+            def _seal_run() -> None:
+                nonlocal merged_segments, written_segments
+                if len(run) < 2:
+                    merged.extend(run)
+                    run.clear()
+                    return
+                parts = [
+                    _read_segment(self.directory / s.file,
+                                  self.segment_format)
+                    for s in run
+                ]
+                t = np.concatenate([p[0] for p in parts])
+                v = np.concatenate([p[1] for p in parts])
+                suffix = "npz" if self.segment_format == "npz" \
+                    else "parquet"
+                name = f"seg-{self._next_segment:06d}.{suffix}"
+                self._next_segment += 1
+                _write_segment(self.directory / name, t, v,
+                               self.segment_format)
+                merged.append(Segment(name, float(t[0]), float(t[-1]),
+                                      int(t.size)))
+                merged_segments += len(run)
+                written_segments += 1
+                removed_files.extend(s.file for s in run)
+                run.clear()
+
+            for segment in segments:
+                if segment.n < self.compact_min_points:
+                    run.append(segment)
+                else:
+                    _seal_run()
+                    merged.append(segment)
+            _seal_run()
+            if merged:
+                self._segments[key] = merged
+            else:
+                del self._segments[key]
+        self._write_index()
+        for file in removed_files:
+            (self.directory / file).unlink(missing_ok=True)
+        return {
+            "segments_dropped": dropped_segments,
+            "samples_dropped": dropped_samples,
+            "segments_merged": merged_segments,
+            "segments_written": written_segments,
+        }
+
     # -- durability ----------------------------------------------------
 
     def flush(self) -> None:
@@ -289,14 +388,13 @@ class SpillBackend(BackendBase):
 
 
 def open_backend(kind: str, path, **kwargs):
-    """Construct a backend by name (the CLI's ``--backend`` switch)."""
-    from repro.persistence.backend import MemoryBackend
-    from repro.persistence.sqlite_backend import SqliteBackend
+    """Construct a backend by registered name.
 
-    if kind == "memory":
-        return MemoryBackend()
-    if kind == "sqlite":
-        return SqliteBackend(path, **kwargs)
-    if kind == "spill":
-        return SpillBackend(path, **kwargs)
-    raise ValueError(f"unknown backend kind {kind!r}")
+    Resolves through the plugin registry
+    (:data:`repro.api.registry.BACKENDS`), so backends registered via
+    :func:`repro.api.register_backend` open exactly like the builtins
+    (memory / sqlite / spill).
+    """
+    from repro.api.registry import BACKENDS
+
+    return BACKENDS.create(kind, path, **kwargs)

@@ -184,6 +184,43 @@ class SqliteBackend(BackendBase):
             return {}
         return json.loads(row[0])
 
+    # -- compaction ----------------------------------------------------
+
+    def trim(self, retention: float | None = None) -> dict:
+        """Drop points past retention, then ``VACUUM`` the file.
+
+        With ``retention`` given, every series loses the points older
+        than (its *own* newest sample - ``retention``) -- the
+        per-series anchor mirrors the journal's retirement semantics,
+        so a quiet series never loses its only history to a global
+        clock that moved on.  ``VACUUM`` then returns the freed pages
+        to the filesystem (a plain DELETE only marks them reusable).
+        Returns trim stats.
+        """
+        self.flush()
+        deleted = 0
+        if retention is not None:
+            rows = self._conn.execute(
+                "SELECT series_id, MAX(t) FROM points GROUP BY series_id"
+            ).fetchall()
+            for sid, newest in rows:
+                if newest is None:
+                    continue
+                cursor = self._conn.execute(
+                    "DELETE FROM points WHERE series_id=? AND t<?",
+                    (int(sid), float(newest) - retention),
+                )
+                deleted += cursor.rowcount
+            self._conn.commit()
+        # VACUUM must run outside any transaction (flush/commit above).
+        self._conn.execute("VACUUM")
+        return {"points_deleted": deleted}
+
+    def compact(self, retention: float | None = None) -> dict:
+        """Registry-facing alias of :meth:`trim` (the
+        ``StorageBackend`` compaction protocol)."""
+        return self.trim(retention)
+
     # -- durability ----------------------------------------------------
 
     def flush(self) -> None:

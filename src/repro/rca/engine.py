@@ -10,10 +10,10 @@ ordered {component, metric list} pairs (Table 5's 'Final ranking').
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.results import SieveResult
-from repro.rca.edges import ClusterEdge, EdgeClassification, classify_edges
+from repro.rca.edges import EdgeClassification, classify_edges
 from repro.rca.novelty import ComponentDiff, metric_diff, rank_components
 from repro.rca.similarity import (
     ClusterNovelty,

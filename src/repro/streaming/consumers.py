@@ -54,6 +54,32 @@ class LiveScalingPolicy:
         self.rebinds: list[RebindEvent] = []
         self.windows_seen = 0
 
+    @classmethod
+    def from_options(cls, *, component: str, scale_up: float,
+                     scale_down: float,
+                     guide_component: str | None = None,
+                     min_instances: int = 1, max_instances: int = 10,
+                     cooldown: float = 15.0,
+                     window: float = 10.0) -> "LiveScalingPolicy":
+        """Build a policy from flat spec options (registry factory).
+
+        The rule starts unbound (empty guiding metric) and is bound by
+        the first window's election -- exactly how a declarative run
+        spec wants to describe it, without naming a metric up front.
+        """
+        rule = ScalingRule(
+            component=component,
+            metric_component=component,
+            metric="",
+            scale_up_threshold=scale_up,
+            scale_down_threshold=scale_down,
+            min_instances=min_instances,
+            max_instances=max_instances,
+            cooldown=cooldown,
+            window=window,
+        )
+        return cls(rule, guide_component=guide_component)
+
     @property
     def guiding_metric(self) -> tuple[str, str]:
         """The (component, metric) currently steering decisions."""

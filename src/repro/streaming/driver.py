@@ -88,9 +88,11 @@ class SimulationStreamDriver:
         produced: list[WindowAnalysis] = []
         min_count = self.config.sieve.callgraph_min_connections
         remaining = duration
-        hop = self.config.hop
         while remaining > 1e-9:
-            step = min(hop, remaining)
+            # The engine owns the live cadence: with the adaptive hop
+            # enabled it stretches between ticks as the system quiets
+            # down, otherwise it is the fixed config.hop.
+            step = min(self.engine.tick_interval(), remaining)
             self.session.advance(step)
             remaining -= step
             self._forward_sla_samples()
@@ -161,7 +163,7 @@ class SimulationStreamDriver:
             # must not consume the caller's duration budget.
             duration += max(target - self.session.now, 0.0)
         produced: list[WindowAnalysis] = []
-        hop = self.config.hop
+        hop = engine.tick_interval()
         if engine.last_offer is not None and duration > 1e-9:
             ahead = (self.session.now - engine.last_offer) % hop
             if 1e-9 < ahead < hop - 1e-9:

@@ -61,7 +61,13 @@ class StreamingSieve:
         self.sla_history: deque[tuple[float, float]] = deque(maxlen=65536)
         """Recent (time, end-to-end latency) observations (see
         :meth:`observe_latency`)."""
-        self.drift = DriftDetector(
+        # The detector implementation is a registry-resolved policy
+        # choice (config.drift_detector), so seasonality-aware or
+        # per-metric-adaptive detectors plug in without engine edits.
+        from repro.api.registry import DRIFT_DETECTORS
+
+        self.drift: DriftDetector = DRIFT_DETECTORS.create(
+            self.config.drift_detector,
             threshold=self.config.drift_threshold,
             shape_threshold=self.config.drift_shape_threshold,
         )
@@ -82,6 +88,12 @@ class StreamingSieve:
         self.last_offer: float | None = None
         """Timestamp of the most recent :meth:`offer` tick (checkpointed,
         so a resumed driver can realign its clock with the dead run)."""
+
+        self.current_hop = float(self.config.hop)
+        """The live analysis cadence.  Fixed at ``config.hop`` unless
+        :attr:`~repro.core.config.StreamingConfig.adaptive_hop` is on,
+        in which case drift pressure scales it between the configured
+        bounds (checkpointed, so a resumed run keeps its cadence)."""
 
     # -- consumers -----------------------------------------------------
 
@@ -150,11 +162,51 @@ class StreamingSieve:
         if now < self._next_analysis:
             return None
 
-        self._next_analysis += cfg.hop
+        # The post-window schedule (and the adapted cadence) must be
+        # in place *before* consumers see the analysis: a checkpoint
+        # taken in a consumer callback has to describe the state a
+        # resume should continue from, not the pre-window one.
+        analysis = self._analyze_window(
+            now - cfg.window, now, call_graph,
+            pre_notify=lambda a: self._schedule_after(a, now),
+        )
+        if analysis is None:
+            self._schedule_after(None, now)
+        return analysis
+
+    def _schedule_after(self, analysis: WindowAnalysis | None,
+                        now: float) -> None:
+        """Advance the hop schedule past the window just analyzed."""
+        self._adapt_hop(analysis)
+        self._next_analysis += self.current_hop
         if self._next_analysis <= now:
             # The caller hopped further than one cadence; realign.
-            self._next_analysis = now + cfg.hop
-        return self._analyze_window(now - cfg.window, now, call_graph)
+            self._next_analysis = now + self.current_hop
+
+    def tick_interval(self) -> float:
+        """How far a driver should advance between :meth:`offer` ticks
+        (the live hop -- equal to ``config.hop`` unless the adaptive
+        cadence moved it)."""
+        return self.current_hop
+
+    def _adapt_hop(self, analysis: WindowAnalysis | None) -> None:
+        """Scale the cadence with drift pressure (adaptive hop).
+
+        A window whose re-clusters include a drift escalation halves
+        the live hop (a drifting system deserves closer watching); a
+        fully reused window stretches it by 25% (a quiet system can be
+        analyzed less often).  Windows with only structural re-clusters
+        (metric-set changes, refreshes) or too little data hold the
+        cadence steady.
+        """
+        if not self.config.adaptive_hop or analysis is None:
+            return
+        lo, hi = self.config.hop_bounds()
+        reasons = analysis.recluster_reasons.values()
+        if "drift" in reasons:
+            self.current_hop = max(lo, self.current_hop * 0.5)
+        elif not analysis.reclustered:
+            self.current_hop = min(hi, self.current_hop * 1.25)
 
     def force_analysis(self, now: float, call_graph: CallGraph,
                        start: float | None = None,
@@ -177,7 +229,11 @@ class StreamingSieve:
         return self._analyze_window(start, now, call_graph)
 
     def _analyze_window(self, start: float, end: float,
-                        call_graph: CallGraph) -> WindowAnalysis | None:
+                        call_graph: CallGraph,
+                        pre_notify=None) -> WindowAnalysis | None:
+        """``pre_notify`` runs after the engine state is updated but
+        before subscribed consumers fire (scheduling bookkeeping that
+        checkpoints taken by consumers must already reflect)."""
         frame = self.windows.snapshot(start, end)
         if frame.total_samples() < self.config.min_window_samples:
             self.skipped_windows += 1
@@ -190,6 +246,8 @@ class StreamingSieve:
         analysis.workload = self.workload
         self.history.append(analysis)
         self.stats.record(analysis)
+        if pre_notify is not None:
+            pre_notify(analysis)
         for consumer in self._consumers:
             consumer(analysis)
         return analysis
@@ -214,6 +272,7 @@ class StreamingSieve:
         return {
             "application": self.application,
             **self.stats.as_dict(),
+            "current_hop": round(self.current_hop, 3),
             "skipped_windows": self.skipped_windows,
             "points_retained": self.windows.total_points(),
             "points_evicted": self.windows.total_evicted(),

@@ -1,0 +1,873 @@
+"""Tests for the public pipeline API: registries, specs, sessions.
+
+Covers the PR-5 acceptance surface:
+
+* spec round-trips (spec -> dict -> spec identity, JSON and TOML);
+* the same seed through legacy wiring and ``repro.api`` yields
+  identical clusterings (edge Jaccard 1.0);
+* CLI-vs-API equivalence smokes for stream/record/replay;
+* ``repro spec``-emitted specs reproduce the run when re-fed;
+* plugin registries (builtins + third-party registration);
+* backend compaction (spill merge/retire, sqlite trim) and
+  ``Session.compact``;
+* the adaptive analysis cadence and its checkpoint round-trip.
+"""
+
+import dataclasses
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    APPLICATIONS,
+    BACKENDS,
+    CONSUMERS,
+    DRIFT_DETECTORS,
+    EXECUTORS,
+    WORKLOADS,
+    PipelineBuilder,
+    RunSpec,
+    build_pipeline,
+    load_spec,
+    loads_spec,
+    register_application,
+    register_backend,
+    save_spec,
+    spec_to_toml,
+)
+from repro.api.spec import ConsumerSpec, StorageSpec, WorkloadSpec
+from repro.causality.depgraph import edge_jaccard
+from repro.core import Sieve, SieveConfig, StreamingConfig
+from repro.core.serialize import (
+    sieve_config_from_dict,
+    sieve_config_to_dict,
+    streaming_config_from_dict,
+    streaming_config_to_dict,
+)
+from repro.metrics.timeseries import MetricKey
+from repro.parallel.executor import ShardExecutor, make_executor
+from repro.persistence import (
+    MemoryBackend,
+    SpillBackend,
+    SqliteBackend,
+    load_checkpoint,
+    open_backend,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.streaming import SimulationStreamDriver, StreamingSieve
+from repro.workload import constant_rate
+
+
+def _spec(name, shift=False, **kwargs):
+    custom = ()
+    if shift:
+        custom = (("mode_gauge",
+                   lambda comp, now: 500.0 if now > 45.0
+                   else comp.total_request_rate() * 1.2),)
+    defaults = dict(
+        kind="generic",
+        endpoints=(EndpointSpec("op", service_time=0.02),),
+        concurrency=16,
+        custom_metrics=custom,
+    )
+    defaults.update(kwargs)
+    return ComponentSpec(name=name, **defaults)
+
+
+def _chain_app(shift_backend=False):
+    return Application("demo", [
+        _spec("front", calls=(CallSpec("mid", delay=0.4),)),
+        _spec("mid", calls=(CallSpec("back", delay=0.4),)),
+        _spec("back", shift=shift_backend),
+    ])
+
+
+# Registered once: specs (and the CLI) can then name the tiny app.
+if "demo-chain" not in APPLICATIONS:
+    register_application("demo-chain", lambda: _chain_app())
+if "demo-chain-shift" not in APPLICATIONS:
+    register_application("demo-chain-shift",
+                         lambda: _chain_app(shift_backend=True))
+
+
+def _clustering_fingerprint(clusterings):
+    return {
+        component: sorted(
+            (cluster.representative, tuple(sorted(cluster.metrics)))
+            for cluster in clustering.clusters
+        )
+        for component, clustering in clusterings.items()
+    }
+
+
+def _assert_same_analysis(left, right):
+    assert left.reclustered == right.reclustered
+    assert left.reused == right.reused
+    assert _clustering_fingerprint(left.clusterings) \
+        == _clustering_fingerprint(right.clusterings)
+    assert edge_jaccard(left.dependency_graph, right.dependency_graph,
+                        level="metric") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Registries
+
+
+class TestRegistries:
+    def test_builtins_registered(self):
+        assert {"memory", "sqlite", "spill"} <= set(BACKENDS.names())
+        assert {"serial", "thread", "process"} <= set(EXECUTORS.names())
+        assert {"random", "constant", "ramp"} <= set(WORKLOADS.names())
+        assert "standard" in DRIFT_DETECTORS
+        assert {"rca", "scaling"} <= set(CONSUMERS.names())
+        assert {"sharelatex", "openstack"} <= set(APPLICATIONS.names())
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            BACKENDS.create("redis", None)
+        with pytest.raises(ValueError, match="registered:"):
+            EXECUTORS.get("gpu")
+
+    def test_register_and_duplicate_guard(self):
+        registrations = BACKENDS.names()
+        try:
+            register_backend("test-null", lambda path, **kw:
+                             MemoryBackend())
+            assert "test-null" in BACKENDS
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("test-null", lambda path: None)
+            register_backend("test-null", lambda path, **kw:
+                             MemoryBackend(), replace=True)
+            assert isinstance(open_backend("test-null", None),
+                              MemoryBackend)
+        finally:
+            BACKENDS.unregister("test-null")
+        assert BACKENDS.names() == registrations
+
+    def test_decorator_registration(self):
+        try:
+            @register_backend("test-decorated")
+            def _factory(path, **kw):
+                return MemoryBackend()
+
+            assert isinstance(BACKENDS.create("test-decorated", ""),
+                              MemoryBackend)
+        finally:
+            BACKENDS.unregister("test-decorated")
+
+    def test_make_executor_resolves_registered_strategy(self):
+        try:
+            EXECUTORS.register("test-inline",
+                               lambda workers=None: ShardExecutor())
+            executor = make_executor("test-inline")
+            assert executor.kind == "serial"
+            # ... and the config validation accepts it too.
+            StreamingConfig(executor="test-inline")
+        finally:
+            EXECUTORS.unregister("test-inline")
+        with pytest.raises(ValueError, match="unknown executor"):
+            StreamingConfig(executor="test-inline")
+
+    def test_spec_fields_validate_against_registries(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            WorkloadSpec(kind="sinusoid")
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            StorageSpec(kind="redis")
+        with pytest.raises(ValueError, match="unknown consumer"):
+            ConsumerSpec(kind="pager")
+        with pytest.raises(ValueError, match="unknown application"):
+            RunSpec(app="netflix")
+        with pytest.raises(ValueError, match="unknown drift detector"):
+            StreamingConfig(drift_detector="spectral")
+
+
+# ---------------------------------------------------------------------------
+# Spec round-trips
+
+
+class TestSpecRoundTrip:
+    def _custom_spec(self, tmp_path=None):
+        path = str(tmp_path / "run.db") if tmp_path else "/tmp/x.db"
+        return RunSpec(
+            mode="stream",
+            app="demo-chain",
+            seed=7,
+            duration=55.0,
+            workload=WorkloadSpec(kind="constant", rate=40.0),
+            streaming=StreamingConfig(
+                window=25.0, hop=5.0, retention=200.0,
+                adaptive_hop=True, hop_min=2.5, hop_max=20.0,
+                executor="thread", executor_workers=3,
+                writer="async", checkpoint_every_windows=1,
+                sieve=SieveConfig(max_clusters=5,
+                                  granger_lags=(1, 2, 3)),
+            ),
+            storage=StorageSpec(kind="spill", path=path,
+                                retention=60.0,
+                                options={"hot_points": 64}),
+            journal="j.log",
+            checkpoint="c.json",
+            consumers=(
+                ConsumerSpec("rca", {"latency_threshold": 2.0}),
+                ConsumerSpec("scaling", {"component": "back",
+                                         "scale_up": 0.8,
+                                         "scale_down": 0.2}),
+            ),
+            compare=True,
+            extra={"note": "custom"},
+        )
+
+    def test_default_spec_dict_identity(self):
+        spec = RunSpec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_custom_spec_dict_identity(self):
+        spec = self._custom_spec()
+        restored = RunSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.streaming.sieve.granger_lags == (1, 2, 3)
+
+    def test_json_round_trip(self):
+        spec = self._custom_spec()
+        text = json.dumps(spec.to_dict())
+        assert RunSpec.from_dict(json.loads(text)) == spec
+
+    def test_toml_round_trip(self):
+        tomllib = pytest.importorskip("tomllib")
+        spec = self._custom_spec()
+        text = spec_to_toml(spec)
+        assert RunSpec.from_dict(tomllib.loads(text)) == spec
+        assert loads_spec(text, "toml") == spec
+
+    def test_spec_file_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        spec = self._custom_spec()
+        for name in ("run.toml", "run.json"):
+            path = tmp_path / name
+            save_spec(spec, path)
+            assert load_spec(path) == spec
+
+    def test_partial_dict_keeps_defaults(self):
+        spec = RunSpec.from_dict({
+            "mode": "stream",
+            "workload": {"kind": "constant"},
+            "streaming": {"window": 30.0, "retention": 150.0},
+        })
+        assert spec.app == "sharelatex"
+        assert spec.workload.rate == 25.0
+        assert spec.streaming.window == 30.0
+        assert spec.streaming.hop == 10.0
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunSpec field"):
+            RunSpec.from_dict({"mode": "stream", "turbo": True})
+        with pytest.raises(ValueError,
+                           match="unknown StreamingConfig field"):
+            RunSpec.from_dict({"streaming": {"windw": 10.0}})
+        with pytest.raises(ValueError,
+                           match="unknown WorkloadSpec field"):
+            RunSpec.from_dict({"workload": {"kid": "random"}})
+        with pytest.raises(ValueError,
+                           match="unknown SieveConfig field"):
+            sieve_config_from_dict({"max_k": 7})
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="unsupported spec version"):
+            RunSpec.from_dict({"version": 99})
+
+    def test_config_codecs_round_trip(self):
+        sieve = SieveConfig(granger_lags=(2, 4), max_clusters=3)
+        assert sieve_config_from_dict(sieve_config_to_dict(sieve)) \
+            == sieve
+        streaming = StreamingConfig(window=30.0, hop=15.0,
+                                    retention=240.0, sieve=sieve)
+        restored = streaming_config_from_dict(
+            streaming_config_to_dict(streaming))
+        assert restored == streaming
+        assert restored.sieve.granger_lags == (2, 4)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            RunSpec(mode="warp")
+        with pytest.raises(ValueError, match="needs a storage path"):
+            RunSpec(mode="record")
+        with pytest.raises(ValueError, match="needs a journal"):
+            RunSpec(mode="stream", resume=True, checkpoint="c.json")
+        with pytest.raises(ValueError, match="needs a checkpoint"):
+            RunSpec(mode="stream", resume=True, journal="j.log")
+
+    def test_builder_produces_equivalent_spec(self, tmp_path):
+        spec = (PipelineBuilder("demo-chain").mode("stream")
+                .workload("constant", rate=40.0)
+                .streaming(window=25.0, hop=5.0, retention=200.0,
+                           adaptive_hop=True, hop_min=2.5,
+                           hop_max=20.0, writer="async")
+                .sieve(max_clusters=5, granger_lags=(1, 2, 3))
+                .executor("thread", workers=3)
+                .storage("spill", str(tmp_path / "run.db"),
+                         retention=60.0, hot_points=64)
+                .journal("j.log").checkpoint("c.json")
+                .consumer("rca", latency_threshold=2.0)
+                .consumer("scaling", component="back",
+                          scale_up=0.8, scale_down=0.2)
+                .compare().duration(55.0).seed(7)
+                .extra(note="custom").spec())
+        assert spec == self._custom_spec(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Legacy wiring vs repro.api: identical analyses
+
+
+class TestLegacyVsApi:
+    def test_batch_pipeline_matches_legacy_sieve(self):
+        legacy = Sieve(_chain_app()).run(
+            constant_rate(40.0), duration=60.0, seed=2,
+            workload_name="constant",
+        )
+        spec = RunSpec(mode="pipeline", app="demo-chain", seed=2,
+                       duration=60.0,
+                       workload=WorkloadSpec("constant", rate=40.0))
+        with build_pipeline(spec) as session:
+            api_result = session.run()
+        assert _clustering_fingerprint(legacy.clusterings) \
+            == _clustering_fingerprint(api_result.clusterings)
+        assert edge_jaccard(legacy.dependency_graph,
+                            api_result.dependency_graph,
+                            level="metric") == 1.0
+
+    def test_stream_matches_legacy_wiring(self):
+        config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+        engine = StreamingSieve(config=config, seed=3,
+                                application="demo", workload="constant")
+        legacy_driver = SimulationStreamDriver(
+            _chain_app(), constant_rate(40.0), config=config, seed=3,
+            workload_name="constant", record_frame=False,
+            engine=engine,
+        )
+        try:
+            legacy_windows = legacy_driver.run(60.0)
+        finally:
+            legacy_driver.close()
+
+        spec = RunSpec(mode="stream", app="demo-chain", seed=3,
+                       duration=60.0,
+                       workload=WorkloadSpec("constant", rate=40.0),
+                       streaming=config)
+        with build_pipeline(spec) as session:
+            outcome = session.run()
+        assert len(outcome.analyses) == len(legacy_windows)
+        for left, right in zip(outcome.analyses, legacy_windows):
+            assert (left.index, left.start, left.end) \
+                == (right.index, right.start, right.end)
+            _assert_same_analysis(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Spec-emitted reproducibility + CLI-vs-API equivalence
+
+
+def _stream_spec(seed=3, **overrides):
+    base = dict(mode="stream", app="demo-chain", seed=seed,
+                duration=60.0,
+                workload=WorkloadSpec("constant", rate=40.0),
+                streaming=StreamingConfig(window=20.0, hop=10.0,
+                                          retention=120.0))
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestSpecReproducibility:
+    def test_saved_spec_reproduces_run(self, tmp_path):
+        spec = _stream_spec()
+        with build_pipeline(spec) as session:
+            first = session.run()
+        path = tmp_path / "run.json"
+        save_spec(spec, path)
+        with build_pipeline(load_spec(path)) as session:
+            second = session.run()
+        assert len(first.analyses) == len(second.analyses)
+        for left, right in zip(first.analyses, second.analyses):
+            _assert_same_analysis(left, right)
+
+    def test_cli_spec_emission_matches_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        assert main(["spec", "stream", "--app", "demo-chain",
+                     "--workload", "constant", "--rate", "40",
+                     "--duration", "60", "--seed", "3",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        emitted = load_spec(out)
+        # The CLI pins its own defaults: the per-window checkpoint
+        # cadence and the backend kind --store would use.
+        expected = _stream_spec(
+            streaming=StreamingConfig(
+                window=20.0, hop=10.0, retention=120.0,
+                checkpoint_every_windows=1,
+            ),
+            storage=StorageSpec("sqlite", ""),
+        )
+        assert emitted == expected
+
+    def test_cli_refeeds_emitted_spec(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        args = ["--app", "demo-chain", "--workload", "constant",
+                "--rate", "40", "--duration", "50", "--seed", "3"]
+        assert main(["spec", "stream", *args, "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["stream", *args]) == 0
+        flags_out = capsys.readouterr().out
+        assert main(["stream", "--spec", str(out)]) == 0
+        spec_out = capsys.readouterr().out
+
+        def window_lines(text):
+            # Strip the timing column: wall-clock is not reproducible.
+            return [line.split("analysis=")[0].strip()
+                    for line in text.splitlines()
+                    if line.startswith("window")]
+
+        assert window_lines(flags_out) == window_lines(spec_out)
+        assert window_lines(flags_out)
+
+    def test_builder_checkpoint_defaults_to_every_window(self):
+        spec = (PipelineBuilder("demo-chain").mode("stream")
+                .checkpoint("c.json").journal("j.log").spec())
+        assert spec.streaming.checkpoint_every_windows == 1
+        manual = (PipelineBuilder("demo-chain").mode("stream")
+                  .checkpoint("c.json", every=0).journal("j.log")
+                  .spec())
+        assert manual.streaming.checkpoint_every_windows == 0
+        pinned = (PipelineBuilder("demo-chain").mode("stream")
+                  .streaming(checkpoint_every_windows=3)
+                  .checkpoint("c.json").journal("j.log").spec())
+        assert pinned.streaming.checkpoint_every_windows == 3
+
+    def test_cli_spec_errors_exit_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Every subcommand maps spec/user errors to stderr + exit 2,
+        # not a traceback -- including the non-stream ones.
+        assert main(["pipeline", "--spec",
+                     str(tmp_path / "missing.toml")]) == 2
+        assert "missing.toml" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"mode": "stream", "turbo": true}')
+        assert main(["pipeline", "--spec", str(bad)]) == 2
+        assert "turbo" in capsys.readouterr().err
+
+    def test_cli_spec_uppercase_toml_suffix(self, tmp_path, capsys):
+        pytest.importorskip("tomllib")
+        from repro.cli import main
+
+        out = tmp_path / "run.TOML"
+        assert main(["spec", "stream", "--workload", "constant",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        # Emitted as TOML (not JSON), so the re-feed path -- which
+        # dispatches on the lower-cased suffix -- parses it.
+        assert load_spec(out).workload.kind == "constant"
+
+    def test_cli_flags_override_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        save_spec(_stream_spec(), out)
+        assert main(["spec", "stream", "--spec", str(out),
+                     "--seed", "9", "--window", "30"]) == 0
+        emitted = json.loads(capsys.readouterr().out)
+        assert emitted["seed"] == 9
+        assert emitted["streaming"]["window"] == 30.0
+        # Everything not overridden comes from the file.
+        assert emitted["workload"]["kind"] == "constant"
+        assert emitted["duration"] == 60.0
+
+
+class TestCLIvsAPI:
+    def test_record_equivalence(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cli_db = tmp_path / "cli.db"
+        api_db = tmp_path / "api.db"
+        assert main(["record", "--app", "demo-chain",
+                     "--backend", "sqlite", "--out", str(cli_db),
+                     "--duration", "20", "--workload", "constant",
+                     "--rate", "40", "--seed", "3"]) == 0
+        capsys.readouterr()
+        spec = RunSpec(mode="record", app="demo-chain", seed=3,
+                       duration=20.0,
+                       workload=WorkloadSpec("constant", rate=40.0),
+                       storage=StorageSpec("sqlite", str(api_db)))
+        with build_pipeline(spec) as session:
+            outcome = session.run()
+        cli_backend = SqliteBackend(cli_db)
+        api_backend = SqliteBackend(api_db)
+        try:
+            assert outcome.samples == cli_backend.sample_count()
+            assert outcome.series == cli_backend.series_count()
+            assert cli_backend.keys() == api_backend.keys()
+            for key in cli_backend.keys():
+                left = cli_backend.query(key.component, key.metric)
+                right = api_backend.query(key.component, key.metric)
+                assert np.array_equal(left.times, right.times)
+                assert np.array_equal(left.values, right.values)
+            cli_meta = cli_backend.metadata()
+            assert cli_meta["spec"]["mode"] == "record"
+            assert cli_meta["seed"] == api_backend.metadata()["seed"]
+        finally:
+            cli_backend.close()
+            api_backend.close()
+
+    def test_replay_equivalence(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = tmp_path / "run.db"
+        spec = RunSpec(mode="record", app="demo-chain", seed=3,
+                       duration=20.0,
+                       workload=WorkloadSpec("constant", rate=40.0),
+                       storage=StorageSpec("sqlite", str(db)))
+        with build_pipeline(spec) as session:
+            session.run()
+        replay_spec = RunSpec(mode="replay",
+                              storage=StorageSpec("sqlite", str(db)))
+        with build_pipeline(replay_spec) as session:
+            outcome = session.run()
+        assert main(["replay", "--backend", "sqlite",
+                     "--path", str(db)]) == 0
+        out = capsys.readouterr().out
+        summary = outcome.result.summary()
+        assert f"reduction_factor: {summary['reduction_factor']}" in out
+        assert "network_out_bytes" in out
+        assert len(outcome.costs) == 4
+        assert all(before >= after
+                   for _, before, after, _ in outcome.costs)
+
+    def test_stream_equivalence(self, capsys):
+        from repro.cli import main
+
+        assert main(["stream", "--app", "demo-chain",
+                     "--workload", "constant", "--rate", "40",
+                     "--duration", "60", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        with build_pipeline(_stream_spec()) as session:
+            outcome = session.run()
+        cli_windows = [line for line in out.splitlines()
+                       if line.startswith("window")]
+        assert len(cli_windows) == len(outcome.analyses)
+        assert f"windows: {outcome.summary['windows']}" in out
+        assert (f"points_published: "
+                f"{outcome.summary['points_published']}") in out
+
+
+# ---------------------------------------------------------------------------
+# Sessions: consumers, checkpoint spec embedding, resume revalidation
+
+
+class TestSessions:
+    def test_stream_session_wires_consumers(self):
+        spec = _stream_spec(consumers=(
+            ConsumerSpec("rca", {"latency_threshold": 5.0}),
+        ))
+        with build_pipeline(spec) as session:
+            session.run()
+            rca = session.consumers["rca"]
+            assert rca.windows_seen > 0
+
+    def test_checkpoint_embeds_spec_and_resume_revalidates(
+            self, tmp_path):
+        spec = _stream_spec(
+            journal=str(tmp_path / "j.log"),
+            checkpoint=str(tmp_path / "c.json"),
+            duration=50.0,
+            streaming=StreamingConfig(window=20.0, hop=10.0,
+                                      retention=120.0,
+                                      checkpoint_every_windows=1),
+        )
+        with build_pipeline(spec) as session:
+            session.run()
+        state = load_checkpoint(spec.checkpoint)
+        assert state["spec"] == spec.to_dict()
+
+        # Same declared run -> resume builds fine.
+        resumed = dataclasses.replace(spec, resume=True, duration=60.0)
+        session = build_pipeline(resumed)
+        assert session.resumed
+        session.close()
+
+        # A different workload rate is a different trace: refused.
+        mismatched = dataclasses.replace(
+            resumed,
+            workload=WorkloadSpec("constant", rate=80.0),
+        )
+        with pytest.raises(ValueError, match="mismatch"):
+            build_pipeline(mismatched)
+
+    def test_run_spec_convenience(self):
+        from repro.api import run_spec
+
+        result = run_spec(RunSpec(mode="catalog", app="demo-chain"))
+        assert result.name == "demo"
+
+    def test_record_embeds_spec_in_metadata(self, tmp_path):
+        spec = RunSpec(mode="record", app="demo-chain", seed=1,
+                       duration=10.0,
+                       workload=WorkloadSpec("constant", rate=30.0),
+                       storage=StorageSpec("sqlite",
+                                           str(tmp_path / "r.db")))
+        with build_pipeline(spec) as session:
+            session.run()
+        backend = SqliteBackend(tmp_path / "r.db")
+        try:
+            assert RunSpec.from_dict(backend.metadata()["spec"]) == spec
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Compaction
+
+
+class TestSpillCompaction:
+    def _fragmented(self, tmp_path):
+        """Three small cold segments (partial tails over reopens)."""
+        t = 0.0
+        for _ in range(3):
+            backend = SpillBackend(tmp_path / "d", hot_points=64)
+            times = [t + 0.5 * i for i in range(4)]
+            backend.write("web", "cpu", times,
+                          [float(i) for i in range(4)])
+            t = times[-1] + 0.5
+            backend.close()
+        return SpillBackend(tmp_path / "d", hot_points=64)
+
+    def test_merges_small_segments(self, tmp_path):
+        backend = self._fragmented(tmp_path)
+        key = MetricKey("web", "cpu")
+        assert len(backend._segments[key]) == 3
+        reference = backend.query("web", "cpu")
+        stats = backend.compact()
+        assert stats["segments_merged"] == 3
+        assert stats["segments_written"] == 1
+        assert len(backend._segments[key]) == 1
+        merged = backend.query("web", "cpu")
+        assert np.array_equal(merged.times, reference.times)
+        assert np.array_equal(merged.values, reference.values)
+        # The merged sources are gone from disk.
+        segment_files = list((tmp_path / "d").glob("seg-*.npz"))
+        assert len(segment_files) == 1
+        backend.close()
+
+    def test_merged_directory_reopens(self, tmp_path):
+        backend = self._fragmented(tmp_path)
+        reference = backend.query("web", "cpu")
+        backend.compact()
+        backend.close()
+        reopened = SpillBackend(tmp_path / "d")
+        restored = reopened.query("web", "cpu")
+        assert np.array_equal(restored.times, reference.times)
+        assert np.array_equal(restored.values, reference.values)
+        # ... and the ordering guard still rejects the past.
+        with pytest.raises(ValueError, match="out-of-order"):
+            reopened.write("web", "cpu", [0.0], [0.0])
+        reopened.close()
+
+    def test_retention_drops_old_segments(self, tmp_path):
+        backend = SpillBackend(tmp_path / "d", hot_points=8)
+        for chunk in range(3):
+            times = [8 * chunk + i for i in range(8)]
+            backend.write("web", "cpu", times, times)
+        assert len(backend._segments[MetricKey("web", "cpu")]) == 3
+        before = backend.sample_count()
+        stats = backend.compact(retention=10.0)
+        # newest=23 -> cutoff 13: the first segment (ends at 7) drops,
+        # the second (ends at 15) still overlaps and must survive.
+        assert stats["segments_dropped"] == 1
+        assert stats["samples_dropped"] == 8
+        assert backend.sample_count() == before - 8
+        kept = backend.query("web", "cpu")
+        assert kept.times[0] == 8.0
+        assert kept.times[-1] == 23.0
+        backend.close()
+
+    def test_compact_min_points_is_registry_visible(self, tmp_path):
+        backend = open_backend("spill", tmp_path / "d",
+                               compact_min_points=2)
+        assert backend.compact_min_points == 2
+        backend.close()
+
+    def test_quiet_series_keeps_history(self, tmp_path):
+        """Retention anchors per series: a quiet series' only segment
+        survives even when another series is far ahead."""
+        backend = SpillBackend(tmp_path / "d", hot_points=8)
+        backend.write("quiet", "cpu", [float(i) for i in range(8)],
+                      [0.0] * 8)
+        backend.write("busy", "cpu",
+                      [1000.0 + i for i in range(8)], [0.0] * 8)
+        stats = backend.compact(retention=5.0)
+        assert stats["segments_dropped"] == 0
+        assert len(backend.query("quiet", "cpu")) == 8
+        backend.close()
+
+
+class TestSqliteTrim:
+    def test_trim_drops_past_retention_per_series(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "x.db")
+        backend.write("busy", "cpu",
+                      [float(i) for i in range(100)],
+                      [0.0] * 100)
+        backend.write("quiet", "cpu",
+                      [float(i) for i in range(10)], [0.0] * 10)
+        stats = backend.trim(retention=10.0)
+        # busy: newest 99 -> drops t < 89 (89 points); quiet keeps all.
+        assert stats["points_deleted"] == 89
+        assert backend.sample_count() == 21
+        assert len(backend.query("quiet", "cpu")) == 10
+        busy = backend.query("busy", "cpu")
+        assert busy.times[0] == 89.0
+        # Appends after a trim still pass the ordering guard.
+        backend.write("busy", "cpu", [100.0], [1.0])
+        backend.close()
+
+    def test_trim_without_retention_only_vacuums(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "x.db")
+        backend.write("web", "cpu", [0.0, 1.0], [0.0, 1.0])
+        assert backend.trim() == {"points_deleted": 0}
+        assert backend.sample_count() == 2
+        backend.close()
+
+    def test_memory_backend_compact_is_noop(self):
+        backend = MemoryBackend()
+        backend.write("web", "cpu", [0.0], [1.0])
+        assert backend.compact(retention=0.0) == {}
+        assert backend.sample_count() == 1
+
+    def test_batching_writer_forwards_compact(self, tmp_path):
+        from repro.parallel import BatchingWriter
+
+        writer = BatchingWriter(SqliteBackend(tmp_path / "x.db"))
+        writer.write("web", "cpu", [float(i) for i in range(50)],
+                     [0.0] * 50)
+        stats = writer.compact(retention=9.0)
+        assert stats["points_deleted"] == 40
+        assert writer.sample_count() == 10
+        writer.close()
+
+
+class TestSessionCompact:
+    def test_stream_session_compact_trims_store(self, tmp_path):
+        spec = _stream_spec(
+            duration=50.0,
+            storage=StorageSpec("sqlite", str(tmp_path / "s.db"),
+                                retention=10.0),
+        )
+        with build_pipeline(spec) as session:
+            session.run()
+            before = session.backend.sample_count()
+            stats = session.compact()
+            assert stats["points_deleted"] > 0
+            assert session.backend.sample_count() \
+                == before - stats["points_deleted"]
+
+    def test_compact_without_backend_is_noop(self):
+        with build_pipeline(_stream_spec(duration=30.0)) as session:
+            session.run()
+            assert session.compact() == {}
+
+
+# ---------------------------------------------------------------------------
+# Adaptive analysis cadence
+
+
+class TestAdaptiveHop:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="hop_min <= hop"):
+            StreamingConfig(adaptive_hop=True, hop=10.0, hop_min=15.0,
+                            hop_max=20.0)
+        config = StreamingConfig(adaptive_hop=True, hop=10.0)
+        assert config.hop_bounds() == (10.0, 40.0)
+
+    def test_off_by_default_and_fixed(self):
+        config = StreamingConfig(window=20.0, hop=10.0)
+        engine = StreamingSieve(config=config, seed=1)
+        assert not config.adaptive_hop
+        quiet = SimpleNamespace(recluster_reasons={}, reclustered=[])
+        engine._adapt_hop(quiet)
+        assert engine.current_hop == 10.0
+        engine.close()
+
+    def test_pressure_scales_hop(self):
+        config = StreamingConfig(window=20.0, hop=10.0,
+                                 adaptive_hop=True, hop_min=2.5,
+                                 hop_max=40.0)
+        engine = StreamingSieve(config=config, seed=1)
+        quiet = SimpleNamespace(recluster_reasons={}, reclustered=[])
+        drifted = SimpleNamespace(
+            recluster_reasons={"back": "drift"}, reclustered=["back"])
+        structural = SimpleNamespace(
+            recluster_reasons={"back": "metric-set"},
+            reclustered=["back"])
+        for _ in range(10):
+            engine._adapt_hop(quiet)
+        assert engine.current_hop == 40.0  # capped at hop_max
+        engine._adapt_hop(structural)
+        assert engine.current_hop == 40.0  # structural change: hold
+        for _ in range(10):
+            engine._adapt_hop(drifted)
+        assert engine.current_hop == 2.5  # floored at hop_min
+        engine._adapt_hop(None)  # skipped window: hold
+        assert engine.current_hop == 2.5
+        engine.close()
+
+    def test_quiet_system_analyzes_less_often(self):
+        def run(adaptive):
+            streaming = StreamingConfig(
+                window=20.0, hop=10.0, retention=120.0,
+                adaptive_hop=adaptive, hop_max=40.0,
+            )
+            driver = SimulationStreamDriver(
+                _chain_app(), constant_rate(40.0), config=streaming,
+                seed=3, record_frame=False,
+            )
+            try:
+                windows = driver.run(120.0)
+            finally:
+                driver.close()
+            return windows, driver.engine.current_hop
+
+        fixed_windows, fixed_hop = run(adaptive=False)
+        adaptive_windows, adaptive_hop = run(adaptive=True)
+        assert fixed_hop == 10.0
+        assert adaptive_hop > 10.0  # the cadence stretched
+        assert len(adaptive_windows) < len(fixed_windows)
+
+    def test_current_hop_survives_checkpoint(self, tmp_path):
+        config = StreamingConfig(window=20.0, hop=10.0,
+                                 adaptive_hop=True, hop_max=40.0)
+        engine = StreamingSieve(config=config, seed=1,
+                                application="demo",
+                                workload="constant")
+        engine.current_hop = 17.5
+        path = tmp_path / "c.json"
+        save_checkpoint(engine, path)
+        restored = restore_engine(path, config)
+        assert restored.current_hop == 17.5
+        engine.close()
+        restored.close()
+
+    def test_summary_reports_current_hop(self):
+        engine = StreamingSieve(
+            config=StreamingConfig(window=20.0, hop=10.0), seed=1)
+        assert engine.summary()["current_hop"] == 10.0
+        engine.close()
