@@ -1,0 +1,136 @@
+"""Self-telemetry overhead: the observability tax, on and off.
+
+The obs subsystem's contract is that monitoring the engine must obey
+the paper's own thesis about monitoring: cheap enough to leave on, and
+*free* when off.  Two measurements check it:
+
+* **end-to-end streaming wall time** with telemetry disabled vs
+  enabled -- the full instrumented path (bus flush spans, analyzer
+  phases, per-window trace cuts, scrape-time collectors are idle);
+* **hot-path instrument costs** -- nanoseconds per null-instrument
+  call (the disabled path every call site pays), per real counter
+  increment, per histogram observation and per recorded span.
+
+Writes ``BENCH_telemetry.json`` with the headline numbers; the CI
+regression gate compares the ``*_s`` keys against the committed
+baseline.
+"""
+
+import json
+import time
+
+from repro.core import StreamingConfig
+from repro.obs import Telemetry, TelemetryRegistry
+from repro.simulator import (
+    Application,
+    CallSpec,
+    ComponentSpec,
+    EndpointSpec,
+)
+from repro.streaming import SimulationStreamDriver, StreamingSieve
+from repro.workload import constant_rate
+
+from conftest import print_table
+
+STREAM_SECONDS = 60.0
+HOT_CALLS = 200_000
+
+RESULTS_PATH = "BENCH_telemetry.json"
+_results: dict = {}
+
+
+def _chain_app():
+    def spec(name, **kwargs):
+        defaults = dict(kind="generic",
+                        endpoints=(EndpointSpec("op", service_time=0.02),),
+                        concurrency=16)
+        defaults.update(kwargs)
+        return ComponentSpec(name=name, **defaults)
+
+    return Application("bench", [
+        spec("front", calls=(CallSpec("mid", delay=0.4),)),
+        spec("mid", calls=(CallSpec("back", delay=0.4),)),
+        spec("back"),
+    ])
+
+
+def _stream(telemetry=None):
+    config = StreamingConfig(window=20.0, hop=10.0, retention=120.0)
+    engine = StreamingSieve(config=config, seed=5, telemetry=telemetry)
+    driver = SimulationStreamDriver(
+        _chain_app(), constant_rate(40.0), config=config, seed=5,
+        record_frame=False, engine=engine,
+    )
+    driver.run(STREAM_SECONDS)
+    return driver
+
+
+def test_streaming_telemetry_disabled(benchmark):
+    """The default path: no instruments, no traces, no collectors."""
+    driver = benchmark.pedantic(_stream, rounds=1, iterations=1)
+    assert not driver.engine.telemetry.enabled
+    _results["stream_disabled_s"] = round(benchmark.stats.stats.mean, 3)
+    _results["windows"] = driver.engine.stats.windows
+
+
+def test_streaming_telemetry_enabled(benchmark):
+    """The fully instrumented path, scrape server not running."""
+    driver = benchmark.pedantic(lambda: _stream(Telemetry()),
+                                rounds=1, iterations=1)
+    telemetry = driver.engine.telemetry
+    assert telemetry.enabled
+    assert len(telemetry.tracer) == driver.engine.stats.windows
+    enabled = round(benchmark.stats.stats.mean, 3)
+    disabled = _results.get("stream_disabled_s", enabled)
+    overhead = (enabled / disabled - 1.0) * 100.0 if disabled else 0.0
+    _results["stream_enabled_s"] = enabled
+    _results["telemetry_overhead_percent"] = round(overhead, 2)
+    print_table(
+        "Streaming wall time, telemetry off vs on",
+        ["telemetry", "seconds", "overhead"],
+        [["disabled", disabled, "-"],
+         ["enabled", enabled, f"{overhead:+.1f}%"]],
+    )
+
+
+def test_instrument_hot_path_costs():
+    """Per-call cost of the disabled and enabled instrument paths."""
+    disabled = TelemetryRegistry(enabled=False)
+    null_counter = disabled.counter("repro_bench_total", "bench")
+    enabled = TelemetryRegistry()
+    counter = enabled.counter("repro_bench_total", "bench")
+    histogram = enabled.histogram("repro_bench_seconds", "bench")
+    telemetry = Telemetry()
+
+    def per_call_ns(fn, calls=HOT_CALLS):
+        started = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        return (time.perf_counter() - started) / calls * 1e9
+
+    def one_span():
+        with telemetry.tracer.span("ingest"):
+            pass
+
+    costs = {
+        "null_inc_ns": per_call_ns(null_counter.inc),
+        "counter_inc_ns": per_call_ns(counter.inc),
+        "histogram_observe_ns":
+            per_call_ns(lambda: histogram.observe(0.003)),
+        "span_record_ns": per_call_ns(one_span, calls=20_000),
+    }
+    for key, value in costs.items():
+        _results[key] = round(value, 1)
+    print_table(
+        "Instrument hot-path cost",
+        ["operation", "ns/call"],
+        [[key, round(value, 1)] for key, value in costs.items()],
+    )
+    # The disabled path must stay a fraction of a real increment's
+    # cost -- it is what every call site pays when telemetry is off.
+    assert costs["null_inc_ns"] < costs["histogram_observe_ns"]
+
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump({"name": "telemetry_overhead", **_results}, fh,
+                  indent=2)
+    print(f"results written to {RESULTS_PATH}")

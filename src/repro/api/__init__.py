@@ -15,8 +15,9 @@ logic from distribution policy, made concrete:
 * :mod:`~repro.api.registry` -- string-keyed plugin registries
   (``register_backend`` / ``register_executor`` /
   ``register_consumer`` / ``register_drift_detector`` /
-  ``register_workload`` / ``register_application``) through which
-  every policy name in a spec, a config or a CLI flag resolves.
+  ``register_workload`` / ``register_application`` /
+  ``register_exporter``) through which every policy name in a spec,
+  a config or a CLI flag resolves.
 
 The ten-line library quickstart::
 
@@ -42,6 +43,7 @@ from repro.api.registry import (
     CONSUMERS,
     DRIFT_DETECTORS,
     EXECUTORS,
+    EXPORTERS,
     REGISTRIES,
     WORKLOADS,
     Registry,
@@ -50,6 +52,7 @@ from repro.api.registry import (
     register_consumer,
     register_drift_detector,
     register_executor,
+    register_exporter,
     register_workload,
 )
 
@@ -61,6 +64,7 @@ _LAZY_EXPORTS = {
     "RunSpec": "repro.api.spec",
     "SPEC_VERSION": "repro.api.spec",
     "StorageSpec": "repro.api.spec",
+    "TelemetrySpec": "repro.api.spec",
     "WorkloadSpec": "repro.api.spec",
     "load_spec": "repro.api.spec",
     "loads_spec": "repro.api.spec",
@@ -105,6 +109,7 @@ __all__ = [
     "CONSUMERS",
     "DRIFT_DETECTORS",
     "EXECUTORS",
+    "EXPORTERS",
     "REGISTRIES",
     "WORKLOADS",
     "Registry",
@@ -113,6 +118,7 @@ __all__ = [
     "register_consumer",
     "register_drift_detector",
     "register_executor",
+    "register_exporter",
     "register_workload",
     *sorted(_LAZY_EXPORTS),
 ]

@@ -120,6 +120,11 @@ WORKLOADS = Registry("workload")
 #: Application models: ``factory(**options) -> Application``.
 APPLICATIONS = Registry("application")
 
+#: Telemetry exporters: ``factory(**options) -> exporter`` -- an
+#: object with a ``content_type`` attribute and a ``render(telemetry)
+#: -> str`` method, served at ``/export/<name>``.
+EXPORTERS = Registry("exporter")
+
 #: Every registry by its spec-facing key, for introspection tools.
 REGISTRIES = {
     "backend": BACKENDS,
@@ -128,6 +133,7 @@ REGISTRIES = {
     "drift_detector": DRIFT_DETECTORS,
     "workload": WORKLOADS,
     "application": APPLICATIONS,
+    "exporter": EXPORTERS,
 }
 
 # The public registration entry points (also re-exported by repro.api).
@@ -137,6 +143,7 @@ register_consumer = CONSUMERS.register
 register_drift_detector = DRIFT_DETECTORS.register
 register_workload = WORKLOADS.register
 register_application = APPLICATIONS.register
+register_exporter = EXPORTERS.register
 
 
 # -- built-in backends ----------------------------------------------------
@@ -289,3 +296,20 @@ def _openstack(**options: Any) -> Any:
     from repro.apps import build_openstack_application
 
     return build_openstack_application(**options)
+
+
+# -- built-in telemetry exporters -------------------------------------------
+
+
+@EXPORTERS.register("prometheus")
+def _prometheus_exporter(**options: Any) -> Any:
+    from repro.obs.exposition import PrometheusExporter
+
+    return PrometheusExporter(**options)
+
+
+@EXPORTERS.register("json")
+def _json_exporter(**options: Any) -> Any:
+    from repro.obs.exposition import JsonExporter
+
+    return JsonExporter(**options)

@@ -46,6 +46,10 @@ class Session:
     def __init__(self, spec: RunSpec):
         self.spec = spec
         self.backend: Any = None
+        self.telemetry: Any = None
+        """Self-telemetry handle (:class:`repro.obs.Telemetry`) for
+        session kinds that instrument themselves; None otherwise."""
+
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------
@@ -198,12 +202,14 @@ class StreamSession(Session):
             load_checkpoint,
             restore_engine,
         )
+        from repro.obs.telemetry import Telemetry
         from repro.streaming import SimulationStreamDriver, StreamingSieve
 
         config = spec.streaming
         self.application = APPLICATIONS.create(spec.app)
         self.workload = _build_workload(spec)
         self.resumed = False
+        self.telemetry = Telemetry.from_spec(spec.telemetry)
 
         state = None
         if spec.resume:
@@ -216,6 +222,11 @@ class StreamSession(Session):
             self._validate_resume(state)
 
         self.backend = _open_storage(spec, fresh=not spec.resume)
+        if self.telemetry.enabled and self.backend is not None:
+            from repro.parallel.writer import BatchingWriter
+
+            if isinstance(self.backend, BatchingWriter):
+                self.backend.attach_telemetry(self.telemetry)
         # A fresh (non-resume) run starts its journal over; appending
         # a second run's timeline onto an old journal would make any
         # later replay reject the restart of time as out-of-order.
@@ -234,13 +245,15 @@ class StreamSession(Session):
             engine = restore_engine(state, config,
                                     journal_path=spec.journal,
                                     journal=self.journal,
-                                    store_backend=self.backend)
+                                    store_backend=self.backend,
+                                    telemetry=self.telemetry)
             self.resumed = True
         else:
             engine = StreamingSieve(
                 config=config, seed=spec.seed, journal=self.journal,
                 application=spec.app, workload=spec.workload.kind,
                 store_backend=self.backend,
+                telemetry=self.telemetry,
             )
 
         self.driver = SimulationStreamDriver(
@@ -266,6 +279,33 @@ class StreamSession(Session):
                                         **consumer_spec.options)
             self.driver.engine.subscribe(consumer)
             self.consumers[consumer_spec.kind] = consumer
+        if self.telemetry.enabled:
+            self._register_health_probes()
+        if spec.telemetry.port > 0:
+            self.telemetry.serve(spec.telemetry.port,
+                                 host=spec.telemetry.host)
+
+    def _register_health_probes(self) -> None:
+        """Wire the standard liveness probes into ``/healthz``.
+
+        Backpressure shedding on the bus, a failed or saturated
+        asynchronous writer, and a checkpoint falling behind its
+        cadence each flip the surface to 503.
+        """
+        from repro.obs.health import (
+            bus_probe,
+            checkpoint_probe,
+            writer_probe,
+        )
+        from repro.parallel.writer import BatchingWriter
+
+        health = self.telemetry.health
+        health.add_probe("bus", bus_probe(self.driver.engine.bus))
+        if isinstance(self.backend, BatchingWriter):
+            health.add_probe("writer", writer_probe(self.backend))
+        if self.policy is not None:
+            health.add_probe("checkpoint",
+                             checkpoint_probe(self.policy))
 
     @property
     def engine(self) -> Any:
@@ -359,6 +399,7 @@ class StreamSession(Session):
             # Drain the (possibly asynchronous) writer even on an
             # interrupted run -- queued batches must reach disk.
             self.backend.close()
+        self.telemetry.close()
 
 
 # -- record ----------------------------------------------------------------
@@ -711,6 +752,20 @@ class PipelineBuilder:
 
     def compare(self, flag: bool = True) -> "PipelineBuilder":
         self._fields["compare"] = bool(flag)
+        return self
+
+    def telemetry(self, enabled: bool = True, port: int = 0,
+                  **fields: Any) -> "PipelineBuilder":
+        """Turn self-telemetry on (and optionally serve it on ``port``).
+
+        Extra ``fields`` map onto :class:`~repro.api.spec.TelemetrySpec`
+        (``host``, ``span_history``, ``exporters``, ``options``).
+        """
+        from repro.api.spec import TelemetrySpec
+
+        self._fields["telemetry"] = TelemetrySpec(
+            enabled=bool(enabled), port=int(port), **fields,
+        )
         return self
 
     def snapshot(self, path: str) -> "PipelineBuilder":

@@ -28,6 +28,7 @@ from repro.api.registry import (
     APPLICATIONS,
     BACKENDS,
     CONSUMERS,
+    EXPORTERS,
     WORKLOADS,
 )
 from repro.core.config import StreamingConfig
@@ -107,6 +108,55 @@ class StorageSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Self-telemetry policy of one run (the ``obs`` layer's wiring).
+
+    Off by default -- the engine then runs with no-op instruments.
+    ``enabled=True`` turns collection on without serving; a positive
+    ``port`` additionally starts the HTTP scrape endpoint (and implies
+    collection, since serving dead metrics helps no one).  ``port=0``
+    with ``enabled=True`` is the tests' shape: collect, serve on an
+    ephemeral port only if asked at runtime.
+    """
+
+    enabled: bool = False
+    port: int = 0
+    """Scrape-endpoint port (0 = do not serve).  Sessions started from
+    a spec with ``port>0`` bind ``host:port`` and expose ``/metrics``,
+    ``/metrics.json``, ``/traces``, ``/healthz`` and
+    ``/export/<name>``."""
+
+    host: str = "127.0.0.1"
+    span_history: int = 64
+    """Per-window traces retained by the span tracer."""
+
+    exporters: tuple = ()
+    """Extra exporter names (resolved via the EXPORTERS registry) to
+    serve at ``/export/<name>`` beyond the built-in prometheus/json."""
+
+    options: dict = field(default_factory=dict)
+    """Extra keyword arguments for registered exporter factories."""
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.span_history < 1:
+            raise ValueError("span_history must be >= 1")
+        object.__setattr__(self, "exporters", tuple(self.exporters))
+        for name in self.exporters:
+            if name not in EXPORTERS:
+                raise ValueError(
+                    f"unknown exporter {name!r} "
+                    f"(registered: {', '.join(EXPORTERS.names())})"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec turns telemetry collection on."""
+        return self.enabled or self.port > 0
+
+
+@dataclass(frozen=True)
 class ConsumerSpec:
     """One subscribed window consumer (resolved by registry)."""
 
@@ -147,6 +197,7 @@ class RunSpec:
     """Restore state from :attr:`checkpoint` before streaming."""
 
     consumers: tuple[ConsumerSpec, ...] = ()
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     compare: bool = False
     """Stream mode: also run the batch analysis and report
     streaming-vs-batch convergence."""
@@ -204,6 +255,10 @@ class RunSpec:
             "checkpoint": self.checkpoint,
             "resume": self.resume,
             "consumers": [dataclasses.asdict(c) for c in self.consumers],
+            "telemetry": {
+                **dataclasses.asdict(self.telemetry),
+                "exporters": list(self.telemetry.exporters),
+            },
             "compare": self.compare,
             "snapshot": self.snapshot,
             "extra": dict(self.extra),
@@ -239,6 +294,9 @@ class RunSpec:
             kwargs["consumers"] = tuple(
                 _sub_spec(ConsumerSpec, c) for c in kwargs["consumers"]
             )
+        if "telemetry" in kwargs:
+            kwargs["telemetry"] = _sub_spec(TelemetrySpec,
+                                            kwargs["telemetry"])
         for name in ("seed",):
             if name in kwargs:
                 kwargs[name] = int(kwargs[name])

@@ -169,6 +169,25 @@ def _add_stream_flags(parser, suppress: bool = False) -> None:
                              "(sync) or through a batching writer "
                              "thread (async) so ingest never blocks "
                              "on durable writes")
+    parser.add_argument("--telemetry", action="store_true",
+                        default=_dflt(suppress, False),
+                        help="collect self-telemetry (metrics + "
+                             "per-window phase spans); merged into "
+                             "the end-of-run summary")
+    parser.add_argument("--telemetry-port", type=int,
+                        default=_dflt(suppress, 0), metavar="PORT",
+                        help="serve /metrics (Prometheus), "
+                             "/metrics.json, /traces and /healthz on "
+                             "PORT while streaming (implies "
+                             "--telemetry)")
+    parser.add_argument("--telemetry-host", metavar="HOST",
+                        default=_dflt(suppress, "127.0.0.1"),
+                        help="bind address of --telemetry-port")
+    parser.add_argument("--progress", type=int, default=0,
+                        metavar="N",
+                        help="print a backpressure progress line "
+                             "(bus shedding + writer queue) every N "
+                             "windows (0 = off)")
     _add_parallel(parser, suppress)
     _add_common(parser, suppress)
 
@@ -312,6 +331,9 @@ def _spec_from_args(args, mode: str) -> RunSpec:
     put("checkpoint", "checkpoint")
     put("resume", "resume")
     put("compare", "compare")
+    put("telemetry.enabled", "telemetry")
+    put("telemetry.port", "telemetry_port")
+    put("telemetry.host", "telemetry_host")
     if mode in ("record", "replay"):
         put("storage.kind", "backend")
         put("storage.path", "out" if mode == "record" else "path")
@@ -392,11 +414,34 @@ def _print_window(analysis) -> None:
           f"analysis={s['analysis_ms']:>8.1f}ms")
 
 
+def _progress_line(session) -> str:
+    """One backpressure line: bus shedding plus the writer queue."""
+    engine = session.engine
+    bus = engine.bus.stats
+    line = (f"progress: windows={engine.stats.windows} "
+            f"points={bus.points_flushed} "
+            f"dropped={bus.overflow_dropped} "
+            f"downsampled={bus.overflow_downsampled} "
+            f"overflow_events={bus.overflow_events}")
+    writer = session.backend
+    if hasattr(writer, "pending_batches"):
+        line += (f" writer_queue={writer.pending_batches}"
+                 f"/{writer.queue_capacity}")
+    return line
+
+
 def cmd_stream(args) -> int:
     spec, session, code = _guarded(args, "stream")
     if code:
         return code
     config = spec.streaming
+    progress_every = int(getattr(args, "progress", 0) or 0)
+
+    def on_window(analysis) -> None:
+        _print_window(analysis)
+        if progress_every and analysis.index % progress_every == 0:
+            print(_progress_line(session))
+
     try:
         if session.resumed:
             print(f"resumed from {spec.checkpoint} "
@@ -407,13 +452,30 @@ def cmd_stream(args) -> int:
               f"(window={config.window:.0f}s hop={config.hop:.0f}s "
               f"retention={config.retention:.0f}s "
               f"executor={config.executor})")
-        outcome = session.run(on_window=_print_window)
+        server = session.telemetry.server \
+            if session.telemetry is not None else None
+        if server is not None:
+            print(f"telemetry: {server.url}/metrics  "
+                  f"(also /metrics.json /traces /healthz)")
+        outcome = session.run(on_window=on_window)
         print()
-        for key, value in outcome.summary.items():
+        summary = dict(outcome.summary)
+        telemetry = summary.pop("telemetry", None)
+        for key, value in summary.items():
             print(f"{key:>24}: {value}")
+        bus = session.engine.bus.stats
+        print(f"{'backpressure':>24}: "
+              f"dropped={bus.overflow_dropped} "
+              f"downsampled={bus.overflow_downsampled} "
+              f"overflow_events={bus.overflow_events}")
         if outcome.writer_stats:
             for key, value in outcome.writer_stats.items():
                 print(f"{key:>24}: {value}")
+        if telemetry:
+            phases = telemetry.get("phase_seconds") or {}
+            line = "  ".join(f"{name}={seconds:.3f}s"
+                             for name, seconds in phases.items())
+            print(f"{'phase seconds':>24}: {line or '-'}")
         if spec.compare and outcome.final is not None:
             print(f"{'stream reps (final)':>24}: "
                   f"{outcome.final.total_representatives()}")

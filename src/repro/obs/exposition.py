@@ -1,0 +1,151 @@
+"""Rendering telemetry state for scrapers: Prometheus text and JSON.
+
+Pure functions from a :class:`~repro.obs.metrics.TelemetryRegistry`
+(plus the span tracer) to wire formats, shared by the HTTP server
+(:mod:`repro.obs.server`), the CLI summary and tests.  The Prometheus
+renderer follows the text exposition format version 0.0.4: ``# HELP`` /
+``# TYPE`` headers per family, histograms expanded into cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+Third parties plug additional formats in through
+:func:`repro.api.register_exporter`; an exporter is any object with a
+``content_type`` attribute and a ``render(telemetry) -> str`` method.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import Counter, Gauge, Histogram, TelemetryRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: TelemetryRegistry) -> str:
+    """The registry's current state in Prometheus text format."""
+    lines: list[str] = []
+    for instrument in registry.collect():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} "
+                         f"{_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for labels, buckets, total, count in \
+                    instrument.distributions():
+                bounds = [*instrument.buckets, float("inf")]
+                for bound, cum in zip(bounds, buckets):
+                    le = dict(labels, le=_format_value(bound))
+                    lines.append(
+                        f"{instrument.name}_bucket"
+                        f"{_format_labels(le)} {_format_value(cum)}"
+                    )
+                suffix = _format_labels(labels)
+                lines.append(f"{instrument.name}_sum{suffix} "
+                             f"{_format_value(total)}")
+                lines.append(f"{instrument.name}_count{suffix} "
+                             f"{_format_value(count)}")
+        else:
+            samples = instrument.samples()
+            if not samples and not instrument.labelnames:
+                samples = [({}, 0.0)]
+            for labels, value in samples:
+                lines.append(f"{instrument.name}"
+                             f"{_format_labels(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot(registry: TelemetryRegistry) -> dict:
+    """The registry's current state as a JSON-ready dict.
+
+    Counters and gauges map name -> {labels-repr: value}; histograms
+    additionally expose sum/count/buckets.  Unlabelled instruments use
+    the empty-string key.
+    """
+    out: dict[str, dict] = {}
+    for instrument in registry.collect():
+        entry: dict = {"kind": instrument.kind, "help": instrument.help}
+        if isinstance(instrument, Histogram):
+            series = {}
+            for labels, buckets, total, count in \
+                    instrument.distributions():
+                key = _format_labels(labels)
+                series[key] = {
+                    "sum": total,
+                    "count": count,
+                    "buckets": {
+                        _format_value(bound): cum
+                        for bound, cum in zip(
+                            [*instrument.buckets, float("inf")],
+                            buckets)
+                    },
+                }
+            entry["series"] = series
+        else:
+            entry["values"] = {
+                _format_labels(labels): value
+                for labels, value in instrument.samples()
+            }
+        out[instrument.name] = entry
+    return out
+
+
+class PrometheusExporter:
+    """The default exporter: Prometheus text exposition format."""
+
+    name = "prometheus"
+    content_type = PROMETHEUS_CONTENT_TYPE
+
+    def render(self, telemetry: "Telemetry") -> str:
+        return render_prometheus(telemetry.registry)
+
+
+class JsonExporter:
+    """Full JSON snapshot: instruments, window traces and health."""
+
+    name = "json"
+    content_type = JSON_CONTENT_TYPE
+
+    def render(self, telemetry: "Telemetry") -> str:
+        import json
+
+        return json.dumps(
+            {
+                "metrics": snapshot(telemetry.registry),
+                "traces": telemetry.tracer.as_dicts(),
+                "health": telemetry.health.as_dict(),
+            },
+            indent=2, sort_keys=True,
+        )

@@ -1,0 +1,144 @@
+"""The scrape endpoint: a stdlib HTTP thread serving telemetry.
+
+A :class:`TelemetryServer` wraps ``http.server.ThreadingHTTPServer``
+on a daemon thread -- no third-party dependency, no event loop to
+integrate with the engine's own threads.  Routes:
+
+* ``/metrics`` -- Prometheus text exposition (the scrape target);
+* ``/metrics.json`` -- JSON snapshot of every instrument;
+* ``/traces`` -- the retained per-window phase traces as JSON;
+* ``/healthz`` -- 200 with the probe report when every probe passes,
+  503 otherwise (orchestrator-friendly);
+* ``/export/<name>`` -- any exporter registered via
+  :func:`repro.api.register_exporter`.
+
+``port=0`` binds an ephemeral port (``server.port`` reports the real
+one) -- tests and parallel CI jobs never fight over a number.  The
+server only reads telemetry state; it cannot touch analysis state, so
+a slow or hostile scraper cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.obs.exposition import (
+    JSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    snapshot,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's telemetry."""
+
+    server_version = "repro-telemetry/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+    def _respond(self, status: int, content_type: str,
+                 body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        telemetry = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/", "/metrics"):
+                self._respond(200, PROMETHEUS_CONTENT_TYPE,
+                              render_prometheus(telemetry.registry))
+            elif path == "/metrics.json":
+                self._respond(200, JSON_CONTENT_TYPE, json.dumps(
+                    snapshot(telemetry.registry), sort_keys=True))
+            elif path == "/traces":
+                self._respond(200, JSON_CONTENT_TYPE, json.dumps(
+                    telemetry.tracer.as_dicts()))
+            elif path == "/healthz":
+                healthy, report = telemetry.health.check()
+                self._respond(
+                    200 if healthy else 503, JSON_CONTENT_TYPE,
+                    json.dumps({"healthy": healthy, "probes": report},
+                               sort_keys=True),
+                )
+            elif path.startswith("/export/"):
+                name = path[len("/export/"):]
+                exporter = telemetry.exporter(name)
+                if exporter is None:
+                    self._respond(404, JSON_CONTENT_TYPE, json.dumps(
+                        {"error": f"unknown exporter {name!r}"}))
+                else:
+                    self._respond(200, exporter.content_type,
+                                  exporter.render(telemetry))
+            else:
+                self._respond(404, JSON_CONTENT_TYPE, json.dumps({
+                    "error": f"no route {path!r}",
+                    "routes": ["/metrics", "/metrics.json", "/traces",
+                               "/healthz", "/export/<name>"],
+                }))
+        except BrokenPipeError:  # scraper went away mid-response
+            pass
+
+
+class TelemetryServer:
+    """Background HTTP exposition of one :class:`Telemetry` instance."""
+
+    def __init__(self, telemetry: "Telemetry", port: int = 0,
+                 host: str = "127.0.0.1"):
+        self.telemetry = telemetry
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = telemetry  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral ``port=0`` request)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-telemetry-:{self.port}", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,216 @@
+"""Per-window phase spans: where did each analyzed window's time go.
+
+A :class:`SpanTracer` decomposes the streaming engine's work on one
+window into named phases -- ingest (bus flushes since the previous
+window), snapshot (ring/backend materialization), drift (baseline
+scoring), recluster (executor fan-out), depgraph (edge extraction and
+merge), consumers (subscriber callbacks), checkpoint (policy save) --
+and rolls them up into a :class:`WindowTrace` per analyzed window.
+
+Unlike the instruments in :mod:`repro.obs.metrics`, the tracer is
+*always real*: :meth:`span` returns a timing handle whose ``elapsed``
+the analyzer re-exports as the long-standing
+``WindowAnalysis.analysis_seconds`` field, so disabling telemetry must
+not disable the clock.  What enablement controls is retention -- a
+disabled tracer keeps no trace history and publishes no phase
+histogram; it only times the handle the caller is already holding.
+
+Phases observed *between* windows (a bus flush happens every engine
+tick, most of which produce no window) accumulate in a pending bucket
+and are folded into the next produced trace, so every trace accounts
+for all engine work since its predecessor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: Canonical phase order for rendering (unknown phases sort after).
+PHASE_ORDER = ("ingest", "snapshot", "drift", "recluster",
+               "depgraph", "consumers", "checkpoint", "writer_flush")
+
+
+def _phase_rank(name: str) -> tuple[int, str]:
+    try:
+        return (PHASE_ORDER.index(name), name)
+    except ValueError:
+        return (len(PHASE_ORDER), name)
+
+
+@dataclass(frozen=True)
+class WindowTrace:
+    """Phase breakdown of one analyzed window."""
+
+    index: int
+    start: float
+    end: float
+    phases: dict[str, float] = field(default_factory=dict)
+    """Seconds spent per phase (accumulated, not per-call)."""
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (phases in canonical order)."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "total_seconds": self.total_seconds,
+            "phases": {
+                name: self.phases[name]
+                for name in sorted(self.phases, key=_phase_rank)
+            },
+        }
+
+
+class Span:
+    """One timed phase execution (context manager or begin/end pair).
+
+    ``elapsed`` is valid after :meth:`end` (or context exit) and is the
+    value handed to the tracer; :meth:`discard` ends the clock without
+    recording, for callers that abandon the phase (e.g. a window
+    skipped for want of samples).
+    """
+
+    __slots__ = ("_tracer", "name", "_started", "elapsed", "_done")
+
+    def __init__(self, tracer: "SpanTracer", name: str):
+        self._tracer = tracer
+        self.name = name
+        self._started = time.perf_counter()
+        self.elapsed = 0.0
+        self._done = False
+
+    def end(self) -> float:
+        """Stop the clock and record the phase; returns the elapsed s."""
+        if not self._done:
+            self._done = True
+            self.elapsed = time.perf_counter() - self._started
+            self._tracer._record(self.name, self.elapsed)
+        return self.elapsed
+
+    def discard(self) -> float:
+        """Stop the clock without recording (abandoned phase)."""
+        if not self._done:
+            self._done = True
+            self.elapsed = time.perf_counter() - self._started
+        return self.elapsed
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end()
+
+
+class SpanTracer:
+    """Accumulates phase spans and cuts them into per-window traces.
+
+    The engine drives the window boundary: phases recorded at any time
+    land in a pending accumulator, and :meth:`finish_window` snapshots
+    that accumulator into a :class:`WindowTrace` (bounded history) and
+    resets it.  ``observe`` -- typically a telemetry histogram's bound
+    ``observe`` partial -- additionally receives every individual span
+    as ``(phase, seconds)`` when the tracer is enabled.
+    """
+
+    def __init__(self, history: int = 64, enabled: bool = True,
+                 observe: Callable[[str, float], None] | None = None):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.enabled = enabled
+        self.observe = observe
+        self._pending: dict[str, float] = {}
+        self._traces: deque[WindowTrace] = deque(maxlen=history)
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Open a timed phase (always real; see module docstring)."""
+        return Span(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._pending[name] = self._pending.get(name, 0.0) + elapsed
+        if self.observe is not None:
+            self.observe(name, elapsed)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record an externally timed phase directly."""
+        self._record(name, elapsed)
+
+    # -- window boundaries ----------------------------------------------
+
+    def finish_window(self, index: int, start: float,
+                      end: float) -> WindowTrace | None:
+        """Cut the pending phases into this window's trace.
+
+        Returns the trace (also retained in history), or None when the
+        tracer is disabled.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            trace = WindowTrace(index=index, start=start, end=end,
+                                phases=dict(self._pending))
+            self._pending.clear()
+            self._traces.append(trace)
+        return trace
+
+    def drop_pending(self) -> None:
+        """Discard accumulated phases (no window will claim them)."""
+        with self._lock:
+            self._pending.clear()
+
+    def pending_seconds(self, names: tuple[str, ...]) -> float:
+        """Accumulated-but-uncut seconds of the named phases.
+
+        Lets a caller keep phases *disjoint* when other code records
+        nested spans on its watch: snapshot before, snapshot after,
+        subtract the delta from its own elapsed time (the engine does
+        this so ``consumers`` excludes the checkpoint policy's
+        ``checkpoint``/``writer_flush`` phases).
+        """
+        with self._lock:
+            return sum(self._pending.get(name, 0.0) for name in names)
+
+    # -- read-out --------------------------------------------------------
+
+    @property
+    def traces(self) -> list[WindowTrace]:
+        """Retained traces, oldest first (copy)."""
+        with self._lock:
+            return list(self._traces)
+
+    @property
+    def last_trace(self) -> WindowTrace | None:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per phase summed over the retained traces."""
+        totals: dict[str, float] = {}
+        for trace in self.traces:
+            for name, seconds in trace.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return {name: totals[name]
+                for name in sorted(totals, key=_phase_rank)}
+
+    def as_dicts(self) -> list[dict]:
+        return [trace.as_dict() for trace in self.traces]
+
+    def __iter__(self) -> Iterator[WindowTrace]:
+        return iter(self.traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

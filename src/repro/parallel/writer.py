@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -81,7 +82,11 @@ class BatchingWriter:
         if max_batches < 1:
             raise ValueError("max_batches must be >= 1")
         self.backend = backend
+        self.max_batches = max_batches
         self.stats = WriterStats()
+        self._write_seconds = None
+        self._flush_seconds = None
+        self._errors_total = None
         self._queue: queue.Queue = queue.Queue(maxsize=max_batches)
         self._error: BaseException | None = None
         self._closed = False
@@ -92,6 +97,50 @@ class BatchingWriter:
             daemon=True,
         )
         self._thread.start()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Instrument this writer against a :class:`repro.obs.Telemetry`.
+
+        Adds durable-write and flush latency histograms, a failure
+        counter, and a scrape-time collector over :attr:`stats` plus
+        the live queue depth.  Lifetime counters stay sampled (never
+        double-booked on the enqueue path).
+        """
+        registry = telemetry.registry
+        self._write_seconds = registry.histogram(
+            "repro_writer_write_seconds",
+            "Wall time of one durable backend write "
+            "(on the writer thread)",
+        )
+        self._flush_seconds = registry.histogram(
+            "repro_writer_flush_seconds",
+            "Wall time of drain + backend flush",
+        )
+        self._errors_total = registry.counter(
+            "repro_writer_errors_total",
+            "Backend writes that failed on the writer thread",
+        )
+        writer_total = registry.counter(
+            "repro_writer_total", "Lifetime async-writer counts, by event",
+            labelnames=("event",),
+        )
+        depth_gauge = registry.gauge(
+            "repro_writer_queue_depth",
+            "Batches enqueued but not yet written",
+        )
+        capacity_gauge = registry.gauge(
+            "repro_writer_queue_capacity",
+            "Bound of the writer queue (blocking backpressure point)",
+        )
+
+        def sample() -> None:
+            for event, value in self.stats.as_dict().items():
+                writer_total.set_total(
+                    value, event=event.removeprefix("writer_"))
+            depth_gauge.set(self.pending_batches)
+            capacity_gauge.set(self.max_batches)
+
+        registry.add_collector(sample)
 
     # -- the writer thread ---------------------------------------------
 
@@ -105,11 +154,19 @@ class BatchingWriter:
                     continue  # fail-stop: preserve the first error
                 component, metric, t, v = item
                 try:
-                    self.backend.write(component, metric, t, v)
+                    if self._write_seconds is None:
+                        self.backend.write(component, metric, t, v)
+                    else:
+                        started = time.perf_counter()
+                        self.backend.write(component, metric, t, v)
+                        self._write_seconds.observe(
+                            time.perf_counter() - started)
                     self.stats.batches_written += 1
                     self.stats.points_written += int(t.size)
                 except BaseException as exc:
                     self._error = exc
+                    if self._errors_total is not None:
+                        self._errors_total.inc()
             finally:
                 self._queue.task_done()
 
@@ -151,6 +208,21 @@ class BatchingWriter:
         """Batches enqueued but not yet written."""
         return self._queue.qsize()
 
+    @property
+    def queue_capacity(self) -> int:
+        """The queue bound (``max_batches``), for health probes."""
+        return self.max_batches
+
+    @property
+    def failed(self) -> bool:
+        """Whether a backend write has failed (fail-stop state)."""
+        return self._error is not None
+
+    @property
+    def error(self) -> BaseException | None:
+        """The captured backend exception, or None while healthy."""
+        return self._error
+
     def drain(self) -> None:
         """Block until every enqueued batch reached the backend."""
         self._queue.join()
@@ -159,8 +231,14 @@ class BatchingWriter:
 
     def flush(self) -> None:
         """Drain the queue, then make the inner backend durable."""
+        if self._flush_seconds is None:
+            self.drain()
+            self.backend.flush()
+            return
+        started = time.perf_counter()
         self.drain()
         self.backend.flush()
+        self._flush_seconds.observe(time.perf_counter() - started)
 
     # -- reads (drain-through: read-your-writes) -----------------------
 

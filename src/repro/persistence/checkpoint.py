@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -172,7 +173,8 @@ def _restore_previous(state: dict) -> WindowAnalysis | None:
 
 def restore_engine(checkpoint, config: StreamingConfig,
                    journal_path=None, bus=None,
-                   store_backend=None, journal=None) -> StreamingSieve:
+                   store_backend=None, journal=None,
+                   telemetry=None) -> StreamingSieve:
     """Rebuild a streaming engine from checkpoint + ingest journal.
 
     ``checkpoint`` is a path or an already-loaded state dict.
@@ -182,8 +184,11 @@ def restore_engine(checkpoint, config: StreamingConfig,
     ``journal_path`` replays the recorded ingest stream to rebuild the
     window-store rings; ``journal``/``store_backend``/``bus`` wire the
     *resumed* run's fresh persistence, exactly as on
-    :class:`StreamingSieve` itself.
+    :class:`StreamingSieve` itself.  ``telemetry``
+    (:class:`repro.obs.Telemetry`) travels to the rebuilt engine; the
+    restore itself lands in the ``repro_restore_seconds`` gauge.
     """
+    restore_started = time.perf_counter()
     state = checkpoint if isinstance(checkpoint, dict) \
         else load_checkpoint(checkpoint)
     defaults = StreamingConfig()
@@ -204,6 +209,7 @@ def restore_engine(checkpoint, config: StreamingConfig,
         workload=state["workload"],
         store_backend=store_backend,
         journal=journal,
+        telemetry=telemetry,
     )
 
     if journal_path is not None:
@@ -270,6 +276,10 @@ def restore_engine(checkpoint, config: StreamingConfig,
     engine.stats = StreamingStats(**state["stats"])
     if previous is not None:
         engine.history.append(previous)
+    engine.telemetry.registry.gauge(
+        "repro_restore_seconds",
+        "Wall time of the last checkpoint + journal restore",
+    ).set(time.perf_counter() - restore_started)
     return engine
 
 
@@ -316,24 +326,41 @@ class CheckpointPolicy:
             if rotate_journal is None else rotate_journal
         self.checkpoints_written = 0
         self._windows_seen = 0
+        self._last_checkpoint_window = 0
+        self._save_seconds = engine.telemetry.registry.histogram(
+            "repro_checkpoint_save_seconds",
+            "Wall time of one checkpoint save (incl. journal rotation)",
+        )
+
+    @property
+    def windows_since_checkpoint(self) -> int:
+        """Analyzed windows since the last checkpoint landed (the
+        durability lag a health probe judges)."""
+        return self._windows_seen - self._last_checkpoint_window
 
     def on_window(self, analysis) -> None:
         self._windows_seen += 1
         if not self.every or self._windows_seen % self.every:
             return
+        tracer = self.engine.telemetry.tracer
         # Flush-on-checkpoint: the checkpoint must never describe
         # samples the durable store has not absorbed yet.
-        self.engine.windows.flush_backend()
-        save_checkpoint(self.engine, self.path, spec=self.spec)
-        self.checkpoints_written += 1
-        journal = self.engine.bus.journal
-        if journal is None or not self.rotate_journal \
-                or not hasattr(journal, "rotate"):
-            return
-        journal.rotate()
-        # Anchor retirement at the stalest series, not the global
-        # clock: a quiet series' ring keeps samples its own newest
-        # minus retention, and replay must still rebuild them.
-        stalest = self.engine.windows.stalest_series_time()
-        if stalest is not None:
-            journal.retire(stalest - self.engine.config.retention)
+        with tracer.span("writer_flush"):
+            self.engine.windows.flush_backend()
+        with tracer.span("checkpoint") as span:
+            save_checkpoint(self.engine, self.path, spec=self.spec)
+            self.checkpoints_written += 1
+            self._last_checkpoint_window = self._windows_seen
+            journal = self.engine.bus.journal
+            if journal is not None and self.rotate_journal \
+                    and hasattr(journal, "rotate"):
+                journal.rotate()
+                # Anchor retirement at the stalest series, not the
+                # global clock: a quiet series' ring keeps samples to
+                # its own newest minus retention, and replay must
+                # still rebuild them.
+                stalest = self.engine.windows.stalest_series_time()
+                if stalest is not None:
+                    journal.retire(
+                        stalest - self.engine.config.retention)
+        self._save_seconds.observe(span.elapsed)

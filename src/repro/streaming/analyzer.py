@@ -17,7 +17,6 @@ path uses, so the per-window cost scales with how much actually moved.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.causality.depgraph import DependencyGraph
@@ -36,6 +35,7 @@ from repro.core.incremental import (
 from repro.core.results import SieveResult
 from repro.metrics.store import MetricsStore
 from repro.metrics.timeseries import MetricFrame
+from repro.obs.telemetry import Telemetry
 from repro.parallel.executor import ShardExecutor
 from repro.simulator.app import LoadedRun
 from repro.streaming.drift import DriftDetector, DriftReading
@@ -176,12 +176,15 @@ class WindowAnalyzer:
     def __init__(self, config: StreamingConfig | None = None,
                  drift_detector: DriftDetector | None = None,
                  seed: int = 0,
-                 executor: ShardExecutor | None = None):
+                 executor: ShardExecutor | None = None,
+                 telemetry: Telemetry | None = None):
         """``executor`` decides where per-component shards (reduce +
         re-cluster, drift shape checks) run -- inline by default; see
         :func:`repro.parallel.executor.make_executor`.  Results are
         merged in component order, so every strategy produces the same
-        analysis."""
+        analysis.  ``telemetry`` supplies the span tracer the per-window
+        timing runs through (a private disabled instance otherwise --
+        the clock always ticks, retention is what enablement buys)."""
         self.config = config or StreamingConfig()
         self.drift = drift_detector or DriftDetector(
             threshold=self.config.drift_threshold,
@@ -189,6 +192,28 @@ class WindowAnalyzer:
         )
         self.seed = seed
         self.executor = executor or ShardExecutor()
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.tracer = self.telemetry.tracer
+        registry = self.telemetry.registry
+        self._analysis_seconds = registry.histogram(
+            "repro_window_analysis_seconds",
+            "End-to-end wall time of one window analysis",
+        )
+        self._recluster_seconds = registry.histogram(
+            "repro_recluster_seconds",
+            "Wall time of the per-window re-cluster fan-out, "
+            "by shard-executor kind",
+            labelnames=("executor",),
+        )
+        self._reclustered_total = registry.counter(
+            "repro_components_reclustered_total",
+            "Components re-clustered, by trigger reason",
+            labelnames=("reason",),
+        )
+        self._reused_total = registry.counter(
+            "repro_components_reused_total",
+            "Component analyses served from the previous window",
+        )
         self.previous: WindowAnalysis | None = None
         self._windows_since_refresh = 0
 
@@ -239,8 +264,13 @@ class WindowAnalyzer:
                 index: int = 0) -> WindowAnalysis:
         """Analyze one window, reusing whatever did not move."""
         cfg = self.config.sieve
-        t0 = time.perf_counter()
-        reasons, drift_readings = self._decide_reclusters(frame)
+        # The total is a discarded span -- pure stopwatch -- so the
+        # trace's phase breakdown (drift/recluster/depgraph below) is
+        # not double-counted; its elapsed time still feeds the
+        # compatibility field and its own histogram.
+        total = self.tracer.span("analyze")
+        with self.tracer.span("drift"):
+            reasons, drift_readings = self._decide_reclusters(frame)
         changed = set(reasons)
         # Components that went silent since the previous window: their
         # clusterings are dropped above (we only keep frame components),
@@ -257,53 +287,65 @@ class WindowAnalyzer:
         # Fan the re-clustered components out to the shard executor.
         # Each payload is a pure seeded task; merging in component
         # order keeps the analysis identical across strategies.
-        views = {
-            component: frame.component_view(component)
-            for component in frame.components
-            if component in changed
-        }
-        produced = dict(self.executor.map(reduce_component_task, [
-            reduce_payload(
-                component, views[component],
+        with self.tracer.span("recluster") as recluster_span:
+            views = {
+                component: frame.component_view(component)
+                for component in frame.components
+                if component in changed
+            }
+            produced = dict(self.executor.map(reduce_component_task, [
+                reduce_payload(
+                    component, views[component],
+                    interval=cfg.grid_interval,
+                    variance_threshold=cfg.variance_threshold,
+                    max_k=cfg.max_clusters,
+                    seed=self.seed,
+                )
+                for component in frame.components
+                if component in changed
+            ]))
+
+            clusterings: dict[str, ComponentClustering] = {}
+            reclustered: list[str] = []
+            reused: list[str] = []
+            for component in frame.components:
+                if component in changed:
+                    clusterings[component] = produced[component]
+                    self.drift.rebase(component, produced[component],
+                                      views[component])
+                    reclustered.append(component)
+                else:
+                    # Unreached when previous is None: every component
+                    # is then in ``changed`` with reason "initial".
+                    assert previous is not None
+                    clusterings[component] = \
+                        previous.clusterings[component]
+                    reused.append(component)
+        self._recluster_seconds.observe(recluster_span.elapsed,
+                                        executor=self.executor.kind)
+
+        with self.tracer.span("depgraph"):
+            touched = restricted_call_graph(call_graph, changed)
+            fresh = extract_dependencies(
+                frame, touched, clusterings,
+                alpha=cfg.granger_alpha, lags=cfg.granger_lags,
                 interval=cfg.grid_interval,
-                variance_threshold=cfg.variance_threshold,
-                max_k=cfg.max_clusters,
-                seed=self.seed,
+                filter_bidirectional=cfg.filter_bidirectional,
             )
-            for component in frame.components if component in changed
-        ]))
-
-        clusterings: dict[str, ComponentClustering] = {}
-        reclustered: list[str] = []
-        reused: list[str] = []
-        for component in frame.components:
-            if component in changed:
-                clusterings[component] = produced[component]
-                self.drift.rebase(component, produced[component],
-                                  views[component])
-                reclustered.append(component)
+            if previous is None:
+                graph, edges_reused = fresh, 0
             else:
-                # Unreached when previous is None: every component is
-                # then in ``changed`` with reason "initial".
-                assert previous is not None
-                clusterings[component] = \
-                    previous.clusterings[component]
-                reused.append(component)
+                graph, edges_reused = merge_dependency_graphs(
+                    previous.dependency_graph, fresh, changed,
+                    clusterings.keys(),
+                )
 
-        touched = restricted_call_graph(call_graph, changed)
-        fresh = extract_dependencies(
-            frame, touched, clusterings,
-            alpha=cfg.granger_alpha, lags=cfg.granger_lags,
-            interval=cfg.grid_interval,
-            filter_bidirectional=cfg.filter_bidirectional,
-        )
-        if previous is None:
-            graph, edges_reused = fresh, 0
-        else:
-            graph, edges_reused = merge_dependency_graphs(
-                previous.dependency_graph, fresh, changed,
-                clusterings.keys(),
+        for reason in sorted(set(reasons.values())):
+            self._reclustered_total.inc(
+                sum(1 for r in reasons.values() if r == reason),
+                reason=reason,
             )
+        self._reused_total.inc(len(reused))
 
         analysis = WindowAnalysis(
             index=index, start=start, end=end,
@@ -312,9 +354,10 @@ class WindowAnalyzer:
             reclustered=sorted(reclustered), reused=sorted(reused),
             recluster_reasons=reasons, drift_readings=drift_readings,
             edges_retested=len(fresh), edges_reused=edges_reused,
-            analysis_seconds=time.perf_counter() - t0,
+            analysis_seconds=total.discard(),
             seed=self.seed,
         )
+        self._analysis_seconds.observe(analysis.analysis_seconds)
         self.previous = analysis
         self._windows_since_refresh += 1
         return analysis

@@ -55,6 +55,9 @@ class BusStats:
     overflow_downsampled: int = 0
     """Points shed by the ``downsample`` backpressure policy."""
 
+    overflow_events: int = 0
+    """Times the ``max_pending`` bound was hit (shedding passes)."""
+
     journaled_batches: int = 0
     """Batches written to the attached write-ahead journal."""
 
@@ -70,6 +73,7 @@ class BusStats:
             "rejected_points": self.rejected_points,
             "overflow_dropped": self.overflow_dropped,
             "overflow_downsampled": self.overflow_downsampled,
+            "overflow_events": self.overflow_events,
             "journaled_batches": self.journaled_batches,
             "resume_clipped": self.resume_clipped,
         }
@@ -129,6 +133,8 @@ class IngestionBus:
         self._sinks: list = []
         self._journal = None
         self._resume_clip: dict[tuple[str, str], float] | None = None
+        self._flush_seconds = None
+        self._tracer = None
 
     # -- wiring --------------------------------------------------------
 
@@ -154,6 +160,22 @@ class IngestionBus:
         (or anything with ``append_batch``/``commit``).
         """
         self._journal = journal
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Time flushes into the given :class:`repro.obs.Telemetry`.
+
+        Each non-empty flush is recorded as an ``ingest`` phase span
+        (folded into the next window's trace) and observed by the
+        ``repro_bus_flush_seconds`` histogram.  Lifetime counters are
+        *not* duplicated here -- the engine samples :attr:`stats` via a
+        scrape-time collector instead, keeping the publish path
+        untouched.
+        """
+        self._tracer = telemetry.tracer
+        self._flush_seconds = telemetry.registry.histogram(
+            "repro_bus_flush_seconds",
+            "Wall time of non-empty ingestion-bus flushes",
+        )
 
     @property
     def journal(self):
@@ -249,6 +271,7 @@ class IngestionBus:
         if self._pending >= self.flush_threshold:
             self.flush()
         if self.max_pending and self._pending > self.max_pending:
+            self.stats.overflow_events += 1
             self._shed()
 
     # -- backpressure --------------------------------------------------
@@ -321,6 +344,14 @@ class IngestionBus:
         """
         if not self._pending:
             return 0
+        if self._tracer is None:
+            return self._flush_impl()
+        with self._tracer.span("ingest") as span:
+            delivered = self._flush_impl()
+        self._flush_seconds.observe(span.elapsed)
+        return delivered
+
+    def _flush_impl(self) -> int:
         delivered = 0
         buffers, self._buffers = self._buffers, {}
         self._pending = 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.config import StreamingConfig
+from repro.obs.telemetry import Telemetry
 from repro.parallel.executor import ShardExecutor, make_executor
 from repro.streaming.analyzer import (
     StreamingStats,
@@ -33,7 +34,8 @@ class StreamingSieve:
                  seed: int = 0, bus: IngestionBus | None = None,
                  application: str = "", workload: str = "stream",
                  store_backend=None, journal=None,
-                 executor: ShardExecutor | None = None):
+                 executor: ShardExecutor | None = None,
+                 telemetry: Telemetry | None = None):
         """``store_backend`` (a
         :class:`~repro.persistence.backend.StorageBackend`) makes the
         window store durable; ``journal`` (an
@@ -41,11 +43,16 @@ class StreamingSieve:
         ingest stream replayable after a crash.  ``executor``
         overrides the shard executor the config would build
         (``config.executor`` / ``config.executor_workers``); the
-        engine owns it and shuts it down in :meth:`close`."""
+        engine owns it and shuts it down in :meth:`close`.
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) makes the engine
+        observable -- strictly read-only over analysis state, so every
+        determinism guarantee holds with it on or off; disabled (the
+        default) it reduces to no-op instruments."""
         self.config = config or StreamingConfig()
         self.seed = seed
         self.application = application
         self.workload = workload
+        self.telemetry = telemetry or Telemetry.disabled()
         self.bus = bus or IngestionBus(
             max_pending=self.config.bus_max_pending,
             overflow_policy=self.config.bus_overflow_policy,
@@ -76,7 +83,7 @@ class StreamingSieve:
                           self.config.executor_workers or None)
         self.analyzer = WindowAnalyzer(
             config=self.config, drift_detector=self.drift, seed=seed,
-            executor=self.executor,
+            executor=self.executor, telemetry=self.telemetry,
         )
         self.history: deque[WindowAnalysis] = deque(
             maxlen=self.config.history
@@ -94,6 +101,107 @@ class StreamingSieve:
         :attr:`~repro.core.config.StreamingConfig.adaptive_hop` is on,
         in which case drift pressure scales it between the configured
         bounds (checkpointed, so a resumed run keeps its cadence)."""
+
+        if self.telemetry.enabled:
+            self.bus.attach_telemetry(self.telemetry)
+            self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Create the engine's instrument families and the scrape-time
+        collector that samples the already-maintained stats structs
+        (bus, store, executor, journal) -- the hot paths pay nothing.
+        """
+        registry = self.telemetry.registry
+        bus_total = registry.counter(
+            "repro_bus_total", "Lifetime ingestion-bus counts, by event",
+            labelnames=("event",),
+        )
+        bus_pending = registry.gauge(
+            "repro_bus_pending_points",
+            "Points buffered on the bus, awaiting flush",
+        )
+        store_total = registry.counter(
+            "repro_store_total", "Lifetime window-store counts, by event",
+            labelnames=("event",),
+        )
+        store_retained = registry.gauge(
+            "repro_store_points_retained",
+            "Samples currently held across every ring",
+        )
+        store_series = registry.gauge(
+            "repro_store_series", "Live (component, metric) rings",
+        )
+        windows_total = registry.counter(
+            "repro_windows_total",
+            "Window boundary outcomes (analyzed vs skipped for want "
+            "of samples)",
+            labelnames=("outcome",),
+        )
+        drift_total = registry.counter(
+            "repro_drift_escalations_total",
+            "Windows components were escalated to re-cluster by drift",
+        )
+        edges_total = registry.counter(
+            "repro_edges_total",
+            "Dependency-graph edge decisions (Granger retested vs "
+            "merged from the previous window)",
+            labelnames=("decision",),
+        )
+        hop_gauge = registry.gauge(
+            "repro_engine_current_hop_seconds",
+            "Live analysis cadence (config.hop unless adapted)",
+        )
+        executor_total = registry.counter(
+            "repro_executor_tasks_total",
+            "Shard payloads dispatched, by executor kind",
+            labelnames=("executor",),
+        )
+        journal_total = registry.counter(
+            "repro_journal_total",
+            "Write-ahead ingest-journal counts, by event",
+            labelnames=("event",),
+        )
+
+        def sample() -> None:
+            bus_stats = self.bus.stats
+            for event, value in bus_stats.as_dict().items():
+                bus_total.set_total(value, event=event)
+            bus_pending.set(self.bus.pending_points)
+            store = self.windows
+            store_total.set_total(store.points_ingested,
+                                  event="points_ingested")
+            store_total.set_total(store.batches_ingested,
+                                  event="batches_ingested")
+            store_total.set_total(store.total_evicted(),
+                                  event="points_evicted")
+            store_total.set_total(store.backend_reads,
+                                  event="backend_reads")
+            store_total.set_total(store.backend_writes,
+                                  event="backend_writes")
+            store_retained.set(store.total_points())
+            store_series.set(store.series_count())
+            windows_total.set_total(self.stats.windows,
+                                    outcome="analyzed")
+            windows_total.set_total(self.skipped_windows,
+                                    outcome="skipped")
+            drift_total.set_total(self.stats.drift_escalations)
+            edges_total.set_total(self.stats.edges_retested,
+                                  decision="retested")
+            edges_total.set_total(self.stats.edges_reused,
+                                  decision="reused")
+            hop_gauge.set(self.current_hop)
+            executor_total.set_total(self.executor.tasks_dispatched,
+                                     executor=self.executor.kind)
+            journal = self.bus.journal
+            if journal is not None:
+                journal_total.set_total(journal.records_written,
+                                        event="records_written")
+                journal_total.set_total(journal.rotations,
+                                        event="rotations")
+                journal_total.set_total(journal.segments_retired,
+                                        event="segments_retired")
+
+        registry.add_collector(sample)
 
     # -- consumers -----------------------------------------------------
 
@@ -234,9 +342,13 @@ class StreamingSieve:
         """``pre_notify`` runs after the engine state is updated but
         before subscribed consumers fire (scheduling bookkeeping that
         checkpoints taken by consumers must already reflect)."""
-        frame = self.windows.snapshot(start, end)
+        tracer = self.telemetry.tracer
+        with tracer.span("snapshot"):
+            frame = self.windows.snapshot(start, end)
         if frame.total_samples() < self.config.min_window_samples:
             self.skipped_windows += 1
+            # Pending phases (ingest, this snapshot) stay accumulated:
+            # the next produced window's trace accounts for them.
             return None
         analysis = self.analyzer.analyze(
             frame, call_graph, start, end,
@@ -246,10 +358,20 @@ class StreamingSieve:
         analysis.workload = self.workload
         self.history.append(analysis)
         self.stats.record(analysis)
+        # Consumers may themselves record spans (the checkpoint policy
+        # cuts "writer_flush"/"checkpoint"); subtract those so the
+        # trace's phases stay disjoint.
+        nested_phases = ("writer_flush", "checkpoint")
+        nested_before = tracer.pending_seconds(nested_phases)
+        loop_span = tracer.span("consumers")
         if pre_notify is not None:
             pre_notify(analysis)
         for consumer in self._consumers:
             consumer(analysis)
+        loop_elapsed = loop_span.discard()
+        nested = tracer.pending_seconds(nested_phases) - nested_before
+        tracer.add("consumers", max(loop_elapsed - nested, 0.0))
+        tracer.finish_window(analysis.index, start, end)
         return analysis
 
     # -- consumer-facing views ------------------------------------------
@@ -268,8 +390,13 @@ class StreamingSieve:
         return retained[first], retained[second]
 
     def summary(self) -> dict:
-        """Engine-level counters for logs and benchmarks."""
-        return {
+        """Engine-level counters for logs and benchmarks.
+
+        With telemetry enabled, a ``telemetry`` block (phase-second
+        totals and the last window's trace) is merged in; the disabled
+        summary is byte-for-byte what it always was.
+        """
+        out = {
             "application": self.application,
             **self.stats.as_dict(),
             "current_hop": round(self.current_hop, 3),
@@ -281,6 +408,9 @@ class StreamingSieve:
             **self.executor.describe(),
             **self.bus.stats.as_dict(),
         }
+        if self.telemetry.enabled:
+            out["telemetry"] = self.telemetry.summary()
+        return out
 
     # -- lifecycle -----------------------------------------------------
 

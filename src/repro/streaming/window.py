@@ -165,8 +165,12 @@ class WindowStore:
         self.backend = backend
         self._shards: dict[str, dict[str, RingSeries]] = {}
         self.points_ingested = 0
+        self.batches_ingested = 0
         self.backend_reads = 0
         """Series windows served from the backend instead of a ring."""
+
+        self.backend_writes = 0
+        """Batches written through to the durable backend."""
 
         self.first_time: float | None = None
         """Earliest timestamp ever ingested (survives eviction)."""
@@ -188,8 +192,10 @@ class WindowStore:
             return
         if self.backend is not None:
             self.backend.write(component, metric, t, v)
+            self.backend_writes += 1
         ring.extend(t, v)
         self.points_ingested += int(t.size)
+        self.batches_ingested += 1
         if self.first_time is None or t[0] < self.first_time:
             self.first_time = float(t[0])
 

@@ -37,7 +37,12 @@ from repro.api import (
     save_spec,
     spec_to_toml,
 )
-from repro.api.spec import ConsumerSpec, StorageSpec, WorkloadSpec
+from repro.api.spec import (
+    ConsumerSpec,
+    StorageSpec,
+    TelemetrySpec,
+    WorkloadSpec,
+)
 from repro.causality.depgraph import edge_jaccard
 from repro.core import Sieve, SieveConfig, StreamingConfig
 from repro.core.serialize import (
@@ -222,6 +227,10 @@ class TestSpecRoundTrip:
                                          "scale_up": 0.8,
                                          "scale_down": 0.2}),
             ),
+            telemetry=TelemetrySpec(enabled=True, port=9464,
+                                    host="0.0.0.0", span_history=32,
+                                    exporters=("json",),
+                                    options={"indent": 2}),
             compare=True,
             extra={"note": "custom"},
         )
@@ -277,6 +286,9 @@ class TestSpecRoundTrip:
                            match="unknown WorkloadSpec field"):
             RunSpec.from_dict({"workload": {"kid": "random"}})
         with pytest.raises(ValueError,
+                           match="unknown TelemetrySpec field"):
+            RunSpec.from_dict({"telemetry": {"prt": 9464}})
+        with pytest.raises(ValueError,
                            match="unknown SieveConfig field"):
             sieve_config_from_dict({"max_k": 7})
 
@@ -305,6 +317,33 @@ class TestSpecRoundTrip:
         with pytest.raises(ValueError, match="needs a checkpoint"):
             RunSpec(mode="stream", resume=True, journal="j.log")
 
+    def test_telemetry_spec_validation(self):
+        with pytest.raises(ValueError, match="port"):
+            TelemetrySpec(port=-1)
+        with pytest.raises(ValueError, match="port"):
+            TelemetrySpec(port=70_000)
+        with pytest.raises(ValueError, match="span_history"):
+            TelemetrySpec(span_history=0)
+        with pytest.raises(ValueError, match="unknown exporter"):
+            TelemetrySpec(exporters=("statsd",))
+
+    def test_telemetry_spec_active(self):
+        assert not TelemetrySpec().active
+        assert TelemetrySpec(enabled=True).active
+        # A scrape port implies collection: serving dead metrics
+        # helps no one.
+        assert TelemetrySpec(port=9464).active
+
+    def test_telemetry_spec_round_trip(self):
+        spec = RunSpec(telemetry=TelemetrySpec(
+            enabled=True, span_history=16,
+            exporters=["prometheus", "json"],
+        ))
+        restored = RunSpec.from_dict(json.loads(
+            json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.telemetry.exporters == ("prometheus", "json")
+
     def test_builder_produces_equivalent_spec(self, tmp_path):
         spec = (PipelineBuilder("demo-chain").mode("stream")
                 .workload("constant", rate=40.0)
@@ -319,6 +358,9 @@ class TestSpecRoundTrip:
                 .consumer("rca", latency_threshold=2.0)
                 .consumer("scaling", component="back",
                           scale_up=0.8, scale_down=0.2)
+                .telemetry(port=9464, host="0.0.0.0",
+                           span_history=32, exporters=("json",),
+                           options={"indent": 2})
                 .compare().duration(55.0).seed(7)
                 .extra(note="custom").spec())
         assert spec == self._custom_spec(tmp_path)
