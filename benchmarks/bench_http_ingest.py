@@ -1,0 +1,154 @@
+"""HTTP ingest throughput: the live operations surface under load.
+
+Measures the full ``POST /ingest`` path -- HTTP parsing, strict
+payload decoding, source sequencing, bus publish and the watermark
+``offer`` that may run a window analysis -- over a single keep-alive
+connection, the shape one collector agent produces.  Three numbers:
+
+* ``json_ingest_points_per_sec`` -- sequenced JSON envelopes carrying
+  pre-batched point runs (the high-throughput shape);
+* ``text_ingest_points_per_sec`` -- Prometheus text exposition, one
+  sample per line (the drop-in scrape-forwarding shape);
+* ``query_requests_per_sec`` -- ``GET /api/clusters`` while the
+  engine holds analyzed windows (the read side must stay cheap).
+
+Writes ``BENCH_http_ingest.json``; the CI regression gate compares
+the ``*_per_sec`` keys against the committed baseline.
+"""
+
+import http.client
+import json
+import time
+
+from repro.api import PipelineBuilder
+
+from conftest import print_table
+
+RESULTS_PATH = "BENCH_http_ingest.json"
+
+JSON_REQUESTS = 300
+POINTS_PER_RUN = 40
+TEXT_REQUESTS = 200
+TEXT_SAMPLES = 32
+QUERY_REQUESTS = 400
+
+_results: dict = {}
+
+
+def _session():
+    return (PipelineBuilder("bench-http").mode("serve")
+            .workload("constant", rate=10.0)
+            .streaming(window=20.0, hop=10.0, retention=120.0,
+                       min_window_samples=8)
+            .service(port=0, clock="ingest")
+            .duration(60).seed(5).build())
+
+
+def _connect(session):
+    server = session.server
+    return http.client.HTTPConnection(server.host, server.port,
+                                      timeout=30)
+
+
+def _post(conn, path, body, content_type):
+    conn.request("POST", path, body=body,
+                 headers={"Content-Type": content_type})
+    response = conn.getresponse()
+    payload = response.read()
+    assert response.status == 200, payload
+    return payload
+
+
+def test_json_ingest_throughput():
+    """Sequenced JSON point runs over one keep-alive connection."""
+    session = _session()
+    conn = _connect(session)
+    try:
+        step = 0.5 / POINTS_PER_RUN
+        started = time.perf_counter()
+        for index in range(JSON_REQUESTS):
+            base = index * 0.5
+            times = [base + i * step for i in range(POINTS_PER_RUN)]
+            body = json.dumps({
+                "source": "bench", "seq": index,
+                "batches": [
+                    {"component": component, "metric": "cpu",
+                     "times": times,
+                     "values": [0.5 + 0.001 * (index % 50)]
+                     * POINTS_PER_RUN}
+                    for component in ("front", "back")
+                ],
+            })
+            _post(conn, "/ingest", body, "application/json")
+        elapsed = time.perf_counter() - started
+        points = JSON_REQUESTS * 2 * POINTS_PER_RUN
+        assert session.engine.stats.windows >= 1
+        _results["json_ingest_points_per_sec"] = round(
+            points / elapsed, 1)
+        _results["json_ingest_windows"] = session.engine.stats.windows
+    finally:
+        conn.close()
+        session.close()
+
+
+def test_text_ingest_throughput():
+    """Prometheus text exposition, one sample per line."""
+    session = _session()
+    conn = _connect(session)
+    try:
+        started = time.perf_counter()
+        for index in range(TEXT_REQUESTS):
+            base = index * 0.5
+            lines = [
+                f'metric_{sample % 8}{{component="front"}} '
+                f'{0.5 + 0.001 * sample} {base + sample * 0.01}'
+                for sample in range(TEXT_SAMPLES)
+            ]
+            _post(conn, "/ingest", "\n".join(lines) + "\n",
+                  "text/plain")
+        elapsed = time.perf_counter() - started
+        points = TEXT_REQUESTS * TEXT_SAMPLES
+        _results["text_ingest_points_per_sec"] = round(
+            points / elapsed, 1)
+    finally:
+        conn.close()
+        session.close()
+
+
+def test_query_throughput():
+    """GET /api/clusters against a warm engine."""
+    session = _session()
+    conn = _connect(session)
+    try:
+        # Feed enough windows that queries return real payloads.
+        for index in range(60):
+            body = json.dumps([
+                {"component": component, "time": index * 0.5,
+                 "metrics": {"cpu": 0.5, "mem": 100.0, "net": 5.0}}
+                for component in ("front", "back")
+            ])
+            _post(conn, "/ingest", body, "application/json")
+        assert session.engine.stats.windows >= 1
+
+        started = time.perf_counter()
+        for _ in range(QUERY_REQUESTS):
+            conn.request("GET", "/api/clusters")
+            response = conn.getresponse()
+            payload = response.read()
+            assert response.status == 200
+        elapsed = time.perf_counter() - started
+        assert json.loads(payload)["window"] is not None
+        _results["query_requests_per_sec"] = round(
+            QUERY_REQUESTS / elapsed, 1)
+    finally:
+        conn.close()
+        session.close()
+
+    print_table(
+        "HTTP operations surface throughput",
+        ["metric", "value"],
+        [[key, value] for key, value in sorted(_results.items())],
+    )
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump({"name": "http_ingest", **_results}, fh, indent=2)
+    print(f"results written to {RESULTS_PATH}")

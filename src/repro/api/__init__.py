@@ -63,6 +63,7 @@ _LAZY_EXPORTS = {
     "RUN_MODES": "repro.api.spec",
     "RunSpec": "repro.api.spec",
     "SPEC_VERSION": "repro.api.spec",
+    "ServiceSpec": "repro.api.spec",
     "StorageSpec": "repro.api.spec",
     "TelemetrySpec": "repro.api.spec",
     "WorkloadSpec": "repro.api.spec",
@@ -79,6 +80,8 @@ _LAZY_EXPORTS = {
     "RecordSession": "repro.api.session",
     "ReplayOutcome": "repro.api.session",
     "ReplaySession": "repro.api.session",
+    "ServeOutcome": "repro.api.session",
+    "ServeSession": "repro.api.session",
     "Session": "repro.api.session",
     "StreamOutcome": "repro.api.session",
     "StreamSession": "repro.api.session",

@@ -9,6 +9,8 @@ together exactly once, and hands back a :class:`Session` whose
 * ``pipeline`` -- the offline Load -> Reduce -> Identify batch run;
 * ``stream``   -- the windowed streaming engine against a live
   co-simulation (crash-safe with journal + checkpoint, resumable);
+* ``serve``    -- the same engine fed over HTTP (``POST /ingest`` +
+  ``GET /api/...`` on the telemetry server), no simulator driver;
 * ``record``   -- capture a live run into a durable backend;
 * ``replay``   -- re-analyze a recorded backend and meter the replay;
 * ``rca`` / ``trace-overhead`` / ``catalog`` -- the paper's case-study
@@ -191,25 +193,37 @@ class StreamOutcome:
     """Streaming-vs-batch dependency-edge agreement (``compare``)."""
 
 
-class StreamSession(Session):
-    """Mode ``stream``: windowed analysis of a live co-simulation."""
+class _EngineSession(Session):
+    """Shared wiring of every session that runs a streaming engine.
 
-    def __init__(self, spec: RunSpec):
-        super().__init__(spec)
+    Resolves telemetry, durable storage, the write-ahead journal, the
+    engine itself (fresh or checkpoint-restored), the checkpoint
+    policy, the spec's consumers and the health probes -- in exactly
+    the order :class:`StreamSession` always used, so subscription
+    order (policy first, then consumers) and therefore determinism
+    are identical whether the engine is driven by a co-simulation
+    (``stream``) or by HTTP ingest (``serve``).
+    """
+
+    def _init_engine(self, spec: RunSpec,
+                     telemetry: Any = None) -> None:
+        """Build ``self._engine`` and everything it depends on.
+        ``telemetry`` overrides the spec-derived facade (serve mode
+        always observes itself)."""
+        from repro.obs.telemetry import Telemetry
         from repro.persistence import (
             CheckpointPolicy,
             IngestJournal,
             load_checkpoint,
             restore_engine,
         )
-        from repro.obs.telemetry import Telemetry
-        from repro.streaming import SimulationStreamDriver, StreamingSieve
+        from repro.streaming import StreamingSieve
 
         config = spec.streaming
-        self.application = APPLICATIONS.create(spec.app)
-        self.workload = _build_workload(spec)
         self.resumed = False
-        self.telemetry = Telemetry.from_spec(spec.telemetry)
+        self.service: Any = None
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry.from_spec(spec.telemetry)
 
         state = None
         if spec.resume:
@@ -242,25 +256,20 @@ class StreamSession(Session):
             Path(spec.checkpoint).unlink()
 
         if spec.resume:
-            engine = restore_engine(state, config,
-                                    journal_path=spec.journal,
-                                    journal=self.journal,
-                                    store_backend=self.backend,
-                                    telemetry=self.telemetry)
+            self._engine = restore_engine(state, config,
+                                          journal_path=spec.journal,
+                                          journal=self.journal,
+                                          store_backend=self.backend,
+                                          telemetry=self.telemetry)
             self.resumed = True
         else:
-            engine = StreamingSieve(
+            self._engine = StreamingSieve(
                 config=config, seed=spec.seed, journal=self.journal,
                 application=spec.app, workload=spec.workload.kind,
                 store_backend=self.backend,
                 telemetry=self.telemetry,
             )
 
-        self.driver = SimulationStreamDriver(
-            self.application, self.workload, config=config,
-            seed=spec.seed, workload_name=spec.workload.kind,
-            record_frame=spec.compare, engine=engine,
-        )
         self.policy = None
         if spec.checkpoint:
             # Cadence comes from streaming.checkpoint_every_windows
@@ -268,22 +277,77 @@ class StreamSession(Session):
             # --checkpoint-every 0; PipelineBuilder.checkpoint()
             # defaults it to every window when left unset).
             self.policy = CheckpointPolicy(
-                self.driver.engine, spec.checkpoint,
+                self._engine, spec.checkpoint,
                 spec=spec.to_dict(),
             )
-            self.driver.engine.subscribe(self.policy)
+            self._engine.subscribe(self.policy)
         self.consumers: dict[str, Any] = {}
         for consumer_spec in spec.consumers:
             consumer = CONSUMERS.create(consumer_spec.kind,
-                                        self.driver.engine,
+                                        self._engine,
                                         **consumer_spec.options)
-            self.driver.engine.subscribe(consumer)
+            self._engine.subscribe(consumer)
             self.consumers[consumer_spec.kind] = consumer
         if self.telemetry.enabled:
             self._register_health_probes()
-        if spec.telemetry.port > 0:
-            self.telemetry.serve(spec.telemetry.port,
-                                 host=spec.telemetry.host)
+
+    def _attach_service(self, spec: RunSpec,
+                        ingest_enabled: bool) -> None:
+        """Stand up the operations surface when the spec asks for it:
+        view + event log on the engine, event hooks on the RCA
+        consumer and the checkpoint policy, and the service itself on
+        the telemetry facade (the server routes ``/ingest`` and
+        ``/api/...`` only while one is attached)."""
+        if not spec.service.active:
+            return
+        from repro.obs.query import AnalysisView, EventLog
+        from repro.obs.service import OperationsService
+
+        view = AnalysisView(history=spec.service.view_history)
+        events = EventLog(history=spec.service.event_history)
+        self._engine.attach_view(view)
+        self._engine.attach_events(events)
+        self.service = OperationsService(
+            self._engine,
+            clock=spec.service.clock,
+            call_graph=spec.service.build_call_graph(),
+            view=view, events=events,
+            ingest_enabled=ingest_enabled,
+            consumers=self.consumers,
+        )
+        rca = self.consumers.get("rca")
+        if rca is not None and hasattr(rca, "on_report"):
+            chained = rca.on_report
+
+            def _on_rca(triggered, _chained=chained) -> None:
+                latest = self._engine.latest()
+                events.append("rca",
+                              latest.end if latest is not None else 0.0,
+                              {
+                                  "faulty_window":
+                                      triggered.faulty_index,
+                                  "baseline_window":
+                                      triggered.baseline_index,
+                                  "top": [
+                                      candidate.component
+                                      for candidate in
+                                      triggered.report.final_ranking[:3]
+                                  ],
+                              })
+                if _chained is not None:
+                    _chained(triggered)
+
+            rca.on_report = _on_rca
+        if self.policy is not None:
+
+            def _on_checkpoint(analysis, policy) -> None:
+                events.append("checkpoint", analysis.end, {
+                    "window": analysis.index,
+                    "checkpoints_written": policy.checkpoints_written,
+                })
+
+            self.policy.on_checkpoint = _on_checkpoint
+        self.telemetry.attach_service(self.service)
 
     def _register_health_probes(self) -> None:
         """Wire the standard liveness probes into ``/healthz``.
@@ -300,7 +364,7 @@ class StreamSession(Session):
         from repro.parallel.writer import BatchingWriter
 
         health = self.telemetry.health
-        health.add_probe("bus", bus_probe(self.driver.engine.bus))
+        health.add_probe("bus", bus_probe(self._engine.bus))
         if isinstance(self.backend, BatchingWriter):
             health.add_probe("writer", writer_probe(self.backend))
         if self.policy is not None:
@@ -309,7 +373,7 @@ class StreamSession(Session):
 
     @property
     def engine(self) -> Any:
-        return self.driver.engine
+        return self._engine
 
     def _validate_resume(self, state: dict) -> None:
         """The resumed co-simulation must be the *same* trace the dead
@@ -345,6 +409,45 @@ class StreamSession(Session):
                 for name, rec, cur in mismatched
             )
             raise ValueError(f"resume spec mismatch -- {details}")
+
+    def _close_impl(self) -> None:
+        self._engine.close()
+        if self.journal is not None:
+            # A serve session may be closed without run() ever
+            # returning (signal handlers, tests): the journal tail
+            # must still reach the OS or a resume would lose it.
+            self.journal.commit()
+        if self.backend is not None:
+            # Drain the (possibly asynchronous) writer even on an
+            # interrupted run -- queued batches must reach disk.
+            self.backend.close()
+        self.telemetry.close()
+
+
+class StreamSession(_EngineSession):
+    """Mode ``stream``: windowed analysis of a live co-simulation."""
+
+    def __init__(self, spec: RunSpec):
+        super().__init__(spec)
+        from repro.streaming import SimulationStreamDriver
+
+        self.application = APPLICATIONS.create(spec.app)
+        self.workload = _build_workload(spec)
+        self._init_engine(spec)
+        self.driver = SimulationStreamDriver(
+            self.application, self.workload, config=spec.streaming,
+            seed=spec.seed, workload_name=spec.workload.kind,
+            record_frame=spec.compare, engine=self._engine,
+        )
+        # The co-simulation driver owns the bus, so an attached
+        # service exposes the query surface only (ingest answers 409).
+        self._attach_service(spec, ingest_enabled=False)
+        if spec.telemetry.port > 0:
+            self.telemetry.serve(spec.telemetry.port,
+                                 host=spec.telemetry.host)
+        elif self.service is not None:
+            self.telemetry.serve(spec.service.port,
+                                 host=spec.service.host)
 
     def remaining(self) -> float:
         """Simulated seconds :meth:`run` will actually stream.
@@ -400,6 +503,121 @@ class StreamSession(Session):
             # interrupted run -- queued batches must reach disk.
             self.backend.close()
         self.telemetry.close()
+
+
+# -- serve -----------------------------------------------------------------
+
+
+@dataclass
+class ServeOutcome:
+    """What one HTTP-fed service run produced."""
+
+    analyses: list = field(repr=False)
+    summary: dict
+    service: dict
+    url: str = ""
+    writer_stats: dict | None = None
+
+
+class ServeSession(_EngineSession):
+    """Mode ``serve``: an HTTP-fed engine with no simulator driver.
+
+    Samples arrive over ``POST /ingest`` on the telemetry server;
+    analysis hops are scheduled off ingest watermarks
+    (``service.clock="ingest"``, deterministic) or off the wall clock
+    (``"wall"``, a poller thread).  Journal, checkpoints, resume,
+    consumers and telemetry all work exactly as in ``stream`` mode --
+    the engine wiring is shared -- so a killed service resumes to
+    bit-identical windows from its journal.
+
+    :meth:`run` blocks until ``spec.duration`` *wall-clock* seconds
+    pass or :meth:`stop` is called (e.g. from a signal handler).
+    """
+
+    def __init__(self, spec: RunSpec):
+        super().__init__(spec)
+        import threading
+
+        from repro.obs.telemetry import Telemetry
+
+        # A service is inherently observed: even when the spec leaves
+        # telemetry off, the engine collects so /metrics, /healthz and
+        # the staleness gauges mean something.
+        telemetry = Telemetry.from_spec(spec.telemetry) \
+            if spec.telemetry.active else Telemetry(enabled=True)
+        self._init_engine(spec, telemetry=telemetry)
+        self._attach_service(spec, ingest_enabled=True)
+        self._stop = threading.Event()
+        self._poller: Any = None
+        port = spec.telemetry.port if spec.telemetry.port > 0 \
+            else spec.service.port
+        host = spec.telemetry.host if spec.telemetry.port > 0 \
+            else spec.service.host
+        self.server = self.telemetry.serve(port, host=host)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def poll_interval(self) -> float:
+        """Wall seconds between analysis offers (``clock="wall"``)."""
+        return self.spec.service.poll_interval \
+            or float(self.spec.streaming.hop)
+
+    def stop(self) -> None:
+        """Ask a blocked :meth:`run` to return (thread-safe)."""
+        self._stop.set()
+
+    def run(self, on_window: Callable | None = None) -> ServeOutcome:
+        """Serve for ``spec.duration`` wall seconds (or until
+        :meth:`stop`); returns the outcome.
+
+        ``on_window`` subscribes like a consumer, so it fires on the
+        HTTP thread that triggered the analysis (``clock="ingest"``)
+        or on the poller thread (``clock="wall"``).
+        """
+        import threading
+        import time as _time
+
+        if on_window is not None:
+            self._engine.subscribe(on_window)
+        analyzed_before = self._engine.stats.windows
+        deadline = _time.monotonic() + self.spec.duration
+        if self.service.clock == "wall":
+            interval = self.poll_interval()
+
+            def _poll() -> None:
+                while not self._stop.wait(interval):
+                    self.service.offer_watermark()
+
+            self._poller = threading.Thread(
+                target=_poll, name="repro-serve-poller", daemon=True)
+            self._poller.start()
+        while not self._stop.is_set():
+            left = deadline - _time.monotonic()
+            if left <= 0:
+                break
+            self._stop.wait(min(0.25, left))
+        self._stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=5.0)
+            self._poller = None
+        if self.journal is not None:
+            self.journal.commit()
+        produced = self._engine.stats.windows - analyzed_before
+        retained = list(self._engine.history)
+        return ServeOutcome(
+            analyses=retained[max(len(retained) - produced, 0):]
+            if produced else [],
+            summary=self._engine.summary(),
+            service=self.service.summary(),
+            url=self.url,
+            writer_stats=self._writer_stats(),
+        )
+
+    def _close_impl(self) -> None:
+        self._stop.set()
+        super()._close_impl()
 
 
 # -- record ----------------------------------------------------------------
@@ -625,6 +843,7 @@ class CatalogSession(Session):
 _SESSIONS: dict[str, type[Session]] = {
     "pipeline": BatchSession,
     "stream": StreamSession,
+    "serve": ServeSession,
     "record": RecordSession,
     "replay": ReplaySession,
     "rca": RCASession,
@@ -764,6 +983,22 @@ class PipelineBuilder:
         from repro.api.spec import TelemetrySpec
 
         self._fields["telemetry"] = TelemetrySpec(
+            enabled=bool(enabled), port=int(port), **fields,
+        )
+        return self
+
+    def service(self, port: int = 0, enabled: bool = True,
+                **fields: Any) -> "PipelineBuilder":
+        """Turn the live operations surface on (``/ingest`` +
+        ``/api/...``).
+
+        Extra ``fields`` map onto :class:`~repro.api.spec.ServiceSpec`
+        (``host``, ``clock``, ``poll_interval``, ``event_history``,
+        ``view_history``, ``topology``, ``options``).
+        """
+        from repro.api.spec import ServiceSpec
+
+        self._fields["service"] = ServiceSpec(
             enabled=bool(enabled), port=int(port), **fields,
         )
         return self

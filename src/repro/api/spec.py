@@ -42,7 +42,7 @@ SPEC_VERSION = 1
 
 #: Valid :attr:`RunSpec.mode` values (one per pipeline entry point).
 RUN_MODES = ("pipeline", "stream", "record", "replay",
-             "rca", "trace-overhead", "catalog")
+             "rca", "trace-overhead", "catalog", "serve")
 
 #: Modes that instantiate an application model by name.
 _APP_MODES = ("pipeline", "stream", "record", "rca", "catalog")
@@ -156,6 +156,95 @@ class TelemetrySpec:
         return self.enabled or self.port > 0
 
 
+#: Valid :attr:`ServiceSpec.clock` values (who schedules analysis).
+SERVICE_CLOCKS = ("ingest", "wall")
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """The live operations surface of one run (``POST /ingest`` +
+    ``GET /api/...`` on the telemetry server).
+
+    Off by default.  In ``serve`` mode the engine has *no* simulator
+    driver: samples arrive over HTTP and analysis hops are scheduled
+    off ingest watermarks (``clock="ingest"``, deterministic -- the
+    bit-identical-to-in-process guarantee) or off the wall clock
+    (``clock="wall"``, a poller offers the newest ingested timestamp
+    every ``poll_interval`` seconds).  In ``stream`` mode an enabled
+    service only exposes the query surface; ingest answers 409 because
+    the co-simulation driver owns the bus.
+    """
+
+    enabled: bool = False
+    port: int = 0
+    """Port the operations routes are served on (0 = ephemeral).
+    The service shares the telemetry server, so this is the same
+    listener as ``/metrics``; ``telemetry.port`` wins when both are
+    set and positive."""
+
+    host: str = "127.0.0.1"
+    clock: str = "ingest"
+    poll_interval: float = 0.0
+    """Wall-clock seconds between analysis offers for
+    ``clock="wall"`` (0 = the streaming hop)."""
+
+    event_history: int = 256
+    """Operational events retained behind ``/api/events``."""
+
+    view_history: int = 64
+    """Window summaries retained behind ``/api/windows``."""
+
+    topology: tuple = ()
+    """Static deployment edges ``(caller, callee[, count])`` carried
+    into every analysis offer -- HTTP ingest has no tracer to observe
+    calls, so the communication topology is declared."""
+
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.clock not in SERVICE_CLOCKS:
+            raise ValueError(
+                f"unknown service clock {self.clock!r} "
+                f"(expected one of {SERVICE_CLOCKS})"
+            )
+        if self.poll_interval < 0:
+            raise ValueError("poll_interval must be >= 0")
+        if self.event_history < 1:
+            raise ValueError("event_history must be >= 1")
+        if self.view_history < 1:
+            raise ValueError("view_history must be >= 1")
+        edges = []
+        for edge in self.topology:
+            edge = tuple(edge)
+            if len(edge) == 2:
+                edge = (*edge, 1)
+            if len(edge) != 3 or not all(
+                    isinstance(part, str) for part in edge[:2]):
+                raise ValueError(
+                    f"topology edge must be (caller, callee[, count]), "
+                    f"got {edge!r}"
+                )
+            edges.append((edge[0], edge[1], int(edge[2])))
+        object.__setattr__(self, "topology", tuple(edges))
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec turns the operations surface on."""
+        return self.enabled or self.port > 0
+
+    def build_call_graph(self):
+        """The declared topology as a
+        :class:`~repro.tracing.callgraph.CallGraph`."""
+        from repro.tracing.callgraph import CallGraph
+
+        graph = CallGraph()
+        for caller, callee, count in self.topology:
+            graph.record_call(caller, callee, count)
+        return graph
+
+
 @dataclass(frozen=True)
 class ConsumerSpec:
     """One subscribed window consumer (resolved by registry)."""
@@ -198,6 +287,7 @@ class RunSpec:
 
     consumers: tuple[ConsumerSpec, ...] = ()
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    service: ServiceSpec = field(default_factory=ServiceSpec)
     compare: bool = False
     """Stream mode: also run the batch analysis and report
     streaming-vs-batch convergence."""
@@ -232,6 +322,11 @@ class RunSpec:
             )
         if self.resume and not self.checkpoint:
             raise ValueError("resume needs a checkpoint path")
+        if self.mode == "serve" and not self.service.active:
+            raise ValueError(
+                "serve mode needs an active service spec "
+                "(service.enabled or service.port > 0)"
+            )
 
     @property
     def sieve(self):
@@ -258,6 +353,11 @@ class RunSpec:
             "telemetry": {
                 **dataclasses.asdict(self.telemetry),
                 "exporters": list(self.telemetry.exporters),
+            },
+            "service": {
+                **dataclasses.asdict(self.service),
+                "topology": [list(edge)
+                             for edge in self.service.topology],
             },
             "compare": self.compare,
             "snapshot": self.snapshot,
@@ -297,6 +397,9 @@ class RunSpec:
         if "telemetry" in kwargs:
             kwargs["telemetry"] = _sub_spec(TelemetrySpec,
                                             kwargs["telemetry"])
+        if "service" in kwargs:
+            kwargs["service"] = _sub_spec(ServiceSpec,
+                                          kwargs["service"])
         for name in ("seed",):
             if name in kwargs:
                 kwargs[name] = int(kwargs[name])

@@ -16,6 +16,9 @@ Subcommands mirror the paper's workflows:
 * ``stream`` -- the streaming analysis engine against a live
   co-simulated application (crash-safe with ``--journal`` /
   ``--checkpoint``, resumable with ``--resume``);
+* ``serve`` -- the same engine as an HTTP service: ``POST /ingest``
+  feeds the bus, ``GET /api/...`` serves the latest analysis (same
+  journal/checkpoint/resume semantics as ``stream``);
 * ``record`` -- capture a live run into a durable storage backend;
 * ``replay`` -- re-analyze a recorded backend from disk (Table 3);
 * ``rca`` -- the OpenStack correct/faulty root-cause comparison;
@@ -108,8 +111,7 @@ def _add_compact(parser) -> None:
                              "--store-retention horizon)")
 
 
-def _add_stream_flags(parser, suppress: bool = False) -> None:
-    _add_app(parser, suppress)
+def _add_window_flags(parser, suppress: bool = False) -> None:
     parser.add_argument("--window", type=float,
                         default=_dflt(suppress, 20.0),
                         help="analysis window span, seconds")
@@ -132,11 +134,9 @@ def _add_stream_flags(parser, suppress: bool = False) -> None:
                         default=_dflt(suppress, 0.0),
                         help="upper bound of the adaptive cadence "
                              "(0 = 4x --hop)")
-    _add_workload(parser, suppress)
-    parser.add_argument("--compare", action="store_true",
-                        default=_dflt(suppress, False),
-                        help="also run the batch analysis and report "
-                             "streaming-vs-batch convergence")
+
+
+def _add_persistence_flags(parser, suppress: bool = False) -> None:
     parser.add_argument("--journal", metavar="PATH",
                         default=_dflt(suppress, ""),
                         help="write-ahead ingest journal (makes the "
@@ -169,6 +169,9 @@ def _add_stream_flags(parser, suppress: bool = False) -> None:
                              "(sync) or through a batching writer "
                              "thread (async) so ingest never blocks "
                              "on durable writes")
+
+
+def _add_telemetry_flags(parser, suppress: bool = False) -> None:
     parser.add_argument("--telemetry", action="store_true",
                         default=_dflt(suppress, False),
                         help="collect self-telemetry (metrics + "
@@ -183,11 +186,62 @@ def _add_stream_flags(parser, suppress: bool = False) -> None:
     parser.add_argument("--telemetry-host", metavar="HOST",
                         default=_dflt(suppress, "127.0.0.1"),
                         help="bind address of --telemetry-port")
+
+
+def _add_stream_flags(parser, suppress: bool = False) -> None:
+    _add_app(parser, suppress)
+    _add_window_flags(parser, suppress)
+    _add_workload(parser, suppress)
+    parser.add_argument("--compare", action="store_true",
+                        default=_dflt(suppress, False),
+                        help="also run the batch analysis and report "
+                             "streaming-vs-batch convergence")
+    _add_persistence_flags(parser, suppress)
+    _add_telemetry_flags(parser, suppress)
     parser.add_argument("--progress", type=int, default=0,
                         metavar="N",
                         help="print a backpressure progress line "
                              "(bus shedding + writer queue) every N "
                              "windows (0 = off)")
+    _add_parallel(parser, suppress)
+    _add_common(parser, suppress)
+
+
+def _add_serve_flags(parser, suppress: bool = False) -> None:
+    parser.add_argument("--app", default=_dflt(suppress, "http"),
+                        help="run label recorded on every analysis "
+                             "(serve mode has no simulator, so any "
+                             "name is accepted)")
+    parser.add_argument("--port", type=int,
+                        default=_dflt(suppress, 0), metavar="PORT",
+                        help="serve /ingest, /api/... and /metrics "
+                             "on PORT (0 = ephemeral; printed at "
+                             "startup)")
+    parser.add_argument("--host", metavar="HOST",
+                        default=_dflt(suppress, "127.0.0.1"),
+                        help="bind address of --port")
+    parser.add_argument("--clock", choices=("ingest", "wall"),
+                        default=_dflt(suppress, "ingest"),
+                        help="schedule analysis hops off ingest "
+                             "watermarks (deterministic) or the wall "
+                             "clock (a poller thread)")
+    parser.add_argument("--poll-interval", type=float,
+                        default=_dflt(suppress, 0.0),
+                        help="wall seconds between analysis offers "
+                             "for --clock wall (0 = --hop)")
+    parser.add_argument("--event-history", type=int,
+                        default=_dflt(suppress, 256), metavar="N",
+                        help="operational events retained behind "
+                             "/api/events")
+    parser.add_argument("--topology", action="append",
+                        default=_dflt(suppress, None),
+                        metavar="CALLER:CALLEE[:COUNT]",
+                        help="declare one static deployment edge "
+                             "(repeatable); HTTP ingest has no tracer "
+                             "to observe calls")
+    _add_window_flags(parser, suppress)
+    _add_persistence_flags(parser, suppress)
+    _add_telemetry_flags(parser, suppress)
     _add_parallel(parser, suppress)
     _add_common(parser, suppress)
 
@@ -256,6 +310,7 @@ def _add_catalog_flags(parser, suppress: bool = False) -> None:
 _MODE_FLAGS = {
     "pipeline": _add_pipeline_flags,
     "stream": _add_stream_flags,
+    "serve": _add_serve_flags,
     "record": _add_record_flags,
     "replay": _add_replay_flags,
     "rca": _add_rca_flags,
@@ -265,6 +320,23 @@ _MODE_FLAGS = {
 
 
 # -- flags -> RunSpec ------------------------------------------------------
+
+
+def _parse_topology(edges) -> list:
+    """``caller:callee[:count]`` CLI edges -> ServiceSpec topology."""
+    parsed = []
+    for edge in edges or []:
+        parts = str(edge).split(":")
+        if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+            raise ValueError(
+                f"topology edge must be CALLER:CALLEE[:COUNT], "
+                f"got {edge!r}"
+            )
+        if len(parts) == 3:
+            parsed.append([parts[0], parts[1], int(parts[2])])
+        else:
+            parsed.append([parts[0], parts[1]])
+    return parsed
 
 
 def _merge(base: dict, overrides: dict) -> dict:
@@ -334,6 +406,12 @@ def _spec_from_args(args, mode: str) -> RunSpec:
     put("telemetry.enabled", "telemetry")
     put("telemetry.port", "telemetry_port")
     put("telemetry.host", "telemetry_host")
+    put("service.port", "port")
+    put("service.host", "host")
+    put("service.clock", "clock")
+    put("service.poll_interval", "poll_interval")
+    put("service.event_history", "event_history")
+    put("service.topology", "topology", value_map=_parse_topology)
     if mode in ("record", "replay"):
         put("storage.kind", "backend")
         put("storage.path", "out" if mode == "record" else "path")
@@ -350,6 +428,11 @@ def _spec_from_args(args, mode: str) -> RunSpec:
     if mode == "rca":
         # The RCA case study is defined on the OpenStack model.
         data.setdefault("app", "openstack")
+    if mode == "serve":
+        # The subcommand *is* the request for the operations surface;
+        # a --spec file that explicitly disables it still errors out.
+        data.setdefault("service", {}).setdefault("enabled", True)
+        data.setdefault("app", "http")
     streaming = data.get("streaming")
     if streaming and "window" in streaming:
         # The historical CLI contract: a window wider than the
@@ -485,6 +568,47 @@ def cmd_stream(args) -> int:
         if getattr(args, "compact", False):
             for key, value in session.compact().items():
                 print(f"{'compact ' + key:>24}: {value}")
+    finally:
+        session.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    spec, session, code = _guarded(args, "serve")
+    if code:
+        return code
+    config = spec.streaming
+    try:
+        if session.resumed:
+            print(f"resumed from {spec.checkpoint} "
+                  f"(window {session.engine.stats.windows}, "
+                  f"{session.engine.windows.total_points()} "
+                  f"points replayed)")
+        print(f"serving {spec.app} at {session.url} "
+              f"for {spec.duration:.0f}s "
+              f"(window={config.window:.0f}s hop={config.hop:.0f}s "
+              f"clock={spec.service.clock})")
+        print("ingest:  POST /ingest  "
+              "(JSON batches or text exposition)")
+        print("queries: GET /api/windows /api/clusters /api/drift "
+              "/api/rca /api/scaling /api/events?since=N")
+        print("scrape:  GET /metrics /metrics.json /traces /healthz")
+        try:
+            outcome = session.run(on_window=_print_window)
+        except KeyboardInterrupt:
+            session.stop()
+            print("\ninterrupted; shutting down")
+            return 0
+        print()
+        summary = dict(outcome.summary)
+        summary.pop("telemetry", None)
+        for key, value in summary.items():
+            print(f"{key:>24}: {value}")
+        for key, value in outcome.service.items():
+            print(f"{'service ' + key:>24}: {value}")
+        if outcome.writer_stats:
+            for key, value in outcome.writer_stats.items():
+                print(f"{key:>24}: {value}")
     finally:
         session.close()
     return 0
@@ -636,6 +760,14 @@ def build_parser(suppress: bool = False) -> argparse.ArgumentParser:
     _add_spec_file(p_stream)
     _add_compact(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the engine as an HTTP service: POST /ingest feeds "
+             "the bus, GET /api/... serves the latest analysis")
+    _add_serve_flags(p_serve, suppress)
+    _add_spec_file(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_record = sub.add_parser(
         "record",

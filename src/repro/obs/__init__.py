@@ -15,7 +15,11 @@ Entry points:
   :class:`Histogram` -- instrumentation primitives;
 * :class:`SpanTracer` / :class:`WindowTrace` -- phase breakdowns;
 * :class:`TelemetryServer` -- the stdlib HTTP scrape endpoint;
-* :func:`render_prometheus` / :func:`snapshot` -- pure renderers.
+* :func:`render_prometheus` / :func:`snapshot` -- pure renderers;
+* :class:`OperationsService` / :class:`AnalysisView` /
+  :class:`EventLog` -- the live operations surface (``POST /ingest``
+  remote-write + ``GET /api/...`` analysis queries) attached through
+  :meth:`Telemetry.attach_service`.
 """
 
 from repro.obs.exposition import (
@@ -30,6 +34,13 @@ from repro.obs.health import (
     checkpoint_probe,
     writer_probe,
 )
+from repro.obs.ingest import (
+    IngestBatch,
+    IngestError,
+    IngestRequest,
+    SourceGate,
+    decode_payload,
+)
 from repro.obs.metrics import (
     NULL_INSTRUMENT,
     Counter,
@@ -37,18 +48,27 @@ from repro.obs.metrics import (
     Histogram,
     TelemetryRegistry,
 )
+from repro.obs.query import AnalysisView, EventLog, render_analysis
 from repro.obs.server import TelemetryServer
+from repro.obs.service import OperationsService
 from repro.obs.spans import Span, SpanTracer, WindowTrace
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "NULL_INSTRUMENT",
+    "AnalysisView",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "HealthModel",
+    "IngestBatch",
+    "IngestError",
+    "IngestRequest",
     "JsonExporter",
+    "OperationsService",
     "PrometheusExporter",
+    "SourceGate",
     "Span",
     "SpanTracer",
     "Telemetry",
@@ -57,6 +77,8 @@ __all__ = [
     "WindowTrace",
     "bus_probe",
     "checkpoint_probe",
+    "decode_payload",
+    "render_analysis",
     "render_prometheus",
     "snapshot",
     "writer_probe",

@@ -1,0 +1,182 @@
+"""Read-side state of the live operations surface.
+
+Two lock-guarded structures decouple the engine's analysis thread from
+HTTP query threads:
+
+* :class:`AnalysisView` -- a JSON-ready snapshot of the latest
+  window's analysis (clusters, drift readings, recluster decisions,
+  the guiding metric) plus a bounded history of window summaries.  The
+  engine publishes into it on every analyzed window
+  (:meth:`repro.streaming.engine.StreamingSieve.attach_view`); query
+  handlers only ever read pre-rendered plain dicts, so a slow or
+  hostile client can never touch live analysis objects.
+* :class:`EventLog` -- a bounded, monotonically sequenced log of
+  structured operational events (drift escalations, re-clusters, RCA
+  firings, checkpoint epochs).  ``since(seq)`` gives clients cheap
+  incremental polling: remember the last ``seq`` you saw and ask for
+  everything after it.
+
+Both are plain observers: publishing is cheap (dict rendering), reads
+take the same lock, and nothing here feeds back into analysis state,
+so every determinism guarantee of the engine holds with a view
+attached or not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+def render_analysis(analysis: Any) -> dict:
+    """One window's analysis as a JSON-compatible payload.
+
+    Duck-typed over :class:`repro.streaming.analyzer.WindowAnalysis`
+    so this module never imports the streaming layer.
+    """
+    clusters: dict[str, Any] = {}
+    for component, clustering in analysis.clusterings.items():
+        clusters[component] = {
+            "n_clusters": clustering.n_clusters,
+            "silhouette": clustering.silhouette,
+            "representatives": list(clustering.representatives),
+            "clusters": [
+                {
+                    "representative": cluster.representative,
+                    "metrics": sorted(cluster.metrics),
+                }
+                for cluster in clustering.clusters
+            ],
+        }
+    drift: dict[str, Any] = {}
+    for component, readings in analysis.drift_readings.items():
+        drift[component] = [
+            {
+                "metric": reading.metric,
+                "location_shift": reading.location_shift,
+                "spread_shift": reading.spread_shift,
+                "shape_distance": reading.shape_distance,
+            }
+            for reading in readings
+        ]
+    guide = analysis.guiding_metric()
+    return {
+        "window": analysis.index,
+        "span": [analysis.start, analysis.end],
+        "application": analysis.application,
+        "workload": analysis.workload,
+        "clusters": clusters,
+        "drift": drift,
+        "reclustered": sorted(analysis.reclustered),
+        "reused": sorted(analysis.reused),
+        "recluster_reasons": dict(analysis.recluster_reasons),
+        "guiding_metric": list(guide) if guide is not None else None,
+        "edges_retested": analysis.edges_retested,
+        "edges_reused": analysis.edges_reused,
+    }
+
+
+class AnalysisView:
+    """Lock-guarded, JSON-ready snapshot of the latest analysis."""
+
+    def __init__(self, history: int = 64):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self._lock = threading.Lock()
+        self._summaries: deque[dict] = deque(maxlen=history)
+        self._latest: dict | None = None
+        self.published = 0
+
+    def publish(self, analysis: Any) -> None:
+        """Render and store one fresh window analysis (engine-side)."""
+        payload = render_analysis(analysis)
+        summary = dict(analysis.summary())
+        with self._lock:
+            self._latest = payload
+            self._summaries.append(summary)
+            self.published += 1
+
+    # -- query-side reads ------------------------------------------------
+
+    def windows(self) -> dict:
+        """The retained window summaries, oldest first."""
+        with self._lock:
+            return {
+                "count": self.published,
+                "windows": [dict(s) for s in self._summaries],
+            }
+
+    def latest(self) -> dict | None:
+        """The full latest-window payload (None before any window)."""
+        with self._lock:
+            return dict(self._latest) if self._latest is not None \
+                else None
+
+    def clusters(self) -> dict:
+        with self._lock:
+            if self._latest is None:
+                return {"window": None, "clusters": {}}
+            return {
+                "window": self._latest["window"],
+                "span": self._latest["span"],
+                "guiding_metric": self._latest["guiding_metric"],
+                "clusters": self._latest["clusters"],
+            }
+
+    def drift(self) -> dict:
+        with self._lock:
+            if self._latest is None:
+                return {"window": None, "drift": {},
+                        "reclustered": [], "recluster_reasons": {}}
+            return {
+                "window": self._latest["window"],
+                "span": self._latest["span"],
+                "drift": self._latest["drift"],
+                "reclustered": self._latest["reclustered"],
+                "reused": self._latest["reused"],
+                "recluster_reasons": self._latest["recluster_reasons"],
+            }
+
+
+class EventLog:
+    """Bounded, monotonically sequenced operational event log."""
+
+    def __init__(self, history: int = 256):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=history)
+        self._seq = 0
+
+    def append(self, kind: str, time: float, payload: dict) -> int:
+        """Record one event; returns its sequence number."""
+        with self._lock:
+            self._seq += 1
+            self._events.append({
+                "seq": self._seq,
+                "kind": kind,
+                "time": float(time),
+                **payload,
+            })
+            return self._seq
+
+    @property
+    def latest_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def since(self, seq: int = 0) -> dict:
+        """Events with sequence numbers strictly after ``seq``.
+
+        The response carries ``latest_seq`` so a poller can detect
+        that retention already dropped events it never saw
+        (``events[0]["seq"] > seq + 1``).
+        """
+        with self._lock:
+            events = [dict(e) for e in self._events if e["seq"] > seq]
+            return {"latest_seq": self._seq, "events": events}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,290 @@
+"""The live operations service: HTTP ingest + analysis queries.
+
+:class:`OperationsService` is the glue between the PR 6 telemetry
+server and a running :class:`~repro.streaming.engine.StreamingSieve`:
+
+* ``POST /ingest`` -- remote-write-style metric ingestion.  Payloads
+  are fully decoded (:mod:`repro.obs.ingest`) before anything touches
+  the bus, per-source sequencing suppresses retransmissions, bus
+  backpressure surfaces as 429 + ``Retry-After``, and -- with the
+  default ``ingest`` clock -- every accepted payload advances the
+  engine's hop schedule via ``offer(watermark)``, so an HTTP-fed run
+  produces bit-identical windows to an in-process run over the same
+  point stream.
+* ``GET /api/...`` -- read-side queries served from the lock-guarded
+  :class:`~repro.obs.query.AnalysisView` and
+  :class:`~repro.obs.query.EventLog` the engine publishes into, plus
+  live consumer state (RCA reports, autoscaling rebinds).
+
+All engine mutation (publish + offer) happens under one lock, so
+concurrent HTTP senders serialize against the analysis tick; reads
+never take that lock -- they see the view's own snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.obs.ingest import (
+    IngestError,
+    SourceGate,
+    decode_payload,
+)
+from repro.obs.query import AnalysisView, EventLog
+
+#: Read-side routes this service answers (all GET).
+QUERY_ROUTES = (
+    "/api/windows",
+    "/api/clusters",
+    "/api/drift",
+    "/api/rca",
+    "/api/scaling",
+    "/api/events",
+)
+
+#: Engine clocks a service can schedule analysis hops from.
+SERVICE_CLOCKS = ("ingest", "wall")
+
+#: Largest accepted ingest payload (bytes) -- maps to HTTP 413.
+MAX_INGEST_BYTES = 8 * 1024 * 1024
+
+
+class OperationsService:
+    """Ingest + query surface over one streaming engine."""
+
+    def __init__(self, engine: Any, *, clock: str = "ingest",
+                 call_graph: Any = None, view: AnalysisView | None = None,
+                 events: EventLog | None = None,
+                 ingest_enabled: bool = True,
+                 consumers: dict[str, Any] | None = None):
+        """``engine`` is duck-typed (``bus`` / ``offer`` / ``stats``);
+        ``call_graph`` is the static topology every ``offer`` carries
+        (empty when the deployment map is unknown).  With
+        ``ingest_enabled=False`` (a co-simulated run that only wants
+        the query surface) ``POST /ingest`` answers 409."""
+        if clock not in SERVICE_CLOCKS:
+            raise ValueError(
+                f"unknown service clock {clock!r} "
+                f"(expected one of {SERVICE_CLOCKS})"
+            )
+        if call_graph is None:
+            from repro.tracing.callgraph import CallGraph
+
+            call_graph = CallGraph()
+        self.engine = engine
+        self.clock = clock
+        self.call_graph = call_graph
+        self.view = view if view is not None else AnalysisView()
+        self.events = events if events is not None else EventLog()
+        self.gate = SourceGate()
+        self.ingest_enabled = ingest_enabled
+        self.consumers = consumers if consumers is not None else {}
+        self.lock = threading.RLock()
+        """Serializes all engine mutation: HTTP publishes, analysis
+        offers, and the wall-clock poller all take it."""
+
+        self.ingest_requests = 0
+        self.ingest_rejected = 0
+        self.ingest_points = 0
+        self.backpressure_responses = 0
+
+    # -- ingest ----------------------------------------------------------
+
+    def _backpressured(self) -> bool:
+        """True when the bus is already at its shedding bound."""
+        bus = self.engine.bus
+        return bool(bus.max_pending
+                    and bus.pending_points >= bus.max_pending)
+
+    def handle_ingest(self, content_type: str, body: bytes,
+                      source: str = "",
+                      seq_header: str | None = None,
+                      ) -> tuple[int, dict, dict]:
+        """Process one ``POST /ingest``.
+
+        Returns ``(status, json_payload, extra_headers)``.  The payload
+        is decoded and gated before any engine mutation; the publish +
+        hop offer run under :attr:`lock`.
+        """
+        self.ingest_requests += 1
+        if not self.ingest_enabled:
+            return 409, {
+                "error": "ingest is disabled: this engine is driven "
+                         "by a co-simulation, not by HTTP",
+            }, {}
+        if len(body) > MAX_INGEST_BYTES:
+            self.ingest_rejected += 1
+            return 413, {
+                "error": f"payload exceeds {MAX_INGEST_BYTES} bytes",
+            }, {}
+        try:
+            request = decode_payload(content_type, body,
+                                     source=source,
+                                     seq_header=seq_header)
+        except IngestError as exc:
+            self.ingest_rejected += 1
+            return 400, {"error": str(exc)}, {}
+
+        if not self.gate.admit(request.source, request.seq):
+            # Remote-write duplicate semantics: acknowledge without
+            # re-publishing so the sender stops retrying.
+            return 200, {
+                "status": "duplicate",
+                "source": request.source,
+                "seq": request.seq,
+                "accepted": 0,
+            }, {}
+
+        bus = self.engine.bus
+        with self.lock:
+            if self._backpressured():
+                self.backpressure_responses += 1
+                return 429, {
+                    "error": "bus backpressure: pending points at the "
+                             "max_pending bound",
+                    "pending": bus.pending_points,
+                }, {"Retry-After": "1"}
+            rejected_before = bus.stats.rejected_points
+            shed_before = (bus.stats.overflow_dropped
+                           + bus.stats.overflow_downsampled)
+            for batch in request.batches:
+                if batch.is_points:
+                    bus.publish_points(batch.component, batch.metric,
+                                       batch.times, batch.values)
+                else:
+                    bus.publish(batch.component, batch.time,
+                                batch.metrics)
+            rejected = bus.stats.rejected_points - rejected_before
+            shed = (bus.stats.overflow_dropped
+                    + bus.stats.overflow_downsampled) - shed_before
+            analyzed = None
+            watermark = request.watermark
+            if self.clock == "ingest" and watermark is not None:
+                analysis = self.engine.offer(watermark, self.call_graph)
+                if analysis is not None:
+                    analyzed = analysis.index
+
+        accepted = request.point_count - rejected
+        self.ingest_points += max(accepted, 0)
+        payload = {
+            "status": "ok",
+            "accepted": accepted,
+            "rejected": rejected,
+            "batches": len(request.batches),
+            "watermark": watermark,
+            "analyzed_window": analyzed,
+        }
+        if request.source:
+            payload["source"] = request.source
+        if request.seq is not None:
+            payload["seq"] = request.seq
+        if shed:
+            # The batch landed but pushed the bus over its bound; the
+            # 429 tells the sender to back off while the shed counts
+            # say what was lost.
+            self.backpressure_responses += 1
+            payload["status"] = "shed"
+            payload["shed"] = shed
+            return 429, payload, {"Retry-After": "1"}
+        return 200, payload, {}
+
+    # -- hop scheduling --------------------------------------------------
+
+    def offer_watermark(self) -> Any:
+        """One wall-clock-scheduled analysis tick (``clock="wall"``).
+
+        Offers the newest ingested timestamp, so the analysis time
+        axis stays on data time while the *cadence* follows the wall.
+        Returns the fresh analysis, if one ran.
+        """
+        with self.lock:
+            watermark = self.engine.resume_horizon()
+            if watermark is None:
+                return None
+            return self.engine.offer(watermark, self.call_graph)
+
+    # -- queries ---------------------------------------------------------
+
+    def _rca_payload(self) -> dict:
+        consumer = self.consumers.get("rca")
+        if consumer is None:
+            return {"enabled": False, "reports": []}
+        reports = []
+        for triggered in list(consumer.reports):
+            reports.append({
+                "faulty_index": triggered.faulty_index,
+                "baseline_index": triggered.baseline_index,
+                "ranking": [
+                    {
+                        "rank": candidate.rank,
+                        "component": candidate.component,
+                        "novelty_score": candidate.novelty_score,
+                        "metrics": list(candidate.metrics),
+                    }
+                    for candidate in triggered.report.final_ranking
+                ],
+            })
+        return {
+            "enabled": True,
+            "windows_seen": consumer.windows_seen,
+            "reports": reports,
+        }
+
+    def _scaling_payload(self) -> dict:
+        consumer = self.consumers.get("scaling")
+        if consumer is None:
+            return {"enabled": False, "rebinds": []}
+        component, metric = consumer.guiding_metric
+        return {
+            "enabled": True,
+            "component": consumer.rule.component,
+            "guiding_metric": [component, metric],
+            "windows_seen": consumer.windows_seen,
+            "rebinds": [
+                {
+                    "window": event.window_index,
+                    "component": event.metric_component,
+                    "metric": event.metric,
+                }
+                for event in list(consumer.rebinds)
+            ],
+        }
+
+    def handle_query(self, path: str,
+                     params: dict[str, str]) -> tuple[int, dict]:
+        """Answer one ``GET /api/...`` request."""
+        if path == "/api/windows":
+            return 200, self.view.windows()
+        if path == "/api/clusters":
+            return 200, self.view.clusters()
+        if path == "/api/drift":
+            return 200, self.view.drift()
+        if path == "/api/rca":
+            return 200, self._rca_payload()
+        if path == "/api/scaling":
+            return 200, self._scaling_payload()
+        if path == "/api/events":
+            raw = params.get("since", "0")
+            try:
+                since = int(raw)
+            except ValueError:
+                return 400, {"error": f"invalid since={raw!r}"}
+            return 200, self.events.since(since)
+        return 404, {"error": f"no query route {path!r}",
+                     "routes": list(QUERY_ROUTES)}
+
+    # -- observability ---------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "clock": self.clock,
+            "ingest_enabled": self.ingest_enabled,
+            "ingest_requests": self.ingest_requests,
+            "ingest_rejected": self.ingest_rejected,
+            "ingest_points": self.ingest_points,
+            "backpressure_responses": self.backpressure_responses,
+            "events": len(self.events),
+            "windows_published": self.view.published,
+            **self.gate.as_dict(),
+        }

@@ -54,6 +54,10 @@ class Telemetry:
         self._exporters: dict[str, object] = {}
         self._requested_exporters = tuple(exporters)
         self._server = None
+        self.service = None
+        """The attached :class:`~repro.obs.service.OperationsService`,
+        or None -- the server only routes ``/ingest`` and ``/api/...``
+        while one is attached."""
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -118,6 +122,15 @@ class Telemetry:
         return names
 
     # -- serving ---------------------------------------------------------
+
+    def attach_service(self, service) -> None:
+        """Expose an operations service on this facade's server.
+
+        Attaching enables the ``/ingest`` and ``/api/...`` routes on
+        the (current or future) :class:`TelemetryServer`; detaching
+        (``attach_service(None)``) turns them back into 404s.
+        """
+        self.service = service
 
     def serve(self, port: int = 0, host: str = "127.0.0.1"):
         """Start (or return) the HTTP exposition server.

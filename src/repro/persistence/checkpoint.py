@@ -327,6 +327,9 @@ class CheckpointPolicy:
         self.checkpoints_written = 0
         self._windows_seen = 0
         self._last_checkpoint_window = 0
+        self.on_checkpoint = None
+        """Optional ``callback(analysis, policy)`` fired after each
+        checkpoint lands (the operations event log hooks in here)."""
         self._save_seconds = engine.telemetry.registry.histogram(
             "repro_checkpoint_save_seconds",
             "Wall time of one checkpoint save (incl. journal rotation)",
@@ -364,3 +367,5 @@ class CheckpointPolicy:
                     journal.retire(
                         stalest - self.engine.config.retention)
         self._save_seconds.observe(span.elapsed)
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(analysis, self)

@@ -129,6 +129,14 @@ class IngestionBus:
         self.overflow_policy = overflow_policy
         self.stats = BusStats()
         self._buffers: dict[tuple[str, str], _Buffer] = {}
+        self._high_water: dict[tuple[str, str], float] = {}
+        """Per-key newest admitted timestamp, surviving flushes.  A
+        flush discards the buffer (and its ``last_time``), but the
+        downstream rings are append-only forever -- so the ordering
+        guard must span the bus's whole lifetime, or a late sample
+        arriving in a *later* flush cycle (an HTTP sender replaying
+        old data) would corrupt delivery instead of being rejected."""
+
         self._pending = 0
         self._sinks: list = []
         self._journal = None
@@ -217,6 +225,16 @@ class IngestionBus:
 
     # -- publishing ----------------------------------------------------
 
+    def _buffer(self, component: str, metric: str) -> _Buffer:
+        """The key's pending buffer, seeded with its lifetime guard."""
+        key = (component, metric)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = _Buffer(last_time=self._high_water.get(
+                key, float("-inf")))
+            self._buffers[key] = buffer
+        return buffer
+
     def publish(self, component: str, time: float,
                 metrics: dict[str, float]) -> None:
         """Accept one component scrape batch (the collector protocol)."""
@@ -224,14 +242,14 @@ class IngestionBus:
             if self._clip_resumed(component, metric, time):
                 self.stats.resume_clipped += 1
                 continue
-            buffer = self._buffers.setdefault((component, metric),
-                                              _Buffer())
+            buffer = self._buffer(component, metric)
             if time < buffer.last_time:
                 self.stats.rejected_points += 1
                 continue
             buffer.times.append(float(time))
             buffer.values.append(float(value))
             buffer.last_time = float(time)
+            self._high_water[(component, metric)] = float(time)
             self._pending += 1
             self.stats.points_published += 1
         self.stats.batches_published += 1
@@ -251,13 +269,14 @@ class IngestionBus:
             t, v = t[1:], v[1:]
         if t.size == 0:
             return
-        buffer = self._buffers.setdefault((component, metric), _Buffer())
+        buffer = self._buffer(component, metric)
         if np.any(np.diff(t) < 0) or t[0] < buffer.last_time:
             self.stats.rejected_points += int(t.size)
             return
         buffer.times.extend(t.tolist())
         buffer.values.extend(v.tolist())
         buffer.last_time = float(t[-1])
+        self._high_water[(component, metric)] = float(t[-1])
         self._pending += int(t.size)
         self.stats.points_published += int(t.size)
         self.stats.batches_published += 1

@@ -11,6 +11,7 @@ and notifies subscribed consumers (live autoscalers, RCA snapshots).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.core.config import StreamingConfig
@@ -102,6 +103,17 @@ class StreamingSieve:
         in which case drift pressure scales it between the configured
         bounds (checkpointed, so a resumed run keeps its cadence)."""
 
+        self.view = None
+        """An attached :class:`~repro.obs.query.AnalysisView` (or
+        None): every analyzed window is published into it *after* all
+        consumers ran, so queries see post-consumer state."""
+        self.events = None
+        """An attached :class:`~repro.obs.query.EventLog` (or None):
+        drift escalations and re-clusters are appended per window."""
+        self.last_analysis_walltime: float | None = None
+        """Wall-clock stamp of the newest analysis (staleness gauge
+        only -- never checkpointed, never read by analysis)."""
+
         if self.telemetry.enabled:
             self.bus.attach_telemetry(self.telemetry)
             self._register_telemetry()
@@ -161,6 +173,15 @@ class StreamingSieve:
             "Write-ahead ingest-journal counts, by event",
             labelnames=("event",),
         )
+        last_window = registry.gauge(
+            "repro_last_window_epoch",
+            "Index of the newest analyzed window (-1 before the first)",
+        )
+        last_analysis = registry.gauge(
+            "repro_last_analysis_timestamp_seconds",
+            "Wall-clock Unix time of the newest analysis (0 before "
+            "the first) -- alert when now() - this exceeds the hop",
+        )
 
         def sample() -> None:
             bus_stats = self.bus.stats
@@ -190,6 +211,9 @@ class StreamingSieve:
             edges_total.set_total(self.stats.edges_reused,
                                   decision="reused")
             hop_gauge.set(self.current_hop)
+            newest = self.history[-1] if self.history else None
+            last_window.set(newest.index if newest is not None else -1)
+            last_analysis.set(self.last_analysis_walltime or 0.0)
             executor_total.set_total(self.executor.tasks_dispatched,
                                      executor=self.executor.kind)
             journal = self.bus.journal
@@ -204,6 +228,18 @@ class StreamingSieve:
         registry.add_collector(sample)
 
     # -- consumers -----------------------------------------------------
+
+    def attach_view(self, view) -> None:
+        """Publish every analyzed window into an
+        :class:`~repro.obs.query.AnalysisView` (pass None to detach).
+        Strictly an observer: the view renders to plain dicts and
+        nothing flows back, so determinism holds either way."""
+        self.view = view
+
+    def attach_events(self, events) -> None:
+        """Append drift/re-cluster events per window into an
+        :class:`~repro.obs.query.EventLog` (pass None to detach)."""
+        self.events = events
 
     def subscribe(self, consumer) -> None:
         """Register a consumer: callable or object with ``on_window``."""
@@ -372,6 +408,27 @@ class StreamingSieve:
         nested = tracer.pending_seconds(nested_phases) - nested_before
         tracer.add("consumers", max(loop_elapsed - nested, 0.0))
         tracer.finish_window(analysis.index, start, end)
+        if self.events is not None:
+            drifted = sorted(
+                component
+                for component, reason in
+                analysis.recluster_reasons.items()
+                if reason == "drift"
+            )
+            if drifted:
+                self.events.append("drift-escalation", end, {
+                    "window": analysis.index, "components": drifted,
+                })
+            if analysis.reclustered:
+                self.events.append("recluster", end, {
+                    "window": analysis.index,
+                    "components": sorted(analysis.reclustered),
+                    "reasons": dict(analysis.recluster_reasons),
+                })
+        if self.view is not None:
+            # After consumers + events: queries see post-consumer state.
+            self.view.publish(analysis)
+        self.last_analysis_walltime = time.time()
         return analysis
 
     # -- consumer-facing views ------------------------------------------
