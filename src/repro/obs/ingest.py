@@ -26,6 +26,10 @@
       cpu_usage{component="front"} 0.61 12.5
 
   Sequencing rides the ``X-Repro-Source`` / ``X-Repro-Seq`` headers.
+  Standard Prometheus clients stamp samples in *milliseconds* since
+  epoch; they must send ``X-Repro-Time-Unit: ms`` so the decoder
+  rescales onto the engine's seconds axis (the header works for JSON
+  payloads too).
 
 Decoding is strict and total: the whole payload is validated into
 :class:`IngestBatch` objects *before* anything touches the bus, so a
@@ -233,8 +237,10 @@ def decode_text(body: bytes, source: str = "",
     named by its ``component`` label; labels beyond ``component`` are
     folded into the metric name deterministically so distinct label
     sets stay distinct series.  Timestamps are seconds (the engine's
-    time axis); a line without one is rejected -- the engine has no
-    wall clock to substitute.
+    time axis) -- Prometheus-native millisecond stamps need the
+    ``X-Repro-Time-Unit: ms`` header, applied by
+    :func:`decode_payload`; a line without a timestamp is rejected --
+    the engine has no wall clock to substitute.
     """
     try:
         text = body.decode("utf-8")
@@ -289,11 +295,42 @@ def decode_text(body: bytes, source: str = "",
     return IngestRequest(batches=batches, source=source, seq=seq)
 
 
+#: Accepted ``X-Repro-Time-Unit`` values -> scale onto engine seconds.
+TIME_UNITS = {"s": 1.0, "seconds": 1.0, "ms": 0.001, "milliseconds": 0.001}
+
+
+def _time_scale(time_unit: str | None) -> float:
+    if time_unit is None or time_unit == "":
+        return 1.0
+    scale = TIME_UNITS.get(time_unit.strip().lower())
+    if scale is None:
+        raise IngestError(
+            f"unsupported X-Repro-Time-Unit {time_unit!r} "
+            f"(expected one of {sorted(TIME_UNITS)})"
+        )
+    return scale
+
+
+def _rescale(request: IngestRequest, scale: float) -> IngestRequest:
+    """Bring every decoded timestamp onto the engine's seconds axis."""
+    if scale != 1.0:
+        for batch in request.batches:
+            if batch.is_points:
+                batch.times = [t * scale for t in batch.times]
+            else:
+                batch.time *= scale
+    return request
+
+
 def decode_payload(content_type: str, body: bytes, source: str = "",
-                   seq_header: str | None = None) -> IngestRequest:
+                   seq_header: str | None = None,
+                   time_unit: str | None = None) -> IngestRequest:
     """Dispatch on Content-Type (JSON by default, text exposition for
-    ``text/plain``).  ``source``/``seq_header`` carry the
-    ``X-Repro-Source`` / ``X-Repro-Seq`` headers."""
+    ``text/plain``).  ``source``/``seq_header``/``time_unit`` carry
+    the ``X-Repro-Source`` / ``X-Repro-Seq`` / ``X-Repro-Time-Unit``
+    headers; the last rescales timestamps onto the engine's seconds
+    axis (Prometheus-native senders stamp milliseconds)."""
+    scale = _time_scale(time_unit)
     seq: int | None = None
     if seq_header is not None and seq_header != "":
         try:
@@ -304,7 +341,7 @@ def decode_payload(content_type: str, body: bytes, source: str = "",
             ) from None
     kind = (content_type or "application/json").split(";", 1)[0].strip()
     if kind in ("text/plain", "application/openmetrics-text"):
-        return decode_text(body, source=source, seq=seq)
+        return _rescale(decode_text(body, source=source, seq=seq), scale)
     if kind in ("application/json", ""):
         request = decode_json(body)
         if source and not request.source:
@@ -315,7 +352,7 @@ def decode_payload(content_type: str, body: bytes, source: str = "",
                     "a sequenced payload needs a source header"
                 )
             request.seq = seq
-        return request
+        return _rescale(request, scale)
     raise IngestError(f"unsupported Content-Type {content_type!r}")
 
 

@@ -93,14 +93,14 @@ class _Handler(BaseHTTPRequestHandler):
                       json.dumps(payload, sort_keys=True),
                       extra_headers)
 
-    def _allowed_methods(self, path: str) -> tuple[str, ...] | None:
+    def _allowed_methods(self, path: str,
+                         service) -> tuple[str, ...] | None:
         """Methods a known route accepts, or None for an unknown path."""
-        telemetry = self.server.telemetry  # type: ignore[attr-defined]
         if path in _BASE_ROUTES:
             return _BASE_ROUTES[path]
         if path.startswith("/export/"):
             return ("GET",)
-        if telemetry.service is not None:
+        if service is not None:
             from repro.obs.service import QUERY_ROUTES
 
             if path == "/ingest":
@@ -111,10 +111,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # One capture per request: attach_service(None) may run
+        # concurrently, and routing + handling must see the same
+        # service (or the same absence of one), never an
+        # AttributeError halfway through.
+        telemetry = self.server.telemetry  # type: ignore[attr-defined]
+        service = telemetry.service
         try:
-            allowed = self._allowed_methods(path)
+            allowed = self._allowed_methods(path, service)
             if allowed is None:
-                self._not_found(path)
+                self._not_found(path, service)
             elif method not in allowed:
                 self._respond_json(
                     405, {"error": f"{method} not allowed on {path}",
@@ -122,9 +128,9 @@ class _Handler(BaseHTTPRequestHandler):
                     {"Allow": ", ".join(allowed)},
                 )
             elif method == "POST":
-                self._handle_ingest()
+                self._handle_ingest(service)
             else:
-                self._handle_get(path)
+                self._handle_get(path, service)
         except BrokenPipeError:  # client went away mid-response
             pass
 
@@ -139,18 +145,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
 
-    def _not_found(self, path: str) -> None:
+    def _not_found(self, path: str, service) -> None:
         routes = ["/metrics", "/metrics.json", "/traces", "/healthz",
                   "/export/<name>"]
-        telemetry = self.server.telemetry  # type: ignore[attr-defined]
-        if telemetry.service is not None:
+        if service is not None:
             from repro.obs.service import QUERY_ROUTES
 
             routes.extend(["/ingest", *QUERY_ROUTES])
         self._respond_json(404, {"error": f"no route {path!r}",
                                  "routes": routes})
 
-    def _handle_get(self, path: str) -> None:
+    def _handle_get(self, path: str, service) -> None:
         telemetry = self.server.telemetry  # type: ignore[attr-defined]
         if path in ("/", "/metrics"):
             self._respond(200, PROMETHEUS_CONTENT_TYPE,
@@ -179,12 +184,10 @@ class _Handler(BaseHTTPRequestHandler):
         else:  # an /api/... query route
             query = self.path.split("?", 1)
             params = dict(parse_qsl(query[1])) if len(query) > 1 else {}
-            status, payload = telemetry.service.handle_query(
-                path, params)
+            status, payload = service.handle_query(path, params)
             self._respond_json(status, payload)
 
-    def _handle_ingest(self) -> None:
-        telemetry = self.server.telemetry  # type: ignore[attr-defined]
+    def _handle_ingest(self, service) -> None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -200,11 +203,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_json(
                 400, {"error": "truncated request body"})
             return
-        status, payload, extra = telemetry.service.handle_ingest(
+        status, payload, extra = service.handle_ingest(
             self.headers.get("Content-Type", ""),
             body,
             source=self.headers.get("X-Repro-Source", ""),
             seq_header=self.headers.get("X-Repro-Seq"),
+            time_unit=self.headers.get("X-Repro-Time-Unit"),
         )
         self._respond_json(status, payload, extra)
 

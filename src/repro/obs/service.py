@@ -84,6 +84,9 @@ class OperationsService:
         """Serializes all engine mutation: HTTP publishes, analysis
         offers, and the wall-clock poller all take it."""
 
+        self._stats_lock = threading.Lock()
+        """Guards the request counters below: handler threads race on
+        them and ``+=`` on an attribute is not atomic."""
         self.ingest_requests = 0
         self.ingest_rejected = 0
         self.ingest_points = 0
@@ -97,55 +100,64 @@ class OperationsService:
         return bool(bus.max_pending
                     and bus.pending_points >= bus.max_pending)
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, name, getattr(self, name) + amount)
+
     def handle_ingest(self, content_type: str, body: bytes,
                       source: str = "",
                       seq_header: str | None = None,
+                      time_unit: str | None = None,
                       ) -> tuple[int, dict, dict]:
         """Process one ``POST /ingest``.
 
         Returns ``(status, json_payload, extra_headers)``.  The payload
-        is decoded and gated before any engine mutation; the publish +
-        hop offer run under :attr:`lock`.
+        is decoded before any engine mutation; the sequence gate,
+        publish and hop offer run under :attr:`lock`.
         """
-        self.ingest_requests += 1
+        self._count("ingest_requests")
         if not self.ingest_enabled:
             return 409, {
                 "error": "ingest is disabled: this engine is driven "
                          "by a co-simulation, not by HTTP",
             }, {}
         if len(body) > MAX_INGEST_BYTES:
-            self.ingest_rejected += 1
+            self._count("ingest_rejected")
             return 413, {
                 "error": f"payload exceeds {MAX_INGEST_BYTES} bytes",
             }, {}
         try:
             request = decode_payload(content_type, body,
                                      source=source,
-                                     seq_header=seq_header)
+                                     seq_header=seq_header,
+                                     time_unit=time_unit)
         except IngestError as exc:
-            self.ingest_rejected += 1
+            self._count("ingest_rejected")
             return 400, {"error": str(exc)}, {}
-
-        if not self.gate.admit(request.source, request.seq):
-            # Remote-write duplicate semantics: acknowledge without
-            # re-publishing so the sender stops retrying.
-            return 200, {
-                "status": "duplicate",
-                "source": request.source,
-                "seq": request.seq,
-                "accepted": 0,
-            }, {}
 
         bus = self.engine.bus
         with self.lock:
             if self._backpressured():
-                self.backpressure_responses += 1
+                # Refuse BEFORE the gate commits the seq: nothing was
+                # published, so the Retry-After retry of this same seq
+                # must be admitted, not acked as a duplicate.
+                self._count("backpressure_responses")
                 return 429, {
                     "error": "bus backpressure: pending points at the "
                              "max_pending bound",
                     "pending": bus.pending_points,
                 }, {"Retry-After": "1"}
+            if not self.gate.admit(request.source, request.seq):
+                # Remote-write duplicate semantics: acknowledge without
+                # re-publishing so the sender stops retrying.
+                return 200, {
+                    "status": "duplicate",
+                    "source": request.source,
+                    "seq": request.seq,
+                    "accepted": 0,
+                }, {}
             rejected_before = bus.stats.rejected_points
+            clipped_before = bus.stats.resume_clipped
             shed_before = (bus.stats.overflow_dropped
                            + bus.stats.overflow_downsampled)
             for batch in request.batches:
@@ -156,6 +168,7 @@ class OperationsService:
                     bus.publish(batch.component, batch.time,
                                 batch.metrics)
             rejected = bus.stats.rejected_points - rejected_before
+            clipped = bus.stats.resume_clipped - clipped_before
             shed = (bus.stats.overflow_dropped
                     + bus.stats.overflow_downsampled) - shed_before
             analyzed = None
@@ -165,12 +178,13 @@ class OperationsService:
                 if analysis is not None:
                     analyzed = analysis.index
 
-        accepted = request.point_count - rejected
-        self.ingest_points += max(accepted, 0)
+        accepted = request.point_count - rejected - clipped
+        self._count("ingest_points", max(accepted, 0))
         payload = {
             "status": "ok",
             "accepted": accepted,
             "rejected": rejected,
+            "clipped": clipped,
             "batches": len(request.batches),
             "watermark": watermark,
             "analyzed_window": analyzed,
@@ -183,7 +197,7 @@ class OperationsService:
             # The batch landed but pushed the bus over its bound; the
             # 429 tells the sender to back off while the shed counts
             # say what was lost.
-            self.backpressure_responses += 1
+            self._count("backpressure_responses")
             payload["status"] = "shed"
             payload["shed"] = shed
             return 429, payload, {"Retry-After": "1"}
@@ -197,9 +211,19 @@ class OperationsService:
         Offers the newest ingested timestamp, so the analysis time
         axis stays on data time while the *cadence* follows the wall.
         Returns the fresh analysis, if one ran.
+
+        The watermark covers points still *pending* in the bus, not
+        just flushed ones: the offer's flush is what drains a bus
+        sitting at its ``max_pending`` bound, so deriving the
+        watermark only from delivered data would leave backpressure
+        stuck forever (429s whose retries can never succeed).
         """
         with self.lock:
             watermark = self.engine.resume_horizon()
+            pending = self.engine.bus.newest_ingested()
+            if pending is not None:
+                watermark = pending if watermark is None \
+                    else max(watermark, pending)
             if watermark is None:
                 return None
             return self.engine.offer(watermark, self.call_graph)
@@ -277,13 +301,17 @@ class OperationsService:
     # -- observability ---------------------------------------------------
 
     def summary(self) -> dict:
+        with self._stats_lock:
+            counters = {
+                "ingest_requests": self.ingest_requests,
+                "ingest_rejected": self.ingest_rejected,
+                "ingest_points": self.ingest_points,
+                "backpressure_responses": self.backpressure_responses,
+            }
         return {
             "clock": self.clock,
             "ingest_enabled": self.ingest_enabled,
-            "ingest_requests": self.ingest_requests,
-            "ingest_rejected": self.ingest_rejected,
-            "ingest_points": self.ingest_points,
-            "backpressure_responses": self.backpressure_responses,
+            **counters,
             "events": len(self.events),
             "windows_published": self.view.published,
             **self.gate.as_dict(),

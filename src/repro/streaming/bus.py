@@ -352,6 +352,21 @@ class IngestionBus:
         """Points buffered but not yet delivered."""
         return self._pending
 
+    def newest_ingested(self) -> float | None:
+        """Newest timestamp ever admitted, across every key.
+
+        Spans the bus's whole lifetime (the ordering high-water, not
+        the transient buffers), so it covers points still pending a
+        flush and points already delivered or shed.  None before any
+        point was admitted.  Wall-clock serve polling schedules
+        analysis off this: the engine's own horizon only advances on
+        flush, which would deadlock a bus stuck at ``max_pending``
+        below the flush threshold.
+        """
+        if not self._high_water:
+            return None
+        return max(self._high_water.values())
+
     def flush(self) -> int:
         """Deliver every buffered batch to every subscriber.
 

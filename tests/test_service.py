@@ -182,6 +182,38 @@ class TestDecodeText:
             decode_payload("application/json", b"[]",
                            seq_header="not-a-number")
 
+    def test_millisecond_unit_header_rescales_timestamps(self):
+        # Prometheus-native senders stamp milliseconds since epoch;
+        # X-Repro-Time-Unit: ms brings them onto the seconds axis.
+        request = decode_payload(
+            "text/plain",
+            b'cpu{component="a"} 1.0 12500\n',
+            time_unit="ms",
+        )
+        assert request.watermark == 12.5
+        request = decode_payload(
+            "application/json",
+            json.dumps({"batches": [
+                {"component": "a", "time": 2000.0,
+                 "metrics": {"m": 1.0}},
+                {"component": "a", "metric": "n",
+                 "times": [1000.0, 1500.0], "values": [1.0, 2.0]},
+            ]}).encode(),
+            time_unit="MS",  # case-insensitive
+        )
+        assert request.batches[0].time == 2.0
+        assert request.batches[1].times == [1.0, 1.5]
+        # Seconds (the default) pass through untouched.
+        request = decode_payload(
+            "text/plain", b'cpu{component="a"} 1.0 12.5\n',
+            time_unit="s",
+        )
+        assert request.watermark == 12.5
+        with pytest.raises(IngestError):
+            decode_payload("text/plain",
+                           b'cpu{component="a"} 1.0 1.0\n',
+                           time_unit="fortnights")
+
 
 class TestSourceGate:
     def test_per_source_sequencing(self):
@@ -415,6 +447,32 @@ class TestServeSession:
         finally:
             session.close()
 
+    def test_time_unit_header_over_http(self):
+        # A Prometheus-native sender stamps milliseconds; the header
+        # rescales them onto the engine's seconds axis end to end.
+        session = _serve_session()
+        try:
+            t_ms = 12500
+            status, _h, body = _post(
+                session.url + "/ingest",
+                f'cpu{{component="front"}} 0.5 {t_ms}\n'.encode(),
+                content_type="text/plain",
+                headers={"X-Repro-Time-Unit": "ms"},
+            )
+            assert status == 200 and body["accepted"] == 1
+            assert body["watermark"] == 12.5
+
+            status, _h, body = _post(
+                session.url + "/ingest",
+                f'cpu{{component="front"}} 0.5 {t_ms}\n'.encode(),
+                content_type="text/plain",
+                headers={"X-Repro-Time-Unit": "parsecs"},
+            )
+            assert status == 400
+            assert "X-Repro-Time-Unit" in body["error"]
+        finally:
+            session.close()
+
     def test_torn_payloads_do_not_perturb_the_engine(self):
         session = _serve_session()
         try:
@@ -472,6 +530,67 @@ class TestServeSession:
         finally:
             session.close()
 
+    def test_backpressured_sequenced_payload_is_retryable(self):
+        # A sequenced payload refused with 429 was never published, so
+        # its seq must NOT be committed: the Retry-After retry has to
+        # land as fresh data, not be swallowed as a duplicate ack.
+        session = _serve_session(clock="wall", bus_max_pending=64)
+        try:
+            times = [i * 0.01 for i in range(100)]
+            status, _h, _b = _post(
+                session.url + "/ingest",
+                {"batches": [{"component": "front", "metric": "cpu",
+                              "times": times,
+                              "values": [1.0] * len(times)}]},
+            )
+            assert status == 429  # the bus is now at its bound
+
+            payload = {"source": "agent", "seq": 1, "batches": [
+                {"component": "back", "time": 5.0,
+                 "metrics": {"cpu": 1.0}},
+            ]}
+            status, _h, body = _post(session.url + "/ingest", payload)
+            assert status == 429 and "backpressure" in body["error"]
+            assert session.service.gate.last_seq("agent") is None
+
+            session.engine.bus.flush()  # drain: backpressure clears
+            status, _h, body = _post(session.url + "/ingest", payload)
+            assert status == 200 and body["status"] == "ok"
+            assert body["accepted"] == 1
+            assert session.service.gate.last_seq("agent") == 1
+        finally:
+            session.close()
+
+    def test_wall_poller_tick_drains_a_jammed_bus(self):
+        # The poller's offer must schedule off *pending* (unflushed)
+        # data: a bus jammed at max_pending before its first flush
+        # has delivered nothing, so a watermark derived only from
+        # flushed data would no-op forever and every Retry-After
+        # would be a lie.
+        session = _serve_session(clock="wall", bus_max_pending=64)
+        try:
+            times = [i * 0.01 for i in range(100)]
+            status, _h, _b = _post(
+                session.url + "/ingest",
+                {"batches": [{"component": "front", "metric": "cpu",
+                              "times": times,
+                              "values": [1.0] * len(times)}]},
+            )
+            assert status == 429
+            assert session.engine.bus.pending_points == 64
+
+            session.service.offer_watermark()  # one poller tick
+            assert session.engine.bus.pending_points == 0
+
+            status, _h, body = _post(
+                session.url + "/ingest",
+                [{"component": "back", "time": 5.0,
+                  "metrics": {"cpu": 1.0}}],
+            )
+            assert status == 200 and body["status"] == "ok"
+        finally:
+            session.close()
+
     def test_concurrent_scrape_while_ingest(self):
         session = _serve_session()
         errors: list = []
@@ -517,6 +636,9 @@ class TestServeSession:
             for thread in threads:
                 thread.join(timeout=10)
             assert not errors
+            # Counters are lock-guarded: no increment lost to racing
+            # handler threads.
+            assert session.service.ingest_requests == 3 * 120
             assert session.engine.stats.windows >= 1
             # Post-storm consistency: scrape and queries agree.
             _s, _h, text = _get(session.url + "/metrics")
@@ -619,6 +741,14 @@ class TestBitIdentical:
                                  checkpoint=checkpoint, resume=True)
         try:
             assert resumed.resumed
+            # A sender replaying pre-crash samples gets them clipped
+            # as already-journaled -- and the ack reports them as
+            # clipped, not accepted.
+            status, _h, body = _post(
+                resumed.url + "/ingest", [_batches(0, 0.0)[0]])
+            assert status == 200 and body["status"] == "ok"
+            assert body["clipped"] == 3
+            assert body["accepted"] == 0 and body["rejected"] == 0
             _push(resumed, steps - cut, start_step=cut)
             tail = list(resumed.engine.history)
             assert resumed.engine.stats.windows == len(reference)
