@@ -1,4 +1,4 @@
-"""Parallel window-analysis scaling: shard executors and the writer.
+"""Parallel window-analysis scaling: executors, shm transport, SBD.
 
 Sizes the tentpole of the parallel subsystem: wall-clock of one full
 window analysis (per-component reduce + re-cluster + dependency
@@ -9,6 +9,13 @@ path is the largest component, so speedup saturates near
 (``cpus: 1`` in the output) a process pool cannot beat serial at all;
 read the numbers together with the recorded core count.
 
+The ``shm`` strategies are routed through a shared-memory-homed
+:class:`~repro.streaming.window.WindowStore` (ingest -> snapshot),
+exactly the engine's path, so the timing covers the zero-copy
+descriptor transport rather than staged copies.  A separate
+microbenchmark times the batched SBD kernel against the per-pair
+reference on the re-cluster hot shape (64 series x 240 points).
+
 Also measures the concurrent-ingest win: seconds the *ingest path*
 spends blocked inside backend writes, sync vs the batching writer
 thread -- the writer's point is unblocking the bus, which holds even
@@ -16,7 +23,8 @@ on one core.
 
 Writes ``BENCH_parallel.json`` with the headline numbers; CI uploads
 it and ``benchmarks/check_regression.py`` gates it against the
-committed baseline.
+committed baseline (including the ``_gates`` absolute floors, e.g.
+``speedup_shm@4 >= 1.5`` on hosts with four or more cores).
 """
 
 import json
@@ -29,7 +37,10 @@ from repro.metrics.timeseries import MetricFrame, MetricKey, TimeSeries
 from repro.parallel import BatchingWriter, make_executor
 from repro.persistence import SqliteBackend
 from repro.core import StreamingConfig
+from repro.stats.correlation import sbd_matrix, use_reference_kernel
+from repro.stats.timeseries_ops import znormalize
 from repro.streaming import WindowAnalyzer
+from repro.streaming.window import WindowStore
 from repro.tracing.callgraph import CallGraph
 
 from conftest import print_table
@@ -39,7 +50,7 @@ COMPONENT_COUNTS = (4, 8)
 
 #: (kind, workers) strategies the sweep times.
 STRATEGIES = (("serial", 1), ("thread", 2), ("process", 2),
-              ("process", 4))
+              ("process", 4), ("shm", 2), ("shm", 4))
 
 METRICS_PER_COMPONENT = 12
 POINTS_PER_SERIES = 240
@@ -93,16 +104,34 @@ def test_executor_scaling():
         reference = None
         for kind, workers in STRATEGIES:
             executor = make_executor(kind, workers)
+            store = None
+            run_frame = frame
+            if kind == "shm":
+                # Route the frame through a shared-memory-homed
+                # WindowStore (the engine's path), so the timed
+                # analysis ships window arrays as descriptors.
+                store = WindowStore(
+                    retention=1e9,
+                    max_points_per_series=POINTS_PER_SERIES,
+                )
+                for ts in frame:
+                    store.ingest(ts.key.component, ts.key.metric,
+                                 ts.times, ts.values)
+                store.attach_shm_pool(executor.segments)
             analyzer = WindowAnalyzer(config=StreamingConfig(),
                                       seed=11, executor=executor)
             # One warm-up pass pays pool spin-up outside the timing
             # (pools are reused across windows in the engine too).
             if kind != "serial":
                 executor.map(_identity, [0, 1])
+            if store is not None:
+                run_frame = store.snapshot()
             t0 = time.perf_counter()
-            analysis = analyzer.analyze(frame, graph, 0.0, span,
+            analysis = analyzer.analyze(run_frame, graph, 0.0, span,
                                         index=0)
             elapsed = time.perf_counter() - t0
+            if store is not None:
+                store.detach_shm()
             executor.close()
             label = "serial" if kind == "serial" \
                 else f"{kind}@{workers}"
@@ -121,21 +150,70 @@ def test_executor_scaling():
         _results[f"components_{components}"] = entry
         rows.append([components] + [round(v, 3)
                                     for v in timings.values()]
-                    + [round(serial_s / timings["process@4"], 2)])
+                    + [round(serial_s / timings["process@4"], 2),
+                       round(serial_s / timings["shm@4"], 2)])
 
     print_table(
         f"Window-analysis scaling ({os.cpu_count()} cores)",
         ["components", "serial s", "thread@2 s", "process@2 s",
-         "process@4 s", "speedup p@4"],
+         "process@4 s", "shm@2 s", "shm@4 s", "speedup p@4",
+         "speedup shm@4"],
         rows,
     )
     if (os.cpu_count() or 1) >= 4:
-        # The acceptance bar only applies where the hardware can
-        # physically deliver it (CI runners have 4 cores).
-        speedup = _results["components_8"]["speedup_process@4"]
-        assert speedup >= 1.5, (
-            f"process@4 speedup {speedup} < 1.5x on a multi-core host"
-        )
+        # The acceptance bars only apply where the hardware can
+        # physically deliver them (CI perf-gate runners have >= 4
+        # cores); single-core hosts record cpus=1 and the regression
+        # gate downgrades the floor to a warning.
+        for label in ("process@4", "shm@4"):
+            speedup = _results["components_8"][f"speedup_{label}"]
+            assert speedup >= 1.5, (
+                f"{label} speedup {speedup} < 1.5x on a multi-core host"
+            )
+
+
+def test_sbd_kernel_batching():
+    """Batched SBD matrix vs the per-pair reference loops.
+
+    The re-cluster hot shape: 64 z-normalized series of 240 points.
+    The batched kernel does one ``rfft`` over the stacked rows and one
+    ``irfft`` per pair chunk instead of a transform round-trip per
+    pair; the floor it must clear (2x) is far below the measured win.
+    """
+    rng = np.random.default_rng(23)
+    n_series = 64
+    series = np.stack([
+        znormalize(np.sin(0.07 * np.arange(POINTS_PER_SERIES) + phase)
+                   + rng.normal(0.0, 0.3, POINTS_PER_SERIES))
+        for phase in rng.uniform(0.0, 6.28, n_series)
+    ])
+
+    sbd_matrix(series[:4])  # warm the FFT plan caches
+    t0 = time.perf_counter()
+    batched = sbd_matrix(series)
+    batched_s = time.perf_counter() - t0
+
+    with use_reference_kernel():
+        t0 = time.perf_counter()
+        reference = sbd_matrix(series)
+        reference_s = time.perf_counter() - t0
+
+    assert np.allclose(batched, reference, atol=1e-10)
+    speedup = reference_s / max(batched_s, 1e-9)
+    _results["sbd"] = {
+        "n_series": n_series,
+        "batched_s": round(batched_s, 4),
+        "reference_s": round(reference_s, 4),
+        "speedup_batched": round(speedup, 2),
+    }
+    print_table(
+        f"SBD kernel ({n_series} x {POINTS_PER_SERIES})",
+        ["kernel", "seconds"],
+        [["batched", round(batched_s, 4)],
+         ["per-pair reference", round(reference_s, 4)]],
+    )
+    # Single-threaded win, so this holds on any host (acceptance bar).
+    assert speedup >= 2.0, f"batched SBD speedup {speedup} < 2x"
 
 
 def test_writer_ingest_blocking(tmp_path):

@@ -208,6 +208,17 @@ def _process_executor(workers: int | None = None) -> Any:
         else ProcessShardExecutor(resolved)
 
 
+@EXECUTORS.register("shm")
+def _shm_executor(workers: int | None = None) -> Any:
+    """Process shards with zero-copy shared-memory array transport."""
+    from repro.parallel.executor import ShardExecutor, default_workers
+    from repro.parallel.shm import ShmShardExecutor
+
+    resolved = workers or default_workers()
+    return ShardExecutor() if resolved == 1 \
+        else ShmShardExecutor(resolved)
+
+
 # -- built-in drift detectors ---------------------------------------------
 
 

@@ -93,12 +93,14 @@ def _add_parallel(parser, suppress: bool = False,
     parser.add_argument("--executor", choices=EXECUTORS.names(),
                         default=_dflt(suppress, "serial"),
                         help="where per-component analysis shards run "
-                             "(process = true parallelism; identical "
-                             "results to serial on the same seed)"
-                             + note)
+                             "(process = true parallelism, shm = "
+                             "process with zero-copy shared-memory "
+                             "windows; identical results to serial on "
+                             "the same seed)" + note)
     parser.add_argument("--workers", type=int,
                         default=_dflt(suppress, 0), metavar="N",
-                        help="pool size for thread/process executors "
+                        help="pool size for thread/process/shm "
+                             "executors "
                              "(0 = all cores; 1 falls back to serial)")
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.stats.correlation import sbd_with_shift
+from repro.stats.correlation import sbd_pairs, sbd_with_shift
 from repro.stats.timeseries_ops import znormalize
 
 
@@ -50,9 +50,8 @@ class KShapeResult:
         return self.centroids.shape[0]
 
 
-def _align_to(series: np.ndarray, reference: np.ndarray) -> np.ndarray:
-    """Shift ``series`` so it best aligns with ``reference`` (zero-pad)."""
-    _dist, shift = sbd_with_shift(series, reference)
+def _shifted(series: np.ndarray, shift: int) -> np.ndarray:
+    """``series`` displaced by ``shift`` samples, zero-padded."""
     if shift == 0:
         return series
     out = np.zeros_like(series)
@@ -63,13 +62,23 @@ def _align_to(series: np.ndarray, reference: np.ndarray) -> np.ndarray:
     return out
 
 
+def _align_to(series: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Shift ``series`` so it best aligns with ``reference`` (zero-pad)."""
+    _dist, shift = sbd_with_shift(series, reference)
+    return _shifted(series, shift)
+
+
 def _shape_extraction(members: np.ndarray,
                       current_centroid: np.ndarray) -> np.ndarray:
     """New centroid of one cluster (see module docstring)."""
     if members.shape[0] == 0:
         raise ValueError("cannot extract a shape from an empty cluster")
+    # One batched SBD call yields every member's maximizing shift
+    # against the current centroid (vs one FFT round-trip per member).
+    _dists, shifts = sbd_pairs(members, current_centroid[None, :])
     aligned = np.vstack([
-        _align_to(member, current_centroid) for member in members
+        _shifted(member, int(shift))
+        for member, shift in zip(members, shifts[:, 0])
     ])
     # Row-center; with z-normalized members this is nearly a no-op but
     # keeps the optimization exactly the one of the k-Shape paper.
@@ -85,16 +94,16 @@ def _shape_extraction(members: np.ndarray,
     return znormalize(centroid)
 
 
-def _assign(series: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Nearest-centroid assignment under SBD."""
-    n = series.shape[0]
-    labels = np.zeros(n, dtype=int)
-    for i in range(n):
-        distances = [
-            sbd_with_shift(series[i], centroid)[0] for centroid in centroids
-        ]
-        labels[i] = int(np.argmin(distances))
-    return labels
+def _assign(series: np.ndarray,
+            centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment under SBD (batched).
+
+    Returns ``(labels, distances)`` where ``distances`` is the full
+    series x centroid SBD matrix -- the empty-cluster repair reuses it
+    instead of re-deriving per-series distances pair by pair.
+    """
+    distances, _shifts = sbd_pairs(series, centroids)
+    return np.argmin(distances, axis=1), distances
 
 
 def kshape(
@@ -152,17 +161,14 @@ def kshape(
                 donor = int(rng.integers(0, n))
                 centroids[cluster] = data[donor]
 
-        new_labels = _assign(data, centroids)
+        new_labels, centroid_distances = _assign(data, centroids)
 
         # Repair clusters emptied by the assignment: steal the series
         # farthest from their assigned centroids, one distinct donor per
         # empty cluster, never draining a cluster below one member.
         empty = [c for c in range(k) if not np.any(new_labels == c)]
         if empty:
-            distances = np.array([
-                sbd_with_shift(data[i], centroids[new_labels[i]])[0]
-                for i in range(n)
-            ])
+            distances = centroid_distances[np.arange(n), new_labels]
             for cluster in empty:
                 order = np.argsort(-distances)
                 for donor in order:

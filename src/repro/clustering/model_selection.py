@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.clustering.kshape import KShapeResult, kshape
 from repro.clustering.preclustering import name_based_labels
-from repro.stats.correlation import sbd
+from repro.stats.correlation import sbd_matrix as _batched_sbd_matrix
 from repro.stats.silhouette import silhouette_score
 
 #: Paper Section 3.2: "seven clusters per component was sufficient".
@@ -33,16 +33,14 @@ class KSelection:
 
 
 def sbd_matrix(series: np.ndarray) -> np.ndarray:
-    """Pairwise SBD matrix of the input rows."""
-    data = np.atleast_2d(np.asarray(series, dtype=float))
-    n = data.shape[0]
-    out = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = sbd(data[i], data[j])
-            out[i, j] = d
-            out[j, i] = d
-    return out
+    """Pairwise SBD matrix of the input rows.
+
+    Delegates to the batched FFT kernel
+    (:func:`repro.stats.correlation.sbd_matrix`): one ``rfft`` over the
+    stacked rows and one ``irfft`` per pair chunk instead of a
+    transform round-trip per pair.
+    """
+    return _batched_sbd_matrix(series)
 
 
 def select_k(

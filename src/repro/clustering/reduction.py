@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.clustering.model_selection import DEFAULT_MAX_K, select_k
 from repro.metrics.timeseries import MetricFrame, TimeSeries
-from repro.stats.correlation import sbd
+from repro.stats.correlation import sbd, sbd_pairs
 from repro.stats.interpolate import DEFAULT_GRID_INTERVAL, align_series
 from repro.stats.timeseries_ops import (
     DEFAULT_VARIANCE_THRESHOLD,
@@ -127,7 +127,12 @@ def _prepare_series(
         if len(ts) < 4 or ts.is_unvarying(variance_threshold):
             filtered.append(name)
             continue
-        kept[name] = (ts.times, ts.values)
+        # Read-only views: alignment and z-normalization allocate
+        # their own outputs, so the copies the ``times``/``values``
+        # properties make would be pure overhead -- and on
+        # shared-memory shard workers the views are the zero-copy
+        # window reads the shm transport exists for.
+        kept[name] = (ts.times_view, ts.values_view)
     if not kept:
         return [], np.empty((0, 0)), filtered
 
@@ -182,8 +187,11 @@ def reduce_component(
         centroid = result.centroids[cluster_idx]
         if not centroid.any():  # k == 1 fast path never ran refinement
             centroid = matrix[member_idx].mean(axis=0)
+        member_dists, _ = sbd_pairs(matrix[member_idx],
+                                    centroid[None, :])
         distances = {
-            names[i]: sbd(matrix[i], centroid) for i in member_idx
+            names[i]: float(member_dists[pos, 0])
+            for pos, i in enumerate(member_idx)
         }
         representative = min(distances, key=distances.get)
         clusters.append(Cluster(

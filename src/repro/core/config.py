@@ -146,11 +146,14 @@ class StreamingConfig:
     """Shard-executor strategy for per-component window work
     (re-reduce + re-cluster, drift shape checks): ``"serial"`` runs
     inline, ``"thread"`` on a thread pool, ``"process"`` on a process
-    pool (true parallelism; same clusterings as serial -- tested).
-    See :mod:`repro.parallel.executor`."""
+    pool (true parallelism), ``"shm"`` on a process pool with the
+    window rings homed in shared memory so payload arrays cross to
+    workers as descriptors instead of pickles (same clusterings as
+    serial on every strategy -- tested).  See
+    :mod:`repro.parallel.executor` and :mod:`repro.parallel.shm`."""
 
     executor_workers: int = 0
-    """Pool size for the thread/process executors (0 = all cores).
+    """Pool size for the thread/process/shm executors (0 = all cores).
     A pool sized at one worker falls back to the serial executor."""
 
     writer: str = "sync"

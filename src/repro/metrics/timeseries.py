@@ -55,6 +55,25 @@ class TimeSeries:
             raise ValueError("times must be non-decreasing")
         self._n = int(self._times.size)
 
+    @classmethod
+    def wrap(cls, key: MetricKey, times: np.ndarray,
+             values: np.ndarray) -> "TimeSeries":
+        """Adopt pre-validated arrays without copying them.
+
+        The zero-copy constructor of the shared-memory shard transport
+        (:mod:`repro.parallel.shm`): workers rebuild window series as
+        views straight into shared segments.  The caller vouches that
+        the arrays are equal-length float64 with non-decreasing times
+        (they were validated when the ring ingested them); the wrapped
+        series must be treated as read-only.
+        """
+        ts = cls.__new__(cls)
+        ts.key = key
+        ts._times = times
+        ts._values = values
+        ts._n = int(times.size)
+        return ts
+
     def _grow(self, extra: int) -> None:
         """Ensure capacity for ``extra`` more samples."""
         need = self._n + extra
@@ -118,6 +137,21 @@ class TimeSeries:
     def values(self) -> np.ndarray:
         """Sample values as an array (copy)."""
         return self._values[:self._n].copy()
+
+    @property
+    def times_view(self) -> np.ndarray:
+        """Sample timestamps as a read-only view (no copy).
+
+        For hot read paths (window reduction, drift scoring) that only
+        ever *read* the samples; callers must not mutate the view.
+        """
+        return self._times[:self._n]
+
+    @property
+    def values_view(self) -> np.ndarray:
+        """Sample values as a read-only view (no copy; see
+        :attr:`times_view`)."""
+        return self._values[:self._n]
 
     def variance(self) -> float:
         """Sample variance; 0.0 for fewer than two samples."""

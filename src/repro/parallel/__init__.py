@@ -7,13 +7,17 @@ separation of application logic from distribution policy):
   (``serial`` / ``thread`` / ``process``) that fan per-component
   window work (re-reduce + re-cluster, drift shape checks) out to
   workers and merge results deterministically;
+* :mod:`repro.parallel.shm` -- the ``shm`` strategy: the process
+  fan-out with window arrays shipped as shared-memory descriptors
+  instead of pickles (:class:`ShmShardExecutor` + its
+  :class:`SegmentPool`);
 * :mod:`repro.parallel.writer` -- :class:`BatchingWriter`, a bounded
   writer thread in front of a durable storage backend, so the
   ingestion bus never blocks on durable writes.
 
 Pick a strategy via :attr:`repro.core.config.StreamingConfig.executor`
-(or ``--executor`` on the CLI); ``serial == thread == process`` on the
-same seed is a tested invariant.
+(or ``--executor`` on the CLI); ``serial == thread == process == shm``
+on the same seed is a tested invariant.
 """
 
 from repro.parallel.executor import (
@@ -24,13 +28,16 @@ from repro.parallel.executor import (
     default_workers,
     make_executor,
 )
+from repro.parallel.shm import SegmentPool, ShmShardExecutor
 from repro.parallel.writer import BatchingWriter, WriterError, WriterStats
 
 __all__ = [
     "EXECUTOR_KINDS",
     "BatchingWriter",
     "ProcessShardExecutor",
+    "SegmentPool",
     "ShardExecutor",
+    "ShmShardExecutor",
     "ThreadShardExecutor",
     "WriterError",
     "WriterStats",

@@ -4,9 +4,11 @@ Sieve's windowed analysis is embarrassingly parallel across components:
 every component's re-reduce/re-cluster (and every drift shape check) is
 a pure function of that component's own samples and the run seed.  A
 :class:`ShardExecutor` pins down the *distribution policy* for that
-fan-out -- inline, a thread pool, or a process pool -- while the
-analysis pipeline stays oblivious to which one is plugged in (the
-RAFDA separation of application logic from distribution policy).
+fan-out -- inline, a thread pool, a process pool, or a process pool
+with shared-memory array transport (:mod:`repro.parallel.shm`) --
+while the analysis pipeline stays oblivious to which one is plugged
+in (the RAFDA separation of application logic from distribution
+policy).
 
 The contract every strategy honours:
 
@@ -18,8 +20,8 @@ The contract every strategy honours:
   between tasks.
 
 Because results are merged in submission order and every task is a
-pure seeded function, ``serial``, ``thread`` and ``process`` produce
-bit-identical analyses (asserted by the determinism tests).
+pure seeded function, ``serial``, ``thread``, ``process`` and ``shm``
+produce bit-identical analyses (asserted by the determinism tests).
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 #: Valid executor strategy names, in escalation order.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "shm")
 
 #: Below this many payloads a pooled executor runs inline -- the fixed
 #: dispatch cost (pickling, wakeups) dwarfs any overlap win.

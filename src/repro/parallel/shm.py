@@ -1,0 +1,549 @@
+"""Zero-copy shared-memory transport for shard executors.
+
+The ``process`` strategy pays for its parallelism in pickling: every
+window, each component's entire sample view is serialized onto a pipe,
+copied into the worker, and deserialized -- for payloads that are
+almost entirely large float64 arrays the transport dominates the win.
+This module moves those arrays onto ``multiprocessing.shared_memory``
+segments instead, so a task payload ships as a tuple of tiny
+:class:`ArrayRef` descriptors ``(segment, shape, dtype, offset,
+epoch)`` and workers rebuild the series as numpy views straight into
+the shared pages -- zero copies on either side of the hop.
+
+Three cooperating pieces:
+
+* :class:`SegmentPool` (parent side) -- owns the named segments.  Ring
+  buffers get permanent bump-allocated slab space
+  (:meth:`SegmentPool.alloc_ring`); arrays that do not already live in
+  shared memory (backend-served windows, stale references) are staged
+  per epoch (:meth:`SegmentPool.stage`).  Every segment starts with a
+  16-byte header (magic + epoch stamp) that workers validate before
+  trusting a view.
+* :class:`ShmShardExecutor` -- a process-pool strategy whose ``map``
+  *packs* payloads (rewriting :class:`TimeSeries` into series
+  descriptors) and fans out :func:`_shm_task`, which unpacks them into
+  read-only views via :meth:`TimeSeries.wrap`.
+* the **epoch protocol** -- ring memory only stays coherent for the
+  duration of one synchronous window analysis.
+  :meth:`~repro.streaming.window.WindowStore.snapshot` calls
+  :meth:`SegmentPool.begin_epoch`; references minted for that snapshot
+  carry the epoch; packing any series whose reference epoch went stale
+  falls back to staging its (stable, private) arrays, and workers
+  refuse views whose segment header disagrees -- a torn read becomes a
+  loud error instead of silent corruption.
+
+Lifecycle: the parent registers every segment with the
+``multiprocessing`` resource tracker (so a crashed parent still gets
+``/dev/shm`` cleaned), workers are forked where the platform allows it
+(one shared tracker -- attaching in a worker cannot early-unlink a
+segment the parent still uses), and :meth:`SegmentPool.close` detaches
+and unlinks everything it ever created.  ``StreamingSieve.close()``
+detaches the rings *before* closing the executor, so no live numpy
+view blocks the unmap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.metrics.timeseries import MetricKey, TimeSeries
+from repro.parallel.executor import (
+    MIN_PARALLEL_PAYLOADS,
+    ProcessShardExecutor,
+)
+
+__all__ = [
+    "ArrayRef",
+    "SegmentPool",
+    "ShmShardExecutor",
+    "ShmTimeSeries",
+]
+
+#: Segment header layout: ``uint64 magic, uint64 epoch`` (16 bytes).
+_MAGIC = 0x5245_5052_4F53_484D  # "REPROSHM"
+_HEADER_BYTES = 16
+
+#: Allocation alignment inside a segment (float64-friendly).
+_ALIGN = 16
+
+#: Default slab segment size; rings bump-allocate inside slabs so a
+#: store with hundreds of series does not open hundreds of segments.
+_SLAB_BYTES = 1 << 20
+
+#: Whether workers share the parent's resource tracker (fork start
+#: method).  Without fork every process runs its *own* tracker, and an
+#: attach in a worker would unlink the segment when the worker exits
+#: (bpo-39959) -- those platforms must unregister worker-side.
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Descriptor of one float64 array inside a shared segment.
+
+    Small and picklable -- this is what crosses the process boundary
+    instead of the array itself.
+    """
+
+    segment: str
+    shape: tuple
+    dtype: str
+    offset: int
+    epoch: int
+
+    @property
+    def nbytes(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= int(dim)
+        return n * np.dtype(self.dtype).itemsize
+
+
+class RingLoc(NamedTuple):
+    """Where one ring's buffers live: segment + per-buffer offsets."""
+
+    segment: str
+    times_offset: int
+    values_offset: int
+
+
+class ShmTimeSeries(TimeSeries):
+    """A window series annotated with shared-memory references.
+
+    The samples themselves are a *private copy* (exactly what the
+    plain ring window returns), so everything that retains the series
+    past the window -- history, RCA diffs, drift rebase -- stays
+    correct as the ring advances.  The annotations point at the ring
+    memory the copy was taken from; they are only honoured while their
+    epoch is current (one synchronous analysis), after which packing
+    falls back to staging the private arrays.
+    """
+
+    __slots__ = ("times_ref", "values_ref")
+
+    @classmethod
+    def annotate(cls, ts: TimeSeries, times_ref: ArrayRef,
+                 values_ref: ArrayRef) -> "ShmTimeSeries":
+        """Adopt ``ts``'s buffers (no copy) and attach the references."""
+        out = cls.wrap(ts.key, ts.times_view, ts.values_view)
+        out.times_ref = times_ref
+        out.values_ref = values_ref
+        return out
+
+
+class _Segment:
+    """Parent-side record of one owned shared-memory segment."""
+
+    __slots__ = ("shm", "kind", "refs", "cursor", "header")
+
+    def __init__(self, shm: shared_memory.SharedMemory, kind: str,
+                 epoch: int):
+        self.shm = shm
+        self.kind = kind
+        self.refs = 0
+        """Live ring allocations carved from this segment."""
+        self.cursor = _HEADER_BYTES
+        self.header = np.ndarray((2,), dtype=np.uint64, buffer=shm.buf)
+        self.header[0] = _MAGIC
+        self.header[1] = epoch
+
+    @property
+    def capacity(self) -> int:
+        return self.shm.size
+
+    def room(self) -> int:
+        return self.capacity - self.cursor
+
+    def take(self, nbytes: int) -> int:
+        """Bump-allocate ``nbytes``; returns the byte offset."""
+        offset = self.cursor
+        self.cursor = _aligned(offset + nbytes)
+        return offset
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class SegmentPool:
+    """Owns the shared segments of one executor (parent side).
+
+    Two allocation disciplines share the same segment format:
+
+    * **ring slabs** -- permanent; :meth:`alloc_ring` carves
+      fixed-capacity buffer pairs out of slab segments and refcounts
+      the carve-outs (:meth:`release_ring`), so rings never move and
+      window references stay valid for a ring's whole life;
+    * **staging** -- per-epoch scratch; :meth:`begin_epoch` resets the
+      staging cursor (keeping only the largest staging segment, so a
+      one-off huge window does not pin its high-water mark forever).
+    """
+
+    def __init__(self, slab_bytes: int = _SLAB_BYTES):
+        if slab_bytes < 4 * _HEADER_BYTES:
+            raise ValueError("slab_bytes is too small to hold a header")
+        self.slab_bytes = slab_bytes
+        self.epoch = 0
+        self.auto_epoch = True
+        """Whether :class:`ShmShardExecutor` begins an epoch per
+        ``map`` (standalone use).  A :class:`WindowStore` that drives
+        epochs from ``snapshot`` turns this off."""
+
+        self.closed = False
+        self._segments: dict[str, _Segment] = {}
+        self._ring_slab: _Segment | None = None
+        self._staging: list[_Segment] = []
+        self._counter = 0
+        self._prefix = f"repro-{os.getpid()}-{os.urandom(4).hex()}"
+        self.staged_bytes = 0
+        """Bytes copied through staging over the pool's lifetime (the
+        part of the transport that is *not* zero-copy)."""
+
+    # -- segment management --------------------------------------------
+
+    def _new_segment(self, size: int, kind: str) -> _Segment:
+        if self.closed:
+            raise RuntimeError("segment pool is closed")
+        name = f"{self._prefix}-{self._counter}"
+        self._counter += 1
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(size, _HEADER_BYTES))
+        segment = _Segment(shm, kind, self.epoch)
+        self._segments[shm.name] = segment
+        return segment
+
+    def _release_segment(self, segment: _Segment) -> None:
+        self._segments.pop(segment.shm.name, None)
+        segment.header = None  # type: ignore[assignment]
+        try:
+            segment.shm.close()
+        except BufferError:  # pragma: no cover - exported views linger
+            pass
+        try:
+            segment.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def total_bytes(self) -> int:
+        return sum(seg.capacity for seg in self._segments.values())
+
+    def stats(self) -> dict:
+        """Pool shape for telemetry and executor descriptions."""
+        return {
+            "shm_segments": self.segment_count(),
+            "shm_bytes": self.total_bytes(),
+            "shm_epoch": self.epoch,
+            "shm_staged_bytes": self.staged_bytes,
+        }
+
+    # -- ring allocations ----------------------------------------------
+
+    def alloc_ring(self, capacity: int,
+                   ) -> tuple[np.ndarray, np.ndarray, RingLoc]:
+        """Carve one fixed-capacity (times, values) buffer pair.
+
+        Returns the two float64 arrays (views into the slab) plus the
+        :class:`RingLoc` later window references are derived from.
+        The allocation is permanent: slab space is never recycled, so
+        ring buffers never move and descriptors never dangle.
+        """
+        nbytes = 8 * capacity
+        need = _aligned(nbytes) + _aligned(nbytes)
+        slab = self._ring_slab
+        if slab is None or slab.room() < need:
+            slab = self._new_segment(
+                max(self.slab_bytes, need + _HEADER_BYTES), "ring")
+            self._ring_slab = slab
+        times_offset = slab.take(nbytes)
+        values_offset = slab.take(nbytes)
+        slab.refs += 1
+        times = np.ndarray((capacity,), dtype=np.float64,
+                           buffer=slab.shm.buf, offset=times_offset)
+        values = np.ndarray((capacity,), dtype=np.float64,
+                            buffer=slab.shm.buf, offset=values_offset)
+        return times, values, RingLoc(slab.shm.name, times_offset,
+                                      values_offset)
+
+    def release_ring(self, loc: RingLoc) -> None:
+        """Drop one ring carve-out's refcount (ring detached)."""
+        segment = self._segments.get(loc.segment)
+        if segment is not None and segment.refs > 0:
+            segment.refs -= 1
+
+    def ring_window_refs(self, loc: RingLoc, lo: int,
+                         hi: int) -> tuple[ArrayRef, ArrayRef]:
+        """References to one ``[lo, hi)`` slice of a ring's buffers."""
+        n = hi - lo
+        return (
+            ArrayRef(loc.segment, (n,), "float64",
+                     loc.times_offset + 8 * lo, self.epoch),
+            ArrayRef(loc.segment, (n,), "float64",
+                     loc.values_offset + 8 * lo, self.epoch),
+        )
+
+    # -- the epoch protocol --------------------------------------------
+
+    def begin_epoch(self) -> int:
+        """Open a new coherence window; invalidates older references.
+
+        Resets staging (keeping the largest staging segment as the
+        steady-state scratch) and stamps every segment header with the
+        new epoch, so workers can detect a stale descriptor at the
+        moment they would have read torn data.
+        """
+        self.epoch += 1
+        if len(self._staging) > 1:
+            keep = max(self._staging, key=lambda seg: seg.capacity)
+            for segment in self._staging:
+                if segment is not keep:
+                    self._release_segment(segment)
+            self._staging = [keep]
+        for segment in self._staging:
+            segment.cursor = _HEADER_BYTES
+        for segment in self._segments.values():
+            segment.header[1] = self.epoch
+        return self.epoch
+
+    def stage(self, array: np.ndarray) -> ArrayRef:
+        """Copy one array into the current epoch's staging space.
+
+        The fallback path for arrays that do not already live in a
+        segment (backend-served windows, stale ring references,
+        standalone executor use) -- one memcpy, against the two-plus
+        copies and object walk of pickling.
+        """
+        data = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+        nbytes = data.nbytes
+        segment = None
+        for candidate in self._staging:
+            if candidate.room() >= nbytes:
+                segment = candidate
+                break
+        if segment is None:
+            segment = self._new_segment(
+                max(self.slab_bytes, nbytes + _HEADER_BYTES), "staging")
+            self._staging.append(segment)
+        offset = segment.take(nbytes)
+        target = np.ndarray(data.shape, dtype=np.float64,
+                            buffer=segment.shm.buf, offset=offset)
+        target[...] = data
+        self.staged_bytes += nbytes
+        return ArrayRef(segment.shm.name, tuple(data.shape), "float64",
+                        offset, self.epoch)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach and unlink every owned segment (idempotent).
+
+        Callers must drop their numpy views first (rings detach via
+        :meth:`~repro.streaming.window.WindowStore.detach_shm`); a
+        lingering exported view only leaks the mapping of this
+        process, never the ``/dev/shm`` name.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for segment in list(self._segments.values()):
+            self._release_segment(segment)
+        self._segments.clear()
+        self._staging = []
+        self._ring_slab = None
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Per-worker attach cache: segment name -> open handle, LRU-bounded.
+_ATTACH_CACHE: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+_ATTACH_CACHE_MAX = 64
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    handle = _ATTACH_CACHE.get(name)
+    if handle is not None:
+        _ATTACH_CACHE.move_to_end(name)
+        return handle
+    handle = shared_memory.SharedMemory(name=name)
+    if not _HAS_FORK:  # pragma: no cover - non-fork platforms only
+        # Spawned workers run their own resource tracker; leaving the
+        # attach registered would unlink the segment -- which the
+        # parent still uses -- when this worker exits (bpo-39959).
+        # Forked workers share the parent's tracker, where the attach
+        # registration is an idempotent no-op and must stay (it is the
+        # parent's own crash-cleanup registration).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(handle._name,  # type: ignore
+                                        "shared_memory")
+        except Exception:
+            pass
+    _ATTACH_CACHE[name] = handle
+    return handle
+
+
+def _evict_attachments() -> None:
+    """Shrink the attach cache to its bound (between tasks only).
+
+    Called at task start, when no views from a previous task can be
+    alive (results were pickled back), so closing old handles is safe.
+    """
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        name, handle = _ATTACH_CACHE.popitem(last=False)
+        try:
+            handle.close()
+        except BufferError:  # pragma: no cover - defensive
+            _ATTACH_CACHE[name] = handle
+            _ATTACH_CACHE.move_to_end(name, last=False)
+            break
+
+
+def resolve_ref(ref: ArrayRef) -> np.ndarray:
+    """Materialize a descriptor as a read-only view into its segment.
+
+    Validates the segment header before returning: wrong magic means
+    the descriptor points at something that is not ours; a stale epoch
+    means the coherence window the descriptor was minted for has
+    closed and the memory may since have been rewritten.
+    """
+    handle = _attach(ref.segment)
+    header = np.ndarray((2,), dtype=np.uint64, buffer=handle.buf)
+    if int(header[0]) != _MAGIC:
+        raise RuntimeError(
+            f"segment {ref.segment!r} has no repro shm header")
+    if int(header[1]) != ref.epoch:
+        raise RuntimeError(
+            f"stale shm reference into {ref.segment!r}: "
+            f"epoch {ref.epoch} vs segment epoch {int(header[1])}"
+        )
+    view = np.ndarray(ref.shape, dtype=ref.dtype, buffer=handle.buf,
+                      offset=ref.offset)
+    view.flags.writeable = False
+    return view
+
+
+# -- payload packing --------------------------------------------------------
+
+
+class _SeriesRef(NamedTuple):
+    """Pack-time stand-in for one TimeSeries inside a payload."""
+
+    key: MetricKey
+    times: ArrayRef
+    values: ArrayRef
+
+
+def _pack(obj: Any, pool: SegmentPool) -> Any:
+    """Rewrite every TimeSeries in a payload into descriptors.
+
+    Series already annotated with *current-epoch* references ship as
+    those references (zero-copy); everything else -- plain series,
+    stale annotations -- is staged.  Containers are rebuilt
+    recursively; all other values pass through to pickle untouched.
+    """
+    if isinstance(obj, TimeSeries):
+        if isinstance(obj, ShmTimeSeries) \
+                and obj.times_ref.epoch == pool.epoch:
+            return _SeriesRef(obj.key, obj.times_ref, obj.values_ref)
+        return _SeriesRef(obj.key, pool.stage(obj.times_view),
+                          pool.stage(obj.values_view))
+    if isinstance(obj, dict):
+        return {key: _pack(value, pool) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_pack(value, pool) for value in obj)
+    if isinstance(obj, list):
+        return [_pack(value, pool) for value in obj]
+    return obj
+
+
+def _unpack(obj: Any) -> Any:
+    """Worker-side inverse of :func:`_pack` (views, not copies)."""
+    if isinstance(obj, _SeriesRef):
+        return TimeSeries.wrap(obj.key, resolve_ref(obj.times),
+                               resolve_ref(obj.values))
+    if isinstance(obj, dict):
+        return {key: _unpack(value) for key, value in obj.items()}
+    if isinstance(obj, tuple) and not isinstance(obj, _SeriesRef):
+        return tuple(_unpack(value) for value in obj)
+    if isinstance(obj, list):
+        return [_unpack(value) for value in obj]
+    return obj
+
+
+def _shm_task(item: tuple[Callable[[Any], Any], Any]) -> Any:
+    """The module-level task wrapper workers actually run."""
+    fn, payload = item
+    _evict_attachments()
+    return fn(_unpack(payload))
+
+
+# -- the executor -----------------------------------------------------------
+
+
+class ShmShardExecutor(ProcessShardExecutor):
+    """Process shards with shared-memory array transport.
+
+    Identical distribution policy to ``process`` (order-preserving
+    map, ``chunksize=1``), but payload arrays cross the boundary as
+    :class:`ArrayRef` descriptors instead of pickles.  The analysis
+    tasks are unchanged pure functions of their payloads, so results
+    merge identically to every other strategy.
+    """
+
+    kind = "shm"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers)
+        self.segments = SegmentPool()
+
+    def _make_pool(self) -> Executor:
+        if _HAS_FORK:
+            # Fork keeps one shared resource tracker (see _attach) and
+            # inherits already-mapped segments for free.
+            context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(max_workers=self.workers,
+                                       mp_context=context)
+        return ProcessPoolExecutor(  # pragma: no cover - non-fork
+            max_workers=self.workers)
+
+    def _run(self, fn: Callable[[Any], Any],
+             items: Sequence[Any]) -> list[Any]:
+        if len(items) < MIN_PARALLEL_PAYLOADS:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        if self.segments.auto_epoch:
+            # Standalone use: nobody snapshots, so each map is its own
+            # coherence window (resets staging scratch too).
+            self.segments.begin_epoch()
+        packed = [(fn, _pack(item, self.segments)) for item in items]
+        try:
+            return list(self._pool.map(_shm_task, packed,
+                                       **self._map_kwargs))
+        except BrokenProcessPool:
+            # A worker died mid-map.  Drop the broken pool so a later
+            # map starts fresh; segment cleanup stays with close().
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            raise
+
+    def close(self) -> None:
+        super().close()
+        self.segments.close()
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(self.segments.stats())
+        return out

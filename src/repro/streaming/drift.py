@@ -149,7 +149,11 @@ def score_baseline(component: str, baseline: _ComponentBaseline,
         ts = view.get(metric)
         if ts is None or len(ts) < min_samples:
             continue
-        values = ts.values
+        # Read-only view: scoring derives fresh arrays (diff, mean,
+        # std, z-normalized copies) and never mutates the samples, so
+        # the property copy would be pure overhead -- and on shm shard
+        # workers the view reads the shared segment in place.
+        values = ts.values_view
         samples = _drift_samples(values, frozen.counter)
         scale = frozen.scale
         reading = DriftReading(
@@ -209,7 +213,7 @@ class DriftDetector:
         for metric, ts in view.items():
             if len(ts) < 3:
                 continue
-            values = ts.values
+            values = ts.values_view
             counter = _is_counter(values)
             samples = _drift_samples(values, counter)
             baseline.metrics[metric] = MetricBaseline(

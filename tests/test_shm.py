@@ -1,0 +1,387 @@
+"""Tests for the shared-memory shard transport (repro.parallel.shm):
+segment pool allocation and the epoch protocol, payload pack/unpack,
+executor registry wiring, serial == shm determinism, and -- the part
+that has to hold under failure -- segment lifecycle: no leaked
+``/dev/shm`` entries after a clean close, after a worker crash, or
+across a checkpoint/resume cycle."""
+
+import glob
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingConfig
+from repro.metrics.timeseries import MetricKey, TimeSeries
+from repro.parallel import (
+    EXECUTOR_KINDS,
+    SegmentPool,
+    ShardExecutor,
+    ShmShardExecutor,
+    make_executor,
+)
+from repro.parallel.shm import (
+    ArrayRef,
+    ShmTimeSeries,
+    _pack,
+    _SeriesRef,
+    _unpack,
+    resolve_ref,
+)
+from repro.persistence import CheckpointPolicy, restore_engine
+from repro.streaming import SimulationStreamDriver
+from repro.streaming.window import WindowStore
+from repro.workload import constant_rate
+
+from test_parallel import (
+    _assert_same_analysis,
+    _chain_app,
+    _double,
+)
+
+
+def _assert_unlinked(names):
+    """Every named segment must be gone from the OS namespace."""
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def _dev_shm_leftovers(prefix="repro-"):
+    return glob.glob(f"/dev/shm/{prefix}*")
+
+
+def _die(_payload):
+    """Module-level crash task: a worker killed mid-window."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _series(key="cpu", n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return TimeSeries(MetricKey("web", key), 0.5 * np.arange(n),
+                      rng.normal(0.0, 1.0, n))
+
+
+def _shm_config(**kwargs):
+    defaults = dict(window=20.0, hop=10.0, retention=120.0,
+                    executor="shm", executor_workers=2)
+    defaults.update(kwargs)
+    return StreamingConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# SegmentPool
+
+
+class TestSegmentPool:
+    def test_ring_alloc_roundtrip_and_window_refs(self):
+        pool = SegmentPool()
+        times, values, loc = pool.alloc_ring(32)
+        assert times.shape == values.shape == (32,)
+        times[:8] = np.arange(8.0)
+        values[:8] = 2.0 * np.arange(8.0)
+        pool.begin_epoch()
+        tref, vref = pool.ring_window_refs(loc, 2, 8)
+        assert tref.shape == (6,) and tref.epoch == pool.epoch
+        # The refs point at the live slab bytes, not a copy.
+        assert np.array_equal(resolve_ref(tref), times[2:8])
+        assert np.array_equal(resolve_ref(vref), values[2:8])
+        pool.release_ring(loc)
+        pool.close()
+
+    def test_rings_share_slabs(self):
+        pool = SegmentPool()
+        locs = [pool.alloc_ring(64)[2] for _ in range(10)]
+        assert pool.segment_count() == 1  # all carved from one slab
+        assert len({loc.segment for loc in locs}) == 1
+        pool.close()
+
+    def test_stage_copies_and_epoch_resets_staging(self):
+        pool = SegmentPool()
+        data = np.arange(100.0)
+        ref = pool.stage(data)
+        assert pool.staged_bytes == data.nbytes
+        assert np.array_equal(resolve_ref(ref), data)
+        first_offset = ref.offset
+        # Same epoch: staging space keeps growing.
+        assert pool.stage(data).offset != first_offset
+        # New epoch: the scratch cursor rewinds, space is reused.
+        pool.begin_epoch()
+        assert pool.stage(data).offset == first_offset
+        pool.close()
+
+    def test_begin_epoch_keeps_only_largest_staging_segment(self):
+        pool = SegmentPool(slab_bytes=4096)
+        pool.stage(np.zeros(400))       # fills the small scratch
+        pool.stage(np.zeros(3000))      # second, larger segment
+        assert pool.segment_count() == 2
+        pool.begin_epoch()
+        assert pool.segment_count() == 1
+        assert pool.total_bytes() >= 3000 * 8
+        pool.close()
+
+    def test_stats_keys(self):
+        pool = SegmentPool()
+        pool.alloc_ring(16)
+        stats = pool.stats()
+        assert set(stats) == {"shm_segments", "shm_bytes",
+                              "shm_epoch", "shm_staged_bytes"}
+        pool.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        pool = SegmentPool()
+        pool.alloc_ring(16)
+        pool.stage(np.zeros(8))
+        names = [seg for seg in pool._segments]
+        assert names
+        pool.close()
+        pool.close()
+        _assert_unlinked(names)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.stage(np.zeros(4))
+
+    def test_rejects_tiny_slabs(self):
+        with pytest.raises(ValueError, match="slab_bytes"):
+            SegmentPool(slab_bytes=8)
+
+
+# ---------------------------------------------------------------------------
+# Pack / unpack and the epoch protocol
+
+
+class TestPackUnpack:
+    def test_current_epoch_annotation_ships_zero_copy(self):
+        pool = SegmentPool()
+        times, values, loc = pool.alloc_ring(64)
+        ts = _series(n=64)
+        times[:64] = ts.times_view
+        values[:64] = ts.values_view
+        pool.begin_epoch()
+        annotated = ShmTimeSeries.annotate(
+            ts, *pool.ring_window_refs(loc, 0, 64))
+        packed = _pack({"cpu": annotated}, pool)
+        assert isinstance(packed["cpu"], _SeriesRef)
+        assert pool.staged_bytes == 0  # nothing copied
+        rebuilt = _unpack(packed)["cpu"]
+        assert np.array_equal(rebuilt.values_view, ts.values_view)
+        assert not rebuilt.values_view.flags.writeable
+        pool.close()
+
+    def test_stale_annotation_falls_back_to_staging(self):
+        pool = SegmentPool()
+        times, values, loc = pool.alloc_ring(16)
+        ts = _series(n=16)
+        times[:16] = ts.times_view
+        values[:16] = ts.values_view
+        pool.begin_epoch()
+        annotated = ShmTimeSeries.annotate(
+            ts, *pool.ring_window_refs(loc, 0, 16))
+        pool.begin_epoch()  # the annotation's coherence window closed
+        packed = _pack(annotated, pool)
+        assert pool.staged_bytes == 2 * 16 * 8  # staged, not shipped
+        assert np.array_equal(_unpack(packed).values_view,
+                              ts.values_view)
+        pool.close()
+
+    def test_plain_series_and_nested_containers(self):
+        pool = SegmentPool()
+        pool.begin_epoch()
+        ts = _series()
+        payload = ("comp", {"cpu": ts}, [1.5, ts], 7)
+        rebuilt = _unpack(_pack(payload, pool))
+        assert rebuilt[0] == "comp" and rebuilt[3] == 7
+        assert np.array_equal(rebuilt[1]["cpu"].values_view,
+                              ts.values_view)
+        assert np.array_equal(rebuilt[2][1].times_view, ts.times_view)
+        pool.close()
+
+    def test_worker_refuses_stale_epoch(self):
+        pool = SegmentPool()
+        pool.begin_epoch()
+        ref = pool.stage(np.arange(4.0))
+        pool.begin_epoch()  # invalidates ref
+        with pytest.raises(RuntimeError, match="stale shm reference"):
+            resolve_ref(ref)
+        pool.close()
+
+    def test_worker_refuses_foreign_segment(self):
+        alien = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            ref = ArrayRef(alien.name, (2,), "float64", 16, 0)
+            with pytest.raises(RuntimeError, match="no repro shm"):
+                resolve_ref(ref)
+        finally:
+            alien.close()
+            alien.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Executor wiring
+
+
+class TestShmExecutor:
+    def test_registered_kind_and_factory(self):
+        assert "shm" in EXECUTOR_KINDS
+        executor = make_executor("shm", 2)
+        assert type(executor) is ShmShardExecutor
+        assert executor.kind == "shm" and executor.workers == 2
+        executor.close()
+
+    def test_pool_size_one_falls_back_to_serial(self):
+        executor = make_executor("shm", 1)
+        assert type(executor) is ShardExecutor
+        assert executor.kind == "serial"
+
+    def test_config_accepts_shm(self):
+        assert _shm_config().executor == "shm"
+
+    def test_map_preserves_order_and_describe_reports_pool(self):
+        payloads = list(range(9))
+        with ShmShardExecutor(2) as executor:
+            assert executor.map(_double, payloads) \
+                == [_double(p) for p in payloads]
+            description = executor.describe()
+        assert description["executor"] == "shm"
+        assert {"shm_segments", "shm_bytes", "shm_epoch",
+                "shm_staged_bytes"} <= set(description)
+
+    def test_close_unlinks_segments(self):
+        executor = ShmShardExecutor(2)
+        executor.map(_double, [1, 2, 3])
+        executor.segments.stage(np.arange(16.0))
+        names = list(executor.segments._segments)
+        assert names
+        executor.close()
+        _assert_unlinked(names)
+        assert executor.segments.closed
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial == shm, zero-copy in the engine path
+
+
+class TestShmDeterminism:
+    def test_streamed_windows_match_serial_and_stay_zero_copy(self):
+        staged = {}
+
+        def run(executor_kind):
+            config = StreamingConfig(
+                window=20.0, hop=10.0, retention=120.0,
+                executor=executor_kind, executor_workers=2,
+            )
+            driver = SimulationStreamDriver(
+                _chain_app(), constant_rate(40.0), config=config,
+                seed=3, record_frame=False,
+            )
+            try:
+                return driver.run(50.0)
+            finally:
+                pool = getattr(driver.engine.executor, "segments", None)
+                if pool is not None:
+                    staged[executor_kind] = pool.staged_bytes
+                driver.close()
+
+        reference = run("serial")
+        assert reference
+        produced = run("shm")
+        assert len(produced) == len(reference)
+        for left, right in zip(produced, reference):
+            assert (left.index, left.start, left.end) \
+                == (right.index, right.start, right.end)
+            _assert_same_analysis(left, right)
+        # Window-store snapshots annotate every series with live ring
+        # references, so the whole run ships without staging copies.
+        assert staged["shm"] == 0
+
+    def test_window_store_snapshot_routes_refs(self):
+        executor = ShmShardExecutor(2)
+        store = WindowStore(retention=1e9, max_points_per_series=256)
+        ts = _series(n=100)
+        store.ingest("web", "cpu", ts.times_view, ts.values_view)
+        store.attach_shm_pool(executor.segments)
+        frame = store.snapshot()
+        window = next(iter(frame))
+        assert isinstance(window, ShmTimeSeries)
+        assert window.times_ref.epoch == executor.segments.epoch
+        assert np.array_equal(window.values_view, ts.values_view)
+        store.detach_shm()
+        executor.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: nothing leaks into /dev/shm
+
+
+class TestShmLifecycle:
+    def test_no_leak_after_clean_engine_close(self):
+        before = set(_dev_shm_leftovers())
+        driver = SimulationStreamDriver(
+            _chain_app(), constant_rate(40.0), config=_shm_config(),
+            seed=3, record_frame=False,
+        )
+        driver.run(30.0)
+        pool = driver.engine.executor.segments
+        names = list(pool._segments)
+        assert names  # the run actually used shared memory
+        driver.close()
+        _assert_unlinked(names)
+        assert set(_dev_shm_leftovers()) <= before
+
+    def test_no_leak_after_worker_crash_mid_window(self):
+        before = set(_dev_shm_leftovers())
+        executor = ShmShardExecutor(2)
+        store = WindowStore(retention=1e9, max_points_per_series=256)
+        for metric in ("cpu", "mem", "io"):
+            ts = _series(metric, n=120)
+            store.ingest("web", metric, ts.times_view, ts.values_view)
+        store.attach_shm_pool(executor.segments)
+        frame = store.snapshot()
+        payloads = [{ts.key.metric: ts} for ts in frame]
+        with pytest.raises(Exception) as excinfo:
+            executor.map(_die, payloads)
+        assert "process pool" in str(excinfo.value).lower()
+        names = list(executor.segments._segments)
+        assert names
+        # The crash broke the pool, not the cleanup path.
+        store.detach_shm()
+        executor.close()
+        _assert_unlinked(names)
+        assert set(_dev_shm_leftovers()) <= before
+
+    def test_broken_pool_recovers_on_next_map(self):
+        executor = ShmShardExecutor(2)
+        with pytest.raises(Exception):
+            executor.map(_die, [0, 1])
+        # A later map after the crash builds a fresh pool and works.
+        assert executor.map(_double, [3, 4]) == [6, 8]
+        executor.close()
+
+    def test_no_leak_across_checkpoint_resume(self, tmp_path):
+        before = set(_dev_shm_leftovers())
+        config = _shm_config()
+        driver = SimulationStreamDriver(
+            _chain_app(), constant_rate(40.0), config=config,
+            seed=3, record_frame=False,
+        )
+        policy = CheckpointPolicy(driver.engine,
+                                  tmp_path / "state.ckpt", every=1)
+        driver.engine.subscribe(policy)
+        early = driver.run(30.0)
+        first_names = list(driver.engine.executor.segments._segments)
+        driver.close()
+        _assert_unlinked(first_names)
+
+        restored = restore_engine(tmp_path / "state.ckpt", config)
+        resumed = SimulationStreamDriver(
+            _chain_app(), constant_rate(40.0), config=config,
+            seed=3, record_frame=False, engine=restored,
+        )
+        late = resumed.resume_run(30.0)
+        assert early and late  # both runs analyzed windows
+        second_names = list(restored.executor.segments._segments)
+        assert second_names
+        resumed.close()
+        _assert_unlinked(second_names)
+        assert set(_dev_shm_leftovers()) <= before

@@ -10,7 +10,10 @@ from repro.stats.correlation import (
     cross_correlation_sequence,
     normalized_cross_correlation,
     sbd,
+    sbd_matrix,
+    sbd_pairs,
     sbd_with_shift,
+    use_reference_kernel,
 )
 from repro.stats.timeseries_ops import znormalize
 
@@ -122,3 +125,88 @@ class TestSBD:
         rng = np.random.default_rng(seed)
         d = sbd(rng.normal(size=length), rng.normal(size=length))
         assert 0.0 <= d <= 2.0
+
+
+class TestBatchedSBD:
+    """The batched FFT kernel must agree with the per-pair reference.
+
+    Agreement is to ~1e-16, not bit-for-bit: numpy's complex multiply
+    vectorizes differently over a row batch than over a single row
+    (see the module docstring), so comparisons use a tight tolerance.
+    """
+
+    def _reference_matrix(self, rows):
+        with use_reference_kernel():
+            return sbd_matrix(rows)
+
+    def _reference_pairs(self, x_rows, y_rows):
+        with use_reference_kernel():
+            return sbd_pairs(x_rows, y_rows)
+
+    # Odd/even/pow-two lengths straddle the FFT padding boundary
+    # (2n-1 -> next power of two), the classic off-by-one hideout.
+    @pytest.mark.parametrize("length", [31, 32, 33, 64, 65, 127, 128])
+    def test_matrix_matches_reference_random(self, length):
+        rng = np.random.default_rng(length)
+        rows = rng.normal(size=(7, length))
+        batched = sbd_matrix(rows)
+        np.testing.assert_allclose(batched,
+                                   self._reference_matrix(rows),
+                                   atol=1e-12)
+        assert np.array_equal(batched, batched.T)
+        assert np.all(np.diag(batched) == 0.0)
+
+    @pytest.mark.parametrize("length", [33, 64, 65])
+    def test_pairs_match_reference_cross(self, length):
+        rng = np.random.default_rng(length + 1)
+        x_rows = rng.normal(size=(5, length))
+        y_rows = rng.normal(size=(3, length))
+        distances, shifts = sbd_pairs(x_rows, y_rows)
+        ref_d, ref_s = self._reference_pairs(x_rows, y_rows)
+        np.testing.assert_allclose(distances, ref_d, atol=1e-12)
+        assert np.array_equal(shifts, ref_s)
+        # Cross-check one entry against the scalar API too.
+        d, s = sbd_with_shift(x_rows[2], y_rows[1])
+        assert distances[2, 1] == pytest.approx(d, abs=1e-12)
+        assert shifts[2, 1] == s
+
+    def test_flat_rows_zero_energy(self):
+        """Constant (zero after z-norm) rows must not divide by zero
+        and must sit at the maximal distance from everything, exactly
+        like the per-pair reference."""
+        rng = np.random.default_rng(9)
+        rows = np.vstack([np.zeros(40), np.full(40, 3.5),
+                          rng.normal(size=(2, 40))])
+        batched = sbd_matrix(rows)
+        np.testing.assert_allclose(batched,
+                                   self._reference_matrix(rows),
+                                   atol=1e-12)
+        assert np.all(np.isfinite(batched))
+        # NCC against a flat series is all zeros -> distance 1.
+        assert batched[0, 2] == pytest.approx(1.0)
+
+    def test_shifted_series_recover_the_shift(self):
+        base = znormalize(np.sin(np.linspace(0, 20, 200)))
+        rolls = [np.roll(base, k) for k in (0, 3, 9, 17)]
+        distances, shifts = sbd_pairs(np.stack(rolls), base[None, :])
+        ref_d, ref_s = self._reference_pairs(np.stack(rolls),
+                                             base[None, :])
+        np.testing.assert_allclose(distances, ref_d, atol=1e-12)
+        assert np.array_equal(shifts, ref_s)
+        assert list(shifts[:, 0]) == [0, 3, 9, 17]
+        assert np.all(distances[:, 0] < 0.05)
+
+    def test_batched_is_deterministic(self):
+        """Same rows, same shapes -> the very same bits, run to run
+        (what makes serial == shm reproducible across executors)."""
+        rng = np.random.default_rng(21)
+        rows = rng.normal(size=(12, 96))
+        first = sbd_matrix(rows.copy())
+        second = sbd_matrix(rows.copy())
+        assert np.array_equal(first, second)
+
+    def test_degenerate_inputs(self):
+        assert sbd_matrix(np.empty((0, 8))).shape == (0, 0)
+        assert sbd_matrix(np.ones((1, 8))).shape == (1, 1)
+        with pytest.raises(ValueError):
+            sbd_pairs(np.ones((2, 8)), np.ones((2, 9)))
