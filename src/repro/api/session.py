@@ -91,9 +91,13 @@ class Session:
 
         ``retention`` overrides the spec's
         :attr:`~repro.api.spec.StorageSpec.retention` horizon (None
-        keeps it; 0 means merge-only, dropping nothing).  Returns the
-        backend's compaction stats (empty for backends with nothing
-        to compact, e.g. memory).
+        keeps it; 0 means merge-only, dropping nothing).  A
+        :attr:`~repro.api.spec.StorageSpec.schedule` travels with the
+        backend itself, so this call also drives tiered-retention
+        migration: points crossing a tier horizon are rolled up to
+        that tier's resolution.  Returns the backend's compaction
+        stats (empty for backends with nothing to compact, e.g.
+        memory).
         """
         if self.backend is None:
             return {}
@@ -130,8 +134,10 @@ def _open_storage(spec: RunSpec, fresh: bool) -> Any:
         return None
     if fresh and storage.path:
         _clear_backend_path(Path(storage.path))
-    backend = BACKENDS.create(storage.kind, storage.path,
-                              **storage.options)
+    options = dict(storage.options)
+    if storage.schedule:
+        options["schedule"] = storage.schedule
+    backend = BACKENDS.create(storage.kind, storage.path, **options)
     if spec.streaming.writer == "async":
         # The concurrent-ingest path: durable writes happen on a
         # dedicated thread so ingestion never blocks on them.
@@ -276,9 +282,20 @@ class _EngineSession(Session):
             # (0 = manual checkpoints only -- the CLI's documented
             # --checkpoint-every 0; PipelineBuilder.checkpoint()
             # defaults it to every window when left unset).
+            # Under a tiered-retention schedule, journal retirement
+            # anchors on the *full-resolution* horizon: replay must
+            # re-create every raw sample the durable store keeps raw,
+            # and rollups cannot stand in for them.
+            retire_horizon = None
+            if spec.storage.enabled and spec.storage.schedule:
+                retire_horizon = max(
+                    config.retention,
+                    spec.storage.parsed_schedule.full_horizon,
+                )
             self.policy = CheckpointPolicy(
                 self._engine, spec.checkpoint,
                 spec=spec.to_dict(),
+                retire_horizon=retire_horizon,
             )
             self._engine.subscribe(self.policy)
         self.consumers: dict[str, Any] = {}
@@ -928,13 +945,14 @@ class PipelineBuilder:
 
     def storage(self, kind: str, path: str = "",
                 retention: float = 0.0,
+                schedule: str = "",
                 writer: str | None = None,
                 **options: Any) -> "PipelineBuilder":
         from repro.api.spec import StorageSpec
 
         self._fields["storage"] = StorageSpec(
             kind=kind, path=str(path), retention=retention,
-            options=options,
+            schedule=schedule, options=options,
         )
         if writer is not None:
             self.streaming(writer=writer)

@@ -84,6 +84,13 @@ class StorageSpec:
     samples older than (per-series newest - retention) may be dropped
     when compaction runs.  0 keeps everything."""
 
+    schedule: str = ""
+    """Tiered-retention schedule applied by compaction, e.g.
+    ``"1000s:full,4000s:1m,inf:10m"`` (full resolution for the newest
+    1000 s, one-minute mean/min/max/count rollups to 4000 s, ten-minute
+    rollups forever).  Empty keeps everything at full resolution.  The
+    policy half of the split: backends supply the rollup mechanism."""
+
     options: dict = field(default_factory=dict)
     """Extra keyword arguments for the registered backend factory
     (e.g. ``hot_points`` / ``compact_min_points`` for spill)."""
@@ -96,6 +103,22 @@ class StorageSpec:
             )
         if self.retention < 0:
             raise ValueError("retention must be >= 0")
+        if self.schedule:
+            # Parse errors surface at spec build time, not at the
+            # first compaction hours into a run.
+            from repro.persistence.retention import RetentionSchedule
+
+            RetentionSchedule.parse(self.schedule)
+
+    @property
+    def parsed_schedule(self):
+        """The :class:`~repro.persistence.retention.RetentionSchedule`
+        this spec declares (None when unscheduled)."""
+        if not self.schedule:
+            return None
+        from repro.persistence.retention import RetentionSchedule
+
+        return RetentionSchedule.parse(self.schedule)
 
     @property
     def enabled(self) -> bool:
@@ -327,6 +350,17 @@ class RunSpec:
                 "serve mode needs an active service spec "
                 "(service.enabled or service.port > 0)"
             )
+        if self.storage.enabled and self.storage.schedule \
+                and self.mode in ("stream", "serve"):
+            full = self.storage.parsed_schedule.full_horizon
+            if full < self.streaming.retention:
+                raise ValueError(
+                    f"storage.schedule keeps full resolution for only "
+                    f"{full:g}s but streaming.retention is "
+                    f"{self.streaming.retention:g}s; windows falling "
+                    "back from an evicted ring to the store would "
+                    "silently read rollups instead of raw samples"
+                )
 
     @property
     def sieve(self):

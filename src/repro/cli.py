@@ -165,6 +165,14 @@ def _add_persistence_flags(parser, suppress: bool = False) -> None:
                         help="compaction horizon of --compact / "
                              "Session.compact(), seconds "
                              "(0 keeps everything)")
+    parser.add_argument("--store-schedule", metavar="SCHEDULE",
+                        default=_dflt(suppress, ""),
+                        help="tiered-retention schedule applied by "
+                             "--compact, e.g. "
+                             "'1000s:full,4000s:1m,inf:10m' (full "
+                             "resolution for the newest 1000s, then "
+                             "mean/min/max/count rollups; empty = "
+                             "full resolution everywhere)")
     parser.add_argument("--writer", choices=("sync", "async"),
                         default=_dflt(suppress, "sync"),
                         help="drive the --store backend inline "
@@ -259,6 +267,10 @@ def _add_record_flags(parser, suppress: bool = False) -> None:
     parser.add_argument("--store-retention", type=float,
                         default=_dflt(suppress, 0.0),
                         help="compaction horizon of --compact, seconds")
+    parser.add_argument("--store-schedule", metavar="SCHEDULE",
+                        default=_dflt(suppress, ""),
+                        help="tiered-retention schedule applied by "
+                             "--compact (see 'stream --help')")
     parser.add_argument("--writer", choices=("sync", "async"),
                         default=_dflt(suppress, "sync"),
                         help="drive the backend inline (sync) or "
@@ -421,6 +433,7 @@ def _spec_from_args(args, mode: str) -> RunSpec:
         put("storage.kind", "store_backend")
         put("storage.path", "store")
     put("storage.retention", "store_retention")
+    put("storage.schedule", "store_schedule")
     put("extra.iterations", "iterations")
     put("extra.threshold", "threshold")
     put("extra.requests", "requests")

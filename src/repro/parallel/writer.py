@@ -252,6 +252,16 @@ class BatchingWriter:
         self.drain()
         return self.backend.query(component, metric, start, end)
 
+    def query_rollup(
+        self,
+        component: str,
+        metric: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ):
+        self.drain()
+        return self.backend.query_rollup(component, metric, start, end)
+
     def keys(self) -> list[MetricKey]:
         self.drain()
         return self.backend.keys()

@@ -37,6 +37,14 @@ from repro.persistence.journal import (
     journal_segments,
     replay_journal,
 )
+from repro.persistence.retention import (
+    RetentionSchedule,
+    RollupSeries,
+    Tier,
+    format_duration,
+    parse_duration,
+    rollup_arrays,
+)
 from repro.persistence.spill import SpillBackend, open_backend
 from repro.persistence.sqlite_backend import SqliteBackend
 
@@ -66,15 +74,21 @@ __all__ = [
     "CheckpointPolicy",
     "IngestJournal",
     "MemoryBackend",
+    "RetentionSchedule",
+    "RollupSeries",
     "SpillBackend",
     "SqliteBackend",
     "StorageBackend",
+    "Tier",
     "checkpoint_state",
+    "format_duration",
     "journal_record_count",
     "journal_segments",
     "load_checkpoint",
     "open_backend",
+    "parse_duration",
     "replay_journal",
     "restore_engine",
+    "rollup_arrays",
     "save_checkpoint",
 ]

@@ -38,7 +38,21 @@ class StorageBackend(Protocol):
     def query(self, component: str, metric: str,
               start: float = float("-inf"),
               end: float = float("inf")) -> TimeSeries:
-        """Samples with ``start <= t <= end`` (empty for unknown keys)."""
+        """Samples with ``start <= t <= end`` (empty for unknown keys).
+
+        Backends with tiered retention serve raw samples inside the
+        schedule's full-resolution horizon and one (bucket start,
+        bucket mean) sample per rollup bucket beyond it."""
+        ...  # pragma: no cover - protocol definition
+
+    def query_rollup(self, component: str, metric: str,
+                     start: float = float("-inf"),
+                     end: float = float("inf")):
+        """Aggregate-aware range read: a
+        :class:`~repro.persistence.retention.RollupSeries` whose rows
+        carry (mean, min, max, count); raw samples have count 1.
+        :class:`BackendBase` derives it from :meth:`query`, so only
+        rollup-storing backends override it."""
         ...  # pragma: no cover - protocol definition
 
     def keys(self) -> list[MetricKey]:
@@ -119,6 +133,17 @@ class BackendBase:
         pass
 
     # -- conveniences over the primitive operations ---------------------
+
+    def query_rollup(self, component: str, metric: str,
+                     start: float = float("-inf"),
+                     end: float = float("inf")):
+        """Generic fallback: every stored sample as a single-sample
+        bucket (backends that store rollups override this)."""
+        from repro.persistence.retention import RollupSeries
+
+        ts = self.query(component, metric, start, end)
+        return RollupSeries(ts.key, ts.times, ts.values, ts.values,
+                            ts.values, np.ones(len(ts)))
 
     def newest_time(self, component: str, metric: str) -> float | None:
         """Generic fallback: full query (backends override cheaply)."""

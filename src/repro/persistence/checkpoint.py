@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -310,12 +311,28 @@ class CheckpointPolicy:
     def __init__(self, engine: StreamingSieve, path,
                  every: int | None = None,
                  rotate_journal: bool | None = None,
-                 spec: dict | None = None):
+                 spec: dict | None = None,
+                 retire_horizon: float | None = None):
         """``spec`` (a resolved run-spec dict) is embedded in every
         checkpoint this policy writes, so resumes revalidate against
-        the declared run."""
+        the declared run.  ``retire_horizon`` overrides the journal
+        retirement anchor (default: the engine's ring retention); with
+        a tiered-retention store it must cover the schedule's
+        *full-resolution* horizon -- replay rebuilds raw samples, and
+        rollups cannot stand in for them.  ``inf`` disables retirement
+        entirely (the journal keeps the whole run).
+        """
         self.engine = engine
         self.spec = spec
+        self.retire_horizon = engine.config.retention \
+            if retire_horizon is None else float(retire_horizon)
+        if self.retire_horizon < engine.config.retention:
+            raise ValueError(
+                "retire_horizon must cover the ring retention "
+                f"({self.retire_horizon:g} < "
+                f"{engine.config.retention:g}): replay could not "
+                "rebuild the rings"
+            )
         self.path = Path(path)
         self.every = engine.config.checkpoint_every_windows \
             if every is None else every
@@ -361,11 +378,14 @@ class CheckpointPolicy:
                 # Anchor retirement at the stalest series, not the
                 # global clock: a quiet series' ring keeps samples to
                 # its own newest minus retention, and replay must
-                # still rebuild them.
+                # still rebuild them.  The horizon is the *full
+                # resolution* one: under a tiered-retention schedule
+                # the durable store keeps raw samples that far back,
+                # and only the journal can re-create them.
                 stalest = self.engine.windows.stalest_series_time()
-                if stalest is not None:
-                    journal.retire(
-                        stalest - self.engine.config.retention)
+                if stalest is not None \
+                        and not math.isinf(self.retire_horizon):
+                    journal.retire(stalest - self.retire_horizon)
         self._save_seconds.observe(span.elapsed)
         if self.on_checkpoint is not None:
             self.on_checkpoint(analysis, self)

@@ -21,6 +21,11 @@ import numpy as np
 
 from repro.metrics.timeseries import MetricKey, TimeSeries
 from repro.persistence.backend import BackendBase, as_arrays
+from repro.persistence.retention import (
+    RetentionSchedule,
+    RollupSeries,
+    rollup_arrays,
+)
 
 try:  # pragma: no cover - exercised only where pyarrow is installed
     import pyarrow  # noqa: F401
@@ -34,24 +39,36 @@ INDEX_VERSION = 1
 
 
 class Segment:
-    """One immutable cold run of samples of one series."""
+    """One immutable cold run of rows of one series.
 
-    __slots__ = ("file", "start", "end", "n")
+    ``resolution`` 0.0 means raw samples; positive means rollup
+    buckets that wide (``n`` then counts stored *rows*, not the raw
+    samples they summarize).  Indexes written before tiered retention
+    existed simply have no ``resolution`` key and load as raw.
+    """
 
-    def __init__(self, file: str, start: float, end: float, n: int):
+    __slots__ = ("file", "start", "end", "n", "resolution")
+
+    def __init__(self, file: str, start: float, end: float, n: int,
+                 resolution: float = 0.0):
         self.file = file
         self.start = start
         self.end = end
         self.n = n
+        self.resolution = resolution
 
     def as_dict(self) -> dict:
-        return {"file": self.file, "start": self.start,
-                "end": self.end, "n": self.n}
+        out = {"file": self.file, "start": self.start,
+               "end": self.end, "n": self.n}
+        if self.resolution:
+            out["resolution"] = self.resolution
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Segment":
         return cls(data["file"], float(data["start"]),
-                   float(data["end"]), int(data["n"]))
+                   float(data["end"]), int(data["n"]),
+                   float(data.get("resolution", 0.0)))
 
 
 class _HotBuffer:
@@ -80,21 +97,31 @@ class _HotBuffer:
         self.n = 0
 
 
-def _write_segment(path: Path, t: np.ndarray, v: np.ndarray,
-                   fmt: str) -> None:
+def _write_segment(path: Path, arrays: dict, fmt: str) -> None:
+    """Persist one segment's column arrays (raw: ``t``/``v``; rollup
+    additionally ``vmin``/``vmax``/``n``)."""
     if fmt == "npz":
-        np.savez_compressed(path, t=t, v=v)
+        np.savez_compressed(path, **arrays)
     else:  # pragma: no cover - parquet path needs pyarrow
-        table = pyarrow.table({"t": t, "v": v})
+        table = pyarrow.table(arrays)
         pyarrow.parquet.write_table(table, path)
 
 
-def _read_segment(path: Path, fmt: str) -> tuple[np.ndarray, np.ndarray]:
+def _read_segment(path: Path, fmt: str) -> dict:
     if fmt == "npz":
         with np.load(path) as data:
-            return data["t"], data["v"]
+            return {name: data[name] for name in data.files}
     table = pyarrow.parquet.read_table(path)  # pragma: no cover
-    return (table["t"].to_numpy(), table["v"].to_numpy())  # pragma: no cover
+    return {name: table[name].to_numpy()  # pragma: no cover
+            for name in table.column_names}
+
+
+def _as_rollup_columns(data: dict) -> tuple[np.ndarray, ...]:
+    """A segment's columns as ``(t, mean, min, max, count)``, expanding
+    raw samples to single-sample buckets."""
+    t, v = data["t"], data["v"]
+    return (t, v, data.get("vmin", v), data.get("vmax", v),
+            data.get("n", np.ones(t.size)))
 
 
 class SpillBackend(BackendBase):
@@ -102,7 +129,8 @@ class SpillBackend(BackendBase):
 
     def __init__(self, directory, hot_points: int = 2048,
                  segment_format: str = "npz",
-                 compact_min_points: int = 0):
+                 compact_min_points: int = 0,
+                 schedule: str | RetentionSchedule | None = None):
         if hot_points < 8:
             raise ValueError("hot_points must be >= 8")
         if segment_format not in ("npz", "parquet"):
@@ -125,6 +153,14 @@ class SpillBackend(BackendBase):
         :meth:`close`, so a long-lived recorded directory fragments
         over restart cycles until compaction merges them."""
         self.segment_format = segment_format
+        if isinstance(schedule, str):
+            schedule = RetentionSchedule.parse(schedule) \
+                if schedule else None
+        self.schedule = schedule
+        """Tiered-retention policy :meth:`compact` applies (None keeps
+        every segment at full resolution).  Policy, not data: a
+        reopened directory rolls further only if its new backend is
+        constructed with a schedule again."""
         self._hot: dict[MetricKey, _HotBuffer] = {}
         self._segments: dict[MetricKey, list[Segment]] = {}
         self._next_segment = 0
@@ -212,7 +248,8 @@ class SpillBackend(BackendBase):
         suffix = "npz" if self.segment_format == "npz" else "parquet"
         name = f"seg-{self._next_segment:06d}.{suffix}"
         self._next_segment += 1
-        _write_segment(self.directory / name, t, v, self.segment_format)
+        _write_segment(self.directory / name, {"t": t, "v": v},
+                       self.segment_format)
         self._segments.setdefault(key, []).append(
             Segment(name, float(t[0]), float(t[-1]), int(t.size))
         )
@@ -228,10 +265,10 @@ class SpillBackend(BackendBase):
         for segment in self._segments.get(key, ()):
             if segment.end < start or segment.start > end:
                 continue
-            t, v = _read_segment(self.directory / segment.file,
+            data = _read_segment(self.directory / segment.file,
                                  self.segment_format)
-            parts_t.append(t)
-            parts_v.append(v)
+            parts_t.append(data["t"])
+            parts_v.append(data["v"])
         hot = self._hot.get(key)
         if hot is not None and hot.n:
             t, v = hot.arrays()
@@ -248,9 +285,50 @@ class SpillBackend(BackendBase):
     def query(self, component: str, metric: str,
               start: float = float("-inf"),
               end: float = float("inf")) -> TimeSeries:
+        """Samples in range; inside the full-resolution horizon these
+        are the raw writes, beyond it each rollup bucket appears as
+        one sample (bucket start, bucket mean)."""
         key = MetricKey(component, metric)
         t, v = self._series_arrays(key, start, end)
         return TimeSeries(key, t, v)
+
+    def query_rollup(self, component: str, metric: str,
+                     start: float = float("-inf"),
+                     end: float = float("inf")) -> RollupSeries:
+        """Like :meth:`query` but aggregate-aware: every row carries
+        (mean, min, max, count); raw samples have ``count == 1``."""
+        key = MetricKey(component, metric)
+        parts: list[tuple[np.ndarray, ...]] = []
+        for segment in self._segments.get(key, ()):
+            if segment.end < start or segment.start > end:
+                continue
+            data = _read_segment(self.directory / segment.file,
+                                 self.segment_format)
+            parts.append(_as_rollup_columns(data))
+        hot = self._hot.get(key)
+        if hot is not None and hot.n:
+            t, v = hot.arrays()
+            parts.append((t, v, v, v, np.ones(t.size)))
+        if not parts:
+            return RollupSeries(key)
+        columns = [np.concatenate([p[i] for p in parts])
+                   for i in range(5)]
+        lo = int(np.searchsorted(columns[0], start, side="left"))
+        hi = int(np.searchsorted(columns[0], end, side="right"))
+        return RollupSeries(key, *(c[lo:hi] for c in columns))
+
+    def disk_bytes(self) -> int:
+        """On-disk footprint: every indexed segment plus the index."""
+        total = 0
+        for segments in self._segments.values():
+            for segment in segments:
+                path = self.directory / segment.file
+                if path.exists():
+                    total += path.stat().st_size
+        index = self.directory / INDEX_NAME
+        if index.exists():
+            total += index.stat().st_size
+        return total
 
     def keys(self) -> list[MetricKey]:
         known = set(self._segments) | {
@@ -280,32 +358,148 @@ class SpillBackend(BackendBase):
 
     # -- compaction ----------------------------------------------------
 
-    def compact(self, retention: float | None = None) -> dict:
-        """Merge small cold segments and drop segments past retention.
+    def _new_segment_name(self) -> str:
+        suffix = "npz" if self.segment_format == "npz" else "parquet"
+        name = f"seg-{self._next_segment:06d}.{suffix}"
+        self._next_segment += 1
+        return name
 
-        Two passes per series, mirroring the journal's retirement
-        semantics:
+    def _roll_series(self, key: MetricKey, segments: list[Segment],
+                     removed_files: list[str],
+                     stats: dict) -> list[Segment]:
+        """Migrate one series' segments across the schedule's tiers.
+
+        Segments whose oldest row is due at a coarser resolution (or
+        past the final horizon) are pooled, re-bucketed per tier
+        region and rewritten as one segment per region; everything
+        else is untouched.  Alignment + append-only writes seal every
+        bucket below a cutoff, so running this twice rolls nothing
+        twice.
+        """
+        newest = self.newest_time(key.component, key.metric)
+        if newest is None or not segments:
+            return segments
+        schedule = self.schedule
+        cuts = schedule.cutoffs(newest)
+        drop_cutoff = schedule.drop_cutoff(newest)
+
+        def _target(start: float) -> float:
+            resolution = 0.0
+            for cutoff, res in cuts:
+                if start < cutoff:
+                    resolution = res
+            return resolution
+
+        affected: list[Segment] = []
+        keep: list[Segment] = []
+        for segment in segments:
+            due = (drop_cutoff is not None
+                   and segment.start < drop_cutoff) \
+                or _target(segment.start) > segment.resolution
+            (affected if due else keep).append(segment)
+        if not affected:
+            return segments
+        parts = [
+            _as_rollup_columns(
+                _read_segment(self.directory / s.file,
+                              self.segment_format))
+            for s in affected
+        ]
+        t, v, vmin, vmax, n = (
+            np.concatenate([p[i] for p in parts]) for i in range(5)
+        )
+        if drop_cutoff is not None:
+            lo = int(np.searchsorted(t, drop_cutoff, side="left"))
+            stats["samples_dropped"] += int(n[:lo].sum())
+            t, v, vmin, vmax, n = (a[lo:] for a in (t, v, vmin,
+                                                    vmax, n))
+        new_segments: list[Segment] = []
+
+        def _emit(arrays: dict, resolution: float) -> None:
+            name = self._new_segment_name()
+            _write_segment(self.directory / name, arrays,
+                           self.segment_format)
+            ts = arrays["t"]
+            new_segments.append(
+                Segment(name, float(ts[0]), float(ts[-1]),
+                        int(ts.size), resolution)
+            )
+
+        lo = 0
+        for cutoff, res in reversed(cuts):  # oldest region first
+            hi = int(np.searchsorted(t, cutoff, side="left"))
+            if hi > lo:
+                bt, bv, bmin, bmax, bn = rollup_arrays(
+                    t[lo:hi], v[lo:hi], vmin[lo:hi], vmax[lo:hi],
+                    n[lo:hi], resolution=res,
+                )
+                _emit({"t": bt, "v": bv, "vmin": bmin, "vmax": bmax,
+                       "n": bn}, res)
+                stats["samples_rolled"] += int(n[lo:hi].sum())
+                stats["rollup_segments_written"] += 1
+            lo = max(lo, hi)
+        if lo < t.size:
+            # Straddler remainder inside the full-resolution horizon.
+            # The nesting invariant keeps rollup rows strictly older
+            # than every raw row, so this tail is raw samples -- but a
+            # corrupted directory must degrade, not mis-file
+            # aggregates as samples.
+            if np.all(n[lo:] == 1):
+                _emit({"t": t[lo:], "v": v[lo:]}, 0.0)
+            else:  # pragma: no cover - unreachable via public writes
+                _emit({"t": t[lo:], "v": v[lo:], "vmin": vmin[lo:],
+                       "vmax": vmax[lo:], "n": n[lo:]},
+                      max(s.resolution for s in affected))
+        stats["segments_rolled"] += len(affected)
+        removed_files.extend(s.file for s in affected)
+        return sorted(keep + new_segments,
+                      key=lambda s: (s.start, s.end))
+
+    def compact(self, retention: float | None = None) -> dict:
+        """Drop, roll and merge cold segments.
+
+        Up to three passes per series, mirroring the journal's
+        retirement semantics:
 
         * **retention** -- with ``retention`` given, segments wholly
           older than (that series' newest sample - ``retention``) are
           dropped.  The anchor is per-series, so a series that went
           quiet never loses its only replayable history to a global
           clock that moved on without it.
-        * **merge** -- consecutive runs of segments smaller than
-          :attr:`compact_min_points` are rewritten as one segment, so
-          a directory fragmented by many record/reopen cycles stops
-          paying per-segment open cost on every range query.
+        * **schedule** -- with a :attr:`schedule` set, rows older than
+          each tier's aligned cutoff are re-bucketed to that tier's
+          resolution (mean/min/max/count per bucket) and rows past a
+          finite final horizon are dropped; reads keep serving full
+          resolution inside the schedule's full horizon.
+        * **merge** -- consecutive same-resolution runs of segments
+          smaller than :attr:`compact_min_points` are rewritten as one
+          segment, so a directory fragmented by many record/reopen
+          cycles stops paying per-segment open cost on every range
+          query.
 
         The rewritten index lands atomically before any source file is
         unlinked; a crash mid-compaction leaves at worst orphaned
         segment files that a later compaction run ignores.  Returns
         compaction stats.
         """
-        dropped_segments = 0
-        dropped_samples = 0
-        merged_segments = 0
-        written_segments = 0
+        stats = {
+            "segments_dropped": 0,
+            "samples_dropped": 0,
+            "segments_merged": 0,
+            "segments_written": 0,
+            "segments_rolled": 0,
+            "samples_rolled": 0,
+            "rollup_segments_written": 0,
+        }
         removed_files: list[str] = []
+        if self.schedule is not None or retention is not None:
+            # Migration passes are defined over the whole durable
+            # history: spill hot tails first so a run that just ended
+            # (its newest rows still in RAM) compacts everything, not
+            # only what already crossed the spill threshold.
+            for key, hot in sorted(self._hot.items()):
+                if hot.n:
+                    self._spill(key, hot)
         for key in sorted(self._segments):
             segments = self._segments[key]
             if retention is not None and segments:
@@ -315,15 +509,17 @@ class SpillBackend(BackendBase):
                 keep = [s for s in segments if s.end >= cutoff]
                 for segment in segments:
                     if segment.end < cutoff:
-                        dropped_segments += 1
-                        dropped_samples += segment.n
+                        stats["segments_dropped"] += 1
+                        stats["samples_dropped"] += segment.n
                         removed_files.append(segment.file)
                 segments = keep
+            if self.schedule is not None:
+                segments = self._roll_series(key, segments,
+                                             removed_files, stats)
             merged: list[Segment] = []
             run: list[Segment] = []
 
             def _seal_run() -> None:
-                nonlocal merged_segments, written_segments
                 if len(run) < 2:
                     merged.extend(run)
                     run.clear()
@@ -333,22 +529,27 @@ class SpillBackend(BackendBase):
                                   self.segment_format)
                     for s in run
                 ]
-                t = np.concatenate([p[0] for p in parts])
-                v = np.concatenate([p[1] for p in parts])
-                suffix = "npz" if self.segment_format == "npz" \
-                    else "parquet"
-                name = f"seg-{self._next_segment:06d}.{suffix}"
-                self._next_segment += 1
-                _write_segment(self.directory / name, t, v,
+                data = {
+                    name: np.concatenate([p[name] for p in parts])
+                    for name in parts[0]
+                }
+                name = self._new_segment_name()
+                _write_segment(self.directory / name, data,
                                self.segment_format)
+                t = data["t"]
                 merged.append(Segment(name, float(t[0]), float(t[-1]),
-                                      int(t.size)))
-                merged_segments += len(run)
-                written_segments += 1
+                                      int(t.size), run[0].resolution))
+                stats["segments_merged"] += len(run)
+                stats["segments_written"] += 1
                 removed_files.extend(s.file for s in run)
                 run.clear()
 
             for segment in segments:
+                if run and segment.resolution != run[0].resolution:
+                    # Rollup buckets must not concatenate into a raw
+                    # segment (or a differently-sized one): a merged
+                    # segment keeps exactly one resolution.
+                    _seal_run()
                 if segment.n < self.compact_min_points:
                     run.append(segment)
                 else:
@@ -362,12 +563,7 @@ class SpillBackend(BackendBase):
         self._write_index()
         for file in removed_files:
             (self.directory / file).unlink(missing_ok=True)
-        return {
-            "segments_dropped": dropped_segments,
-            "samples_dropped": dropped_samples,
-            "segments_merged": merged_segments,
-            "segments_written": written_segments,
-        }
+        return stats
 
     # -- durability ----------------------------------------------------
 

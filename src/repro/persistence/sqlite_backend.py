@@ -18,6 +18,11 @@ import numpy as np
 
 from repro.metrics.timeseries import MetricKey, TimeSeries
 from repro.persistence.backend import BackendBase, as_arrays
+from repro.persistence.retention import (
+    RetentionSchedule,
+    RollupSeries,
+    rollup_arrays,
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS series (
@@ -32,6 +37,16 @@ CREATE TABLE IF NOT EXISTS points (
     v REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_points_series_t ON points (series_id, t);
+CREATE TABLE IF NOT EXISTS rollups (
+    series_id INTEGER NOT NULL REFERENCES series(id),
+    resolution REAL NOT NULL,
+    t REAL NOT NULL,
+    mean REAL NOT NULL,
+    vmin REAL NOT NULL,
+    vmax REAL NOT NULL,
+    n INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_rollups_series_t ON rollups (series_id, t);
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
     payload TEXT NOT NULL
@@ -40,14 +55,28 @@ CREATE TABLE IF NOT EXISTS meta (
 
 
 class SqliteBackend(BackendBase):
-    """Metric storage in a single sqlite database file."""
+    """Metric storage in a single sqlite database file.
 
-    def __init__(self, path=":memory:", commit_every: int = 50_000):
+    With a ``schedule`` (a tiered-retention string or
+    :class:`~repro.persistence.retention.RetentionSchedule`),
+    :meth:`trim` migrates points across tier horizons into the
+    ``rollups`` table (one mean/min/max/count row per aligned bucket)
+    and drops whole buckets past a finite final horizon.  The schema
+    upgrade is additive: pre-rollup databases gain an empty ``rollups``
+    table on open and stay readable everywhere.
+    """
+
+    def __init__(self, path=":memory:", commit_every: int = 50_000,
+                 schedule: str | RetentionSchedule | None = None):
         if commit_every < 1:
             raise ValueError("commit_every must be >= 1")
         super().__init__()
         self.path = str(path)
         self.commit_every = commit_every
+        if isinstance(schedule, str):
+            schedule = RetentionSchedule.parse(schedule) \
+                if schedule else None
+        self.schedule = schedule
         # check_same_thread=False lets a dedicated writer thread (the
         # concurrent-ingest BatchingWriter) own the write path while
         # readers drain it first -- access is serialized in time by the
@@ -122,6 +151,11 @@ class SqliteBackend(BackendBase):
     def query(self, component: str, metric: str,
               start: float = float("-inf"),
               end: float = float("inf")) -> TimeSeries:
+        """Samples in range; inside the full-resolution horizon these
+        are the raw writes, beyond it each rollup bucket appears as
+        one sample (bucket start, bucket mean).  Rollup buckets are
+        strictly older than every remaining point (the migration
+        invariant), so the concatenation stays time-ordered."""
         key = MetricKey(component, metric)
         row = self._conn.execute(
             "SELECT id FROM series WHERE component=? AND metric=?",
@@ -129,15 +163,48 @@ class SqliteBackend(BackendBase):
         ).fetchone()
         if row is None:
             return TimeSeries(key)
+        rolled = self._conn.execute(
+            "SELECT t, mean FROM rollups WHERE series_id=? "
+            "AND t>=? AND t<=? ORDER BY t",
+            (int(row[0]), float(start), float(end)),
+        ).fetchall()
         rows = self._conn.execute(
             "SELECT t, v FROM points WHERE series_id=? "
             "AND t>=? AND t<=? ORDER BY rowid",
             (int(row[0]), float(start), float(end)),
         ).fetchall()
-        if not rows:
+        if not rolled and not rows:
             return TimeSeries(key)
-        arr = np.asarray(rows, dtype=float)
+        arr = np.asarray(rolled + rows, dtype=float)
         return TimeSeries(key, arr[:, 0], arr[:, 1])
+
+    def query_rollup(self, component: str, metric: str,
+                     start: float = float("-inf"),
+                     end: float = float("inf")) -> RollupSeries:
+        """Like :meth:`query` but aggregate-aware: every row carries
+        (mean, min, max, count); raw points have ``count == 1``."""
+        key = MetricKey(component, metric)
+        row = self._conn.execute(
+            "SELECT id FROM series WHERE component=? AND metric=?",
+            (component, metric),
+        ).fetchone()
+        if row is None:
+            return RollupSeries(key)
+        rolled = self._conn.execute(
+            "SELECT t, mean, vmin, vmax, n FROM rollups "
+            "WHERE series_id=? AND t>=? AND t<=? ORDER BY t",
+            (int(row[0]), float(start), float(end)),
+        ).fetchall()
+        rows = self._conn.execute(
+            "SELECT t, v, v, v, 1 FROM points WHERE series_id=? "
+            "AND t>=? AND t<=? ORDER BY rowid",
+            (int(row[0]), float(start), float(end)),
+        ).fetchall()
+        if not rolled and not rows:
+            return RollupSeries(key)
+        arr = np.asarray(rolled + rows, dtype=float)
+        return RollupSeries(key, arr[:, 0], arr[:, 1], arr[:, 2],
+                            arr[:, 3], arr[:, 4])
 
     def newest_time(self, component: str, metric: str) -> float | None:
         row = self._conn.execute(
@@ -150,6 +217,11 @@ class SqliteBackend(BackendBase):
             "SELECT MAX(t) FROM points WHERE series_id=?",
             (int(row[0]),),
         ).fetchone()[0]
+        if newest is None:
+            newest = self._conn.execute(
+                "SELECT MAX(t) FROM rollups WHERE series_id=?",
+                (int(row[0]),),
+            ).fetchone()[0]
         return None if newest is None else float(newest)
 
     def keys(self) -> list[MetricKey]:
@@ -163,8 +235,26 @@ class SqliteBackend(BackendBase):
         return int(row[0])
 
     def sample_count(self) -> int:
-        row = self._conn.execute("SELECT COUNT(*) FROM points").fetchone()
-        return int(row[0])
+        """Stored rows: raw points plus rollup buckets (a bucket
+        counts once however many samples it summarizes)."""
+        points = self._conn.execute(
+            "SELECT COUNT(*) FROM points").fetchone()[0]
+        rolled = self._conn.execute(
+            "SELECT COUNT(*) FROM rollups").fetchone()[0]
+        return int(points) + int(rolled)
+
+    def disk_bytes(self) -> int:
+        """On-disk footprint of the database (plus WAL sidecars)."""
+        import os
+
+        if self.path == ":memory:":
+            return 0
+        total = 0
+        for path in (self.path, self.path + "-wal",
+                     self.path + "-shm"):
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
 
     # -- metadata ------------------------------------------------------
 
@@ -186,11 +276,92 @@ class SqliteBackend(BackendBase):
 
     # -- compaction ----------------------------------------------------
 
-    def trim(self, retention: float | None = None) -> dict:
-        """Drop points past retention, then ``VACUUM`` the file.
+    def _apply_schedule(self) -> tuple[int, int, int]:
+        """Migrate every series across the schedule's tiers.
 
-        With ``retention`` given, every series loses the points older
-        than (its *own* newest sample - ``retention``) -- the
+        Runs in one transaction (committed by the caller), so a crash
+        mid-migration rolls back to the untouched database -- never a
+        half-rolled series.  Returns (points rolled, rollup buckets
+        written, rows dropped past the final horizon).
+        """
+        schedule = self.schedule
+        rolled = 0
+        buckets = 0
+        dropped = 0
+        for (sid,) in self._conn.execute(
+                "SELECT id FROM series").fetchall():
+            newest = self.newest_time(
+                *self._conn.execute(
+                    "SELECT component, metric FROM series WHERE id=?",
+                    (sid,)).fetchone())
+            if newest is None:
+                continue
+            drop_cutoff = schedule.drop_cutoff(newest)
+            if drop_cutoff is not None:
+                for table in ("points", "rollups"):
+                    cursor = self._conn.execute(
+                        f"DELETE FROM {table} "
+                        f"WHERE series_id=? AND t<?",
+                        (sid, drop_cutoff),
+                    )
+                    dropped += cursor.rowcount
+            lo = drop_cutoff if drop_cutoff is not None \
+                else float("-inf")
+            # Oldest (coarsest) region first; regions are disjoint.
+            for cutoff, res in reversed(schedule.cutoffs(newest)):
+                cutoff = max(lo, cutoff)
+                prows = self._conn.execute(
+                    "SELECT t, v, v, v, 1 FROM points "
+                    "WHERE series_id=? AND t>=? AND t<? ORDER BY t",
+                    (sid, lo, cutoff),
+                ).fetchall()
+                rrows = self._conn.execute(
+                    "SELECT t, mean, vmin, vmax, n FROM rollups "
+                    "WHERE series_id=? AND resolution<? "
+                    "AND t>=? AND t<? ORDER BY t",
+                    (sid, res, lo, cutoff),
+                ).fetchall()
+                if prows or rrows:
+                    # Finer rollups are strictly older than raw points
+                    # (the migration invariant), so concatenation in
+                    # that order stays time-sorted.
+                    arr = np.asarray(rrows + prows, dtype=float)
+                    bt, bv, bmin, bmax, bn = rollup_arrays(
+                        arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3],
+                        arr[:, 4], resolution=res,
+                    )
+                    self._conn.execute(
+                        "DELETE FROM points "
+                        "WHERE series_id=? AND t>=? AND t<?",
+                        (sid, lo, cutoff),
+                    )
+                    self._conn.execute(
+                        "DELETE FROM rollups WHERE series_id=? "
+                        "AND resolution<? AND t>=? AND t<?",
+                        (sid, res, lo, cutoff),
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO rollups "
+                        "(series_id, resolution, t, mean, vmin, vmax, n)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        ((sid, res, float(ti), float(vi), float(mi),
+                          float(ma), int(ni))
+                         for ti, vi, mi, ma, ni
+                         in zip(bt, bv, bmin, bmax, bn)),
+                    )
+                    rolled += len(prows)
+                    buckets += int(bt.size)
+                lo = cutoff
+        return rolled, buckets, dropped
+
+    def trim(self, retention: float | None = None) -> dict:
+        """Apply the retention schedule and horizon, then ``VACUUM``.
+
+        With a :attr:`schedule` set, points older than each tier's
+        aligned cutoff migrate into that tier's rollup buckets and
+        whole buckets past a finite final horizon are dropped.  With
+        ``retention`` given, every series additionally loses the rows
+        older than (its *own* newest sample - ``retention``) -- the
         per-series anchor mirrors the journal's retirement semantics,
         so a quiet series never loses its only history to a global
         clock that moved on.  ``VACUUM`` then returns the freed pages
@@ -199,6 +370,12 @@ class SqliteBackend(BackendBase):
         """
         self.flush()
         deleted = 0
+        rolled = 0
+        buckets = 0
+        if self.schedule is not None:
+            rolled, buckets, dropped = self._apply_schedule()
+            deleted += dropped
+            self._conn.commit()
         if retention is not None:
             rows = self._conn.execute(
                 "SELECT series_id, MAX(t) FROM points GROUP BY series_id"
@@ -206,15 +383,18 @@ class SqliteBackend(BackendBase):
             for sid, newest in rows:
                 if newest is None:
                     continue
-                cursor = self._conn.execute(
-                    "DELETE FROM points WHERE series_id=? AND t<?",
-                    (int(sid), float(newest) - retention),
-                )
-                deleted += cursor.rowcount
+                for table in ("points", "rollups"):
+                    cursor = self._conn.execute(
+                        f"DELETE FROM {table} WHERE series_id=? AND t<?",
+                        (int(sid), float(newest) - retention),
+                    )
+                    deleted += cursor.rowcount
             self._conn.commit()
         # VACUUM must run outside any transaction (flush/commit above).
         self._conn.execute("VACUUM")
-        return {"points_deleted": deleted}
+        return {"points_deleted": deleted,
+                "points_rolled": rolled,
+                "rollup_buckets_written": buckets}
 
     def compact(self, retention: float | None = None) -> dict:
         """Registry-facing alias of :meth:`trim` (the

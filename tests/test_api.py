@@ -785,7 +785,9 @@ class TestSqliteTrim:
     def test_trim_without_retention_only_vacuums(self, tmp_path):
         backend = SqliteBackend(tmp_path / "x.db")
         backend.write("web", "cpu", [0.0, 1.0], [0.0, 1.0])
-        assert backend.trim() == {"points_deleted": 0}
+        assert backend.trim() == {"points_deleted": 0,
+                                  "points_rolled": 0,
+                                  "rollup_buckets_written": 0}
         assert backend.sample_count() == 2
         backend.close()
 

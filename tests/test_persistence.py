@@ -4,6 +4,9 @@ drift+SLA RCA trigger, and crash-restart determinism."""
 
 import dataclasses
 import json
+import os
+import signal
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -1026,3 +1029,190 @@ class TestCLIPersistence:
         # (out-of-order) timeline onto the first.
         assert main(args) == 0
         assert SqliteBackend(db).sample_count() == first
+
+
+# ---------------------------------------------------------------------------
+# Kill matrix: tiered-retention compaction crashes
+
+
+_TIER_SCHEDULE = "100s:full,400s:10s,inf:40s"
+
+
+def _tiered_fill(directory, schedule=_TIER_SCHEDULE):
+    backend = SpillBackend(directory, hot_points=256, schedule=schedule)
+    t = np.arange(0.0, 2000.0, 0.5)
+    rng = np.random.default_rng(11)
+    v = np.cumsum(rng.standard_normal(t.size))
+    for lo in range(0, t.size, 500):
+        backend.write("web", "cpu", t[lo:lo + 500], v[lo:lo + 500])
+    backend.close()  # spill the hot tail; every sample is durable
+    return t, v
+
+
+class TestTieredCompactionCrash:
+    def test_sigkill_mid_rollup_preserves_precompact_view(self,
+                                                          tmp_path):
+        """A real SIGKILL while the first rollup segment is being
+        written must leave the pre-compaction view intact (the index
+        is only rewritten after every segment lands), and a second
+        compaction must finish the migration without double-rolling
+        or losing buckets."""
+        import subprocess
+        import sys
+
+        store = tmp_path / "store"
+        t, v = _tiered_fill(store)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        script = (
+            "import os, signal\n"
+            "import repro.persistence.spill as spill\n"
+            "orig = spill._write_segment\n"
+            "def killer(path, arrays, fmt):\n"
+            "    if 'vmin' in arrays:\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            "    return orig(path, arrays, fmt)\n"
+            "spill._write_segment = killer\n"
+            "from repro.persistence import SpillBackend\n"
+            f"backend = SpillBackend({str(store)!r}, hot_points=256,\n"
+            f"                       schedule={_TIER_SCHEDULE!r})\n"
+            "backend.compact()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        # The killed compaction left at worst orphaned files: the
+        # reopened directory still serves the raw, pre-compact view.
+        reopened = SpillBackend(store, hot_points=256,
+                                schedule=_TIER_SCHEDULE)
+        got = reopened.query("web", "cpu", float("-inf"), float("inf"))
+        assert np.array_equal(got.times, t)
+        assert np.array_equal(got.values, v)
+
+        # The retried migration completes and conserves every sample.
+        stats = reopened.compact()
+        assert stats["samples_rolled"] > 0
+        rolled = reopened.query_rollup("web", "cpu",
+                                       float("-inf"), float("inf"))
+        assert rolled.total_samples() == t.size
+        assert np.all(np.diff(rolled.times) > 0)
+        again = reopened.compact()
+        assert again["samples_rolled"] == 0
+        reopened.close()
+
+    def test_crash_between_index_publish_and_unlink(self, tmp_path,
+                                                    monkeypatch):
+        """Dying after the atomic index rewrite but before the old
+        segment files are unlinked leaves orphans a later compaction
+        ignores -- reads and re-compaction see only the new view."""
+        store = tmp_path / "store"
+        t, _v = _tiered_fill(store)
+        backend = SpillBackend(store, hot_points=256,
+                               schedule=_TIER_SCHEDULE)
+        live_files = {f.name for f in store.iterdir()}
+        with monkeypatch.context() as patched:
+            patched.setattr(Path, "unlink",
+                            lambda self, missing_ok=False: None)
+            backend.compact()
+        # The old segment files really are still on disk (the crash
+        # window exists) ...
+        assert live_files - {"index.json"} \
+            <= {f.name for f in store.iterdir()}
+        backend.close()
+
+        # ... yet the reopened view is the migrated one, conserves
+        # every sample, and a second compaction rolls nothing twice.
+        reopened = SpillBackend(store, hot_points=256,
+                                schedule=_TIER_SCHEDULE)
+        rolled = reopened.query_rollup("web", "cpu",
+                                       float("-inf"), float("inf"))
+        assert rolled.total_samples() == t.size
+        assert np.all(np.diff(rolled.times) > 0)
+        assert reopened.compact()["samples_rolled"] == 0
+        reopened.close()
+
+
+class TestResumeAcrossRollupBoundary:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("rollup-crash")
+        config = StreamingConfig(window=20.0, hop=10.0, retention=300.0)
+        schedule = "30s:full,120s:10s,inf:30s"
+        from repro.streaming import StreamingSieve
+
+        # Uninterrupted reference run with an *unscheduled* store:
+        # the ground truth for both windows and raw sample counts.
+        reference_store = SpillBackend(tmp / "ref-store", hot_points=8)
+        reference_engine = StreamingSieve(
+            config=config, seed=3, store_backend=reference_store,
+            application="demo", workload="stream",
+        )
+        uninterrupted = _streaming_driver(config=config,
+                                          engine=reference_engine)
+        reference_windows = uninterrupted.run(90.0)
+        reference_store.flush()
+
+        # Doomed run with a tiered store; compaction crosses a rollup
+        # boundary right before the crash.
+        journal = IngestJournal(tmp / "ingest.journal")
+        store = SpillBackend(tmp / "store", hot_points=8,
+                             schedule=schedule)
+        engine = StreamingSieve(
+            config=config, seed=3, journal=journal, store_backend=store,
+            application="demo", workload="stream",
+        )
+        doomed = _streaming_driver(config=config, engine=engine)
+        policy = CheckpointPolicy(engine, tmp / "state.ckpt", every=1)
+        engine.subscribe(policy)
+        early_windows = doomed.run(50.0)
+        mid_stats = store.compact()
+        journal.commit()
+        del doomed  # the crash: unspilled hot rows are lost
+
+        # Resume against the reopened (already partially rolled-up)
+        # store; the journal heals the lost tail.
+        healed = SpillBackend(tmp / "store", hot_points=8,
+                              schedule=schedule)
+        restored = restore_engine(tmp / "state.ckpt", config,
+                                  journal_path=tmp / "ingest.journal",
+                                  store_backend=healed)
+        resumed = _streaming_driver(config=config, engine=restored)
+        late_windows = resumed.resume_run(40.0)
+        healed.flush()
+        return (reference_store, reference_windows, early_windows,
+                late_windows, healed, mid_stats)
+
+    def test_compaction_crossed_a_rollup_boundary(self, runs):
+        *_rest, mid_stats = runs
+        assert mid_stats["samples_rolled"] > 0
+
+    def test_windows_bit_identical_to_uninterrupted_run(self, runs):
+        _s, reference, early, late, *_rest = runs
+        combined = early + late
+        assert [(a.index, a.start, a.end) for a in combined] \
+            == [(a.index, a.start, a.end) for a in reference]
+        assert [a.recluster_reasons for a in combined] \
+            == [a.recluster_reasons for a in reference]
+        for component in reference[-1].clusterings:
+            assert late[-1].clusterings[component].labels() \
+                == reference[-1].clusterings[component].labels()
+        assert edge_jaccard(late[-1].dependency_graph,
+                            reference[-1].dependency_graph,
+                            level="metric") == 1.0
+
+    def test_no_lost_or_double_rolled_buckets(self, runs):
+        reference_store, _w, _e, _l, healed, _m = runs
+        stats = healed.compact()  # migrate the resumed tail too
+        assert healed.compact()["samples_rolled"] == 0
+        assert set(healed.keys()) == set(reference_store.keys())
+        for key in reference_store.keys():
+            want = reference_store.query(key.component, key.metric,
+                                         float("-inf"), float("inf"))
+            rolled = healed.query_rollup(key.component, key.metric,
+                                         float("-inf"), float("inf"))
+            assert rolled.total_samples() == len(want)
+            assert np.all(np.diff(rolled.times) > 0)
+        assert stats is not None
