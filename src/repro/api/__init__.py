@@ -91,7 +91,7 @@ _LAZY_EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY_EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(

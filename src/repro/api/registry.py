@@ -36,14 +36,15 @@ Factory = Callable[..., Any]
 class Registry:
     """One named factory table (e.g. all storage backends)."""
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._factories: dict[str, Factory] = {}
 
     # -- registration ---------------------------------------------------
 
     def register(self, name: str, factory: Factory | None = None,
-                 *, replace: bool = False):
+                 *, replace: bool = False
+                 ) -> Factory | Callable[[Factory], Factory]:
         """Register ``factory`` under ``name``.
 
         Usable directly (``registry.register("x", make_x)``) or as a

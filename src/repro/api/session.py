@@ -45,7 +45,7 @@ _RESUME_KEYS = ("app", "seed")
 class Session:
     """Base façade: a built pipeline ready to :meth:`run` once."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         self.spec = spec
         self.backend: Any = None
         self.telemetry: Any = None
@@ -156,7 +156,7 @@ def _open_storage(spec: RunSpec, fresh: bool) -> Any:
 class BatchSession(Session):
     """Mode ``pipeline``: the offline three-step batch run."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         from repro.core.sieve import Sieve
 
@@ -336,7 +336,7 @@ class _EngineSession(Session):
         if rca is not None and hasattr(rca, "on_report"):
             chained = rca.on_report
 
-            def _on_rca(triggered, _chained=chained) -> None:
+            def _on_rca(triggered: Any, _chained: Any = chained) -> None:
                 latest = self._engine.latest()
                 events.append("rca",
                               latest.end if latest is not None else 0.0,
@@ -357,7 +357,7 @@ class _EngineSession(Session):
             rca.on_report = _on_rca
         if self.policy is not None:
 
-            def _on_checkpoint(analysis, policy) -> None:
+            def _on_checkpoint(analysis: Any, policy: Any) -> None:
                 events.append("checkpoint", analysis.end, {
                     "window": analysis.index,
                     "checkpoints_written": policy.checkpoints_written,
@@ -444,7 +444,7 @@ class _EngineSession(Session):
 class StreamSession(_EngineSession):
     """Mode ``stream``: windowed analysis of a live co-simulation."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         from repro.streaming import SimulationStreamDriver
 
@@ -551,7 +551,7 @@ class ServeSession(_EngineSession):
     pass or :meth:`stop` is called (e.g. from a signal handler).
     """
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         import threading
 
@@ -659,7 +659,7 @@ class RecordSession(Session):
     analysis runs (clustering and Granger belong to ``replay``).
     """
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         from repro.streaming import IngestionBus
 
@@ -724,7 +724,7 @@ class ReplayOutcome:
 class ReplaySession(Session):
     """Mode ``replay``: re-analyze a recorded backend from disk."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         self.backend = BACKENDS.create(spec.storage.kind,
                                        spec.storage.path,
@@ -802,7 +802,7 @@ class ReplaySession(Session):
 class RCASession(Session):
     """Mode ``rca``: the OpenStack correct-vs-faulty comparison."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         from repro.core.sieve import Sieve
 
@@ -834,7 +834,7 @@ class RCASession(Session):
 class TraceOverheadSession(Session):
     """Mode ``trace-overhead``: the Figure 5 technique comparison."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec) -> None:
         super().__init__(spec)
         self.requests = int(spec.extra.get("requests", 10_000))
 
@@ -899,7 +899,7 @@ class PipelineBuilder:
     """
 
     def __init__(self, app: str = "sharelatex",
-                 mode: str = "pipeline"):
+                 mode: str = "pipeline") -> None:
         self._fields: dict[str, Any] = {"app": app, "mode": mode}
         self._streaming: dict[str, Any] = {}
         self._sieve: dict[str, Any] = {}

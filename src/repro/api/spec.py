@@ -22,7 +22,11 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.persistence.retention import RetentionSchedule
+    from repro.tracing.callgraph import CallGraph
 
 from repro.api.registry import (
     APPLICATIONS,
@@ -111,7 +115,7 @@ class StorageSpec:
             RetentionSchedule.parse(self.schedule)
 
     @property
-    def parsed_schedule(self):
+    def parsed_schedule(self) -> "RetentionSchedule | None":
         """The :class:`~repro.persistence.retention.RetentionSchedule`
         this spec declares (None when unscheduled)."""
         if not self.schedule:
@@ -257,7 +261,7 @@ class ServiceSpec:
         """Whether this spec turns the operations surface on."""
         return self.enabled or self.port > 0
 
-    def build_call_graph(self):
+    def build_call_graph(self) -> "CallGraph":
         """The declared topology as a
         :class:`~repro.tracing.callgraph.CallGraph`."""
         from repro.tracing.callgraph import CallGraph
@@ -363,7 +367,7 @@ class RunSpec:
                 )
 
     @property
-    def sieve(self):
+    def sieve(self) -> SieveConfig:
         """The batch-analysis tunables (nested in streaming)."""
         return self.streaming.sieve
 
@@ -560,14 +564,14 @@ def _format_of(path: Path) -> str:
     return "toml" if path.suffix.lower() == ".toml" else "json"
 
 
-def load_spec(path) -> RunSpec:
+def load_spec(path: str | Path) -> RunSpec:
     """Load a spec file (``.toml`` -> TOML, anything else -> JSON)."""
     path = Path(path)
     return loads_spec(path.read_text(encoding="utf-8"),
                       _format_of(path))
 
 
-def save_spec(spec: RunSpec, path) -> None:
+def save_spec(spec: RunSpec, path: str | Path) -> None:
     """Write the resolved spec to ``path`` (format by suffix)."""
     path = Path(path)
     text = spec_to_toml(spec) if _format_of(path) == "toml" \

@@ -746,6 +746,72 @@ def cmd_spec(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the repo-invariant static analyzer (``repro lint``).
+
+    Exit codes: 0 clean (baselined findings allowed), 1 active
+    findings or stale baseline entries, 2 usage errors.  Imported
+    lazily: the analyzer is devtooling and must not load with the
+    runtime pipeline.
+    """
+    from pathlib import Path
+
+    from repro.devtools.lint import (
+        Baseline,
+        Linter,
+        apply_fixes,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip()
+                 for rule_id in args.rules.split(",") if rule_id.strip()]
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = Baseline.load(baseline_path)
+        linter = Linter(rules=rules, baseline=baseline)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    paths = args.paths or ["src/repro"]
+    try:
+        result = linter.run(paths)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.fix:
+        fixed = apply_fixes(result.active + result.baselined)
+        if fixed:
+            total = sum(fixed.values())
+            print(f"applied {total} fix(es) in {len(fixed)} file(s)")
+            result = linter.run(paths)
+    if args.write_baseline:
+        from repro.devtools.lint.baseline import Baseline as _B
+
+        recorded = _B.from_findings(result.active + result.baselined,
+                                    path=baseline_path)
+        recorded.save()
+        print(f"baseline with {len(recorded)} finding(s) written to "
+              f"{baseline_path}")
+        return 0
+    report = render_json(result) if args.format == "json" \
+        else render_text(result, verbose=args.verbose) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        # The human-readable verdict still lands on stdout.
+        print(render_text(result, verbose=False))
+    else:
+        print(report, end="")
+    return 0 if result.ok and not result.stale_baseline else 1
+
+
 # -- parser ----------------------------------------------------------------
 
 
@@ -813,6 +879,34 @@ def build_parser(suppress: bool = False) -> argparse.ArgumentParser:
         "catalog", help="list an application model's components")
     _add_catalog_flags(p_catalog, suppress)
     p_catalog.set_defaults(func=cmd_catalog)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's own invariants (lock "
+             "discipline, determinism, registry wiring)")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    p_lint.add_argument("--output", metavar="PATH",
+                        help="write the report here (text verdict "
+                             "still prints)")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        default="lint-baseline.json",
+                        help="accepted-legacy-findings file "
+                             "(default: ./lint-baseline.json)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline")
+    p_lint.add_argument("--fix", action="store_true",
+                        help="apply available automatic fixes first")
+    p_lint.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.add_argument("-v", "--verbose", action="store_true",
+                        help="also show baselined findings")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_spec = sub.add_parser(
         "spec",

@@ -1,0 +1,10 @@
+"""Developer tooling that ships with the package.
+
+``repro.devtools`` holds code that checks or manipulates *this
+repository itself* rather than metric streams: currently the
+:mod:`repro.devtools.lint` static analyzer behind ``repro lint``.
+Nothing here is imported by the runtime pipeline, so the analysis
+paths stay free of tooling dependencies.
+"""
+
+from __future__ import annotations

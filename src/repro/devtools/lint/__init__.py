@@ -1,0 +1,73 @@
+"""``repro lint``: the repo-invariant static analyzer.
+
+An AST-based rule engine that checks *this system's* hard-won
+invariants -- lock discipline, analysis-path determinism,
+everything-through-the-registries wiring, frozen specs -- rather than
+generic style.  Rules live in a string-keyed registry (the same
+:class:`~repro.api.registry.Registry` mechanism the pipeline uses),
+findings can be suppressed per line (``# repro-lint: disable=RL001``)
+or accepted wholesale in a committed baseline, and the ``repro lint``
+CLI gates CI on zero new findings.
+
+Public surface::
+
+    from repro.devtools.lint import Linter, LintConfig, lint_paths
+
+    result = lint_paths(["src/repro"])
+    assert result.ok, result.active
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.devtools.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.lint.context import FileContext, ProjectContext
+from repro.devtools.lint.engine import (
+    Linter,
+    LintResult,
+    apply_fixes,
+    discover_files,
+)
+from repro.devtools.lint.findings import Finding, TextFix
+from repro.devtools.lint.registry import RULES, Rule, all_rules, register_rule
+from repro.devtools.lint.report import (
+    render_json,
+    render_rule_list,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Linter",
+    "ProjectContext",
+    "RULES",
+    "Rule",
+    "TextFix",
+    "all_rules",
+    "apply_fixes",
+    "discover_files",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]
+
+
+def lint_paths(paths: Sequence[str | Path],
+               *,
+               config: LintConfig | None = None,
+               rules: Iterable[str] | None = None,
+               baseline: Baseline | None = None) -> LintResult:
+    """Run the analyzer over ``paths`` and return the result."""
+    linter = Linter(config=config, rules=rules, baseline=baseline)
+    return linter.run(paths)

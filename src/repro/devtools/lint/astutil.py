@@ -1,0 +1,143 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: ``threading`` constructors that create a lock-like object.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+
+class ImportMap:
+    """Resolves local names back to canonical dotted import paths.
+
+    ``import numpy as np`` makes ``np.random.rand`` resolve to
+    ``numpy.random.rand``; ``from random import shuffle as mix`` makes
+    ``mix`` resolve to ``random.shuffle``.  Unimported bare names
+    resolve to ``None`` so a local helper called ``time()`` can never
+    masquerade as :func:`time.time`.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canonical = alias.name if alias.asname else local
+                    self._aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an expression, if import-rooted."""
+        parts: list[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self._aliases.get(cursor.id)
+        if root is None:
+            if not parts:
+                return None
+            # `foo.bar` with an unimported root still names a chain a
+            # rule may recognize (e.g. a module-global alias).
+            root = cursor.id
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The rightmost name of a call target (``Foo`` for ``x.y.Foo()``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def class_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child  # type: ignore[misc]
+
+
+def lock_attributes(classdef: ast.ClassDef, imports: ImportMap) -> set[str]:
+    """Attributes assigned a ``threading`` lock anywhere in the class."""
+    locks: set[str] = set()
+    for node in ast.walk(classdef):
+        if not isinstance(node, ast.Assign) \
+                or not isinstance(node.value, ast.Call):
+            continue
+        resolved = imports.resolve(node.value.func)
+        if resolved not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = self_attr(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def acquired_locks(with_node: ast.With | ast.AsyncWith,
+                   lock_names: set[str]) -> list[str]:
+    """Locks of ``lock_names`` this ``with`` statement acquires."""
+    taken = []
+    for item in with_node.items:
+        attr = self_attr(item.context_expr)
+        if attr is not None and attr in lock_names:
+            taken.append(attr)
+    return taken
+
+
+def walk_with_locks(
+    node: ast.AST,
+    lock_names: set[str],
+    held: tuple[str, ...] = (),
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield ``(node, held_locks)`` for every node under ``node``.
+
+    ``with self.<lock>`` pushes onto the held stack for its body (the
+    ``with`` items themselves are visited with the *outer* set: the
+    acquisition is what happens under the outer locks).  Nested
+    function definitions reset the stack -- their bodies run later,
+    usually on another thread -- but are still traversed.
+    """
+    yield node, held
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            yield from walk_with_locks(item.context_expr, lock_names, held)
+            if item.optional_vars is not None:
+                yield from walk_with_locks(
+                    item.optional_vars, lock_names, held)
+        inner = held + tuple(acquired_locks(node, lock_names))
+        for stmt in node.body:
+            yield from walk_with_locks(stmt, lock_names, inner)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.Lambda)):
+        for child in ast.iter_child_nodes(node):
+            yield from walk_with_locks(child, lock_names, ())
+    else:
+        for child in ast.iter_child_nodes(node):
+            yield from walk_with_locks(child, lock_names, held)

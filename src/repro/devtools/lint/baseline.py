@@ -1,0 +1,97 @@
+"""Committed-baseline mechanism for legacy findings.
+
+A baseline is a JSON file mapping finding fingerprints to a short
+human-readable record.  Findings whose fingerprint appears in the
+baseline are reported as *baselined* (informational) instead of
+failing the run, so a new rule can land with its legacy debt recorded
+while the zero-new-findings CI gate still blocks regressions.
+
+Fingerprints hash ``rule | path | symbol | message`` (no line
+numbers), so unrelated edits that move a legacy finding around a file
+do not invalidate the baseline; fixing the finding *does* (the entry
+then shows up as stale and ``--write-baseline`` prunes it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.findings import Finding
+
+#: Baseline file format version (bumped on incompatible change).
+BASELINE_VERSION = 1
+
+#: Default baseline filename looked up next to the linted tree.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The set of accepted legacy findings."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(
+                f"{path}: not a lint baseline (missing 'findings' key)")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})")
+        entries = {
+            entry["fingerprint"]: entry
+            for entry in data["findings"]
+        }
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      path: Path | None = None) -> "Baseline":
+        entries = {}
+        for finding in sorted(findings):
+            entries[finding.fingerprint()] = {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+        return cls(entries=entries, path=path)
+
+    def save(self, path: Path | None = None) -> Path:
+        target = path or self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [self.entries[key] for key in sorted(self.entries)],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        return target
+
+    # -- matching --------------------------------------------------------
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale_entries(self, findings: list[Finding]) -> list[dict]:
+        """Baseline entries no current finding matches (fixed debt)."""
+        live = {finding.fingerprint() for finding in findings}
+        return [
+            self.entries[key] for key in sorted(self.entries)
+            if key not in live
+        ]

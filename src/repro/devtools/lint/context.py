@@ -1,0 +1,156 @@
+"""Per-file and per-run state handed to lint rules.
+
+:class:`FileContext` owns everything a rule needs about one source
+file: the parsed AST, the raw lines, real comments (extracted with
+:mod:`tokenize`, so strings containing ``#`` never count), and the
+``# repro-lint: disable=RULE`` suppressions derived from them.
+
+:class:`ProjectContext` accumulates cross-file state for rules with a
+``finalize`` phase (lock-order cycles, unused suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Suppression comment grammar: ``# repro-lint: disable=RL001,RL010``
+#: (optionally followed by a free-text reason after ``--``).
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--.*)?$"
+)
+
+#: Guarded-attribute annotation: ``# guarded-by: _stats_lock``
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    """Rule ids listed in the comment (``("all",)`` disables every
+    rule on the line)."""
+
+    comment: str
+    """The raw comment text (used by the unused-suppression fixer)."""
+
+    def covers(self, rule: str) -> bool:
+        return "all" in self.rules or rule in self.rules
+
+
+class FileContext:
+    """One parsed source file plus its comment-derived annotations."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.comments: dict[int, str] = {}
+        for token in self._tokens():
+            if token.type == tokenize.COMMENT:
+                self.comments[token.start[0]] = token.string
+        self.suppressions: dict[int, Suppression] = {}
+        for line, comment in self.comments.items():
+            match = SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            if rules:
+                self.suppressions[line] = Suppression(line, rules, comment)
+        self._symbols = _SymbolIndex(self.tree)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def _tokens(self) -> list[tokenize.TokenInfo]:
+        try:
+            return list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except tokenize.TokenError:  # pragma: no cover - ast parsed OK
+            return []
+
+    # -- annotations -----------------------------------------------------
+
+    def guarded_comment(self, line: int) -> str | None:
+        """The lock named by a ``# guarded-by:`` comment on ``line``."""
+        comment = self.comments.get(line)
+        if comment is None:
+            return None
+        match = GUARDED_RE.search(comment)
+        return match.group("lock") if match else None
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        suppression = self.suppressions.get(line)
+        return suppression is not None and suppression.covers(rule)
+
+    # -- structure -------------------------------------------------------
+
+    def symbol_at(self, line: int) -> str:
+        """Dotted enclosing definition (``Class.method``) of ``line``."""
+        return self._symbols.at(line)
+
+    def parent_of(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (lazily indexed once per file)."""
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents.get(node)
+
+
+class _SymbolIndex:
+    """Maps a line to its innermost enclosing class/function name."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._spans: list[tuple[int, int, str]] = []
+        self._collect(tree, ())
+
+    def _collect(self, node: ast.AST, stack: tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                nested = stack + (child.name,)
+                end = getattr(child, "end_lineno", child.lineno)
+                self._spans.append((child.lineno, end, ".".join(nested)))
+                self._collect(child, nested)
+            else:
+                self._collect(child, stack)
+
+    def at(self, line: int) -> str:
+        best = ""
+        best_span = None
+        for start, end, name in self._spans:
+            if start <= line <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = name, span
+        return best
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state shared by all rules during one lint run.
+
+    ``lock_edges`` is the static lock-acquisition graph (``A`` held
+    when ``B`` is taken); ``suppression_hits`` records which disable
+    comments actually suppressed something, keyed by ``(path, line)``.
+    """
+
+    files: list[FileContext] = field(default_factory=list)
+    lock_edges: dict[tuple[str, str], tuple[str, int]] = \
+        field(default_factory=dict)
+    suppression_hits: set[tuple[str, int]] = field(default_factory=set)
+    selected_rules: frozenset[str] = frozenset()
+
+    def add_lock_edge(self, held: str, taken: str,
+                      path: str, line: int) -> None:
+        self.lock_edges.setdefault((held, taken), (path, line))

@@ -1,0 +1,195 @@
+"""The lint driver: files in, verdict out.
+
+:class:`Linter` walks the target tree, parses each file once into a
+:class:`~repro.devtools.lint.context.FileContext`, runs every selected
+rule's per-file pass, then the project-wide ``finalize`` passes (lock
+cycles, unused suppressions), and splits the findings three ways:
+
+* **suppressed** -- a ``# repro-lint: disable=RULE`` comment on the
+  offending line (recorded, so the unused-suppression rule can tell
+  live suppressions from stale ones);
+* **baselined** -- fingerprint present in the committed baseline
+  (legacy debt: reported, never failing);
+* **active** -- everything else; any active finding fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.lint.context import FileContext, ProjectContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, all_rules
+
+#: Pseudo-rule id for files the parser rejects outright.
+PARSE_RULE = "RL-PARSE"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run learned."""
+
+    active: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing non-baselined was found."""
+        return not self.active
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "active": [finding.to_dict() for finding in self.active],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed_count": len(self.suppressed),
+            "stale_baseline": self.stale_baseline,
+        }
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(
+                candidate for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise ValueError(f"not a python file or directory: {path}")
+    return sorted(found)
+
+
+def _relative(path: Path) -> str:
+    """Repo-relative posix path (falls back to the given path)."""
+    resolved = path.resolve()
+    for parent in resolved.parents:
+        if (parent / "pyproject.toml").exists() or (parent / ".git").exists():
+            return resolved.relative_to(parent).as_posix()
+    return path.as_posix()
+
+
+class Linter:
+    """One configured lint run over a set of paths."""
+
+    def __init__(self, config: LintConfig | None = None,
+                 rules: Iterable[str] | None = None,
+                 baseline: Baseline | None = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.baseline = baseline or Baseline()
+        available = {cls.id: cls for cls in all_rules()}
+        if rules is None:
+            selected = sorted(available)
+        else:
+            selected = []
+            for rule_id in rules:
+                if rule_id not in available:
+                    raise ValueError(
+                        f"unknown lint rule {rule_id!r} "
+                        f"(registered: {', '.join(sorted(available))})")
+                selected.append(rule_id)
+        self.rules: list[Rule] = [available[rule_id]()
+                                  for rule_id in sorted(set(selected))]
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, paths: Sequence[str | Path]) -> LintResult:
+        result = LintResult(rules_run=[rule.id for rule in self.rules])
+        project = ProjectContext(
+            selected_rules=frozenset(rule.id for rule in self.rules))
+        contexts: list[FileContext] = []
+        for path in discover_files(paths):
+            rel = _relative(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                contexts.append(FileContext(rel, source))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                result.active.append(Finding(
+                    path=rel, line=line, col=0, rule=PARSE_RULE,
+                    message=f"file does not parse: {exc}",
+                ))
+        project.files = contexts
+        result.files_checked = len(contexts)
+
+        raw: list[Finding] = []
+        for rule in self.rules:
+            for ctx in contexts:
+                raw.extend(rule.check_file(ctx, self.config, project))
+        self._triage(raw, contexts, project, result)
+
+        # Project-wide passes, unused-suppression last: it needs the
+        # suppression hits every other pass (including finalize ones)
+        # just recorded.
+        by_file = {ctx.path: ctx for ctx in contexts}
+        for rule in sorted(self.rules,
+                           key=lambda r: (getattr(r, "priority", 0), r.id)):
+            late = list(rule.finalize(project, self.config))
+            self._triage(late, list(by_file.values()), project, result)
+
+        result.stale_baseline = self.baseline.stale_entries(
+            result.active + result.baselined)
+        result.active.sort()
+        result.baselined.sort()
+        return result
+
+    def _triage(self, findings: Iterable[Finding],
+                contexts: list[FileContext],
+                project: ProjectContext, result: LintResult) -> None:
+        by_file = {ctx.path: ctx for ctx in contexts}
+        for finding in findings:
+            ctx = by_file.get(finding.path)
+            if ctx is not None and ctx.suppressed(finding.line, finding.rule):
+                project.suppression_hits.add(
+                    (finding.path, finding.line, finding.rule))
+                result.suppressed.append(finding)
+            elif finding in self.baseline:
+                result.baselined.append(finding)
+            else:
+                result.active.append(finding)
+
+
+def apply_fixes(findings: Iterable[Finding]) -> dict[str, int]:
+    """Apply every finding's attached fix, one rewrite per file.
+
+    Returns ``{path: fixes_applied}``.  Paths are resolved relative to
+    the current directory (the repo root in normal use); findings
+    without a fix -- the majority; most invariants need a human -- are
+    skipped.
+    """
+    per_file: dict[str, list[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            per_file.setdefault(finding.path, []).append(finding)
+    applied: dict[str, int] = {}
+    for path, fixable in per_file.items():
+        target = Path(path)
+        if not target.exists():
+            continue
+        lines = target.read_text(encoding="utf-8").splitlines(keepends=True)
+        count = 0
+        # Bottom-up keeps untouched line numbers valid even if a fix
+        # ever grows to span lines.
+        for finding in sorted(fixable, key=lambda f: -f.line):
+            stripped = [line.rstrip("\n") for line in lines]
+            if finding.fix is not None and finding.fix.apply(stripped):
+                lines = [line + "\n" for line in stripped]
+                count += 1
+        if count:
+            target.write_text("".join(lines), encoding="utf-8")
+            applied[path] = count
+    return applied

@@ -1,0 +1,79 @@
+"""Lint findings and their stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  The
+:meth:`Finding.fingerprint` hash deliberately excludes the line
+number: baselined legacy findings must keep matching after unrelated
+edits move them around a file, so the identity is
+``rule | path | symbol | message`` -- the enclosing definition
+(``symbol``) anchors a finding far more stably than a line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Repo-relative posix path of the offending file."""
+
+    line: int
+    """1-based source line."""
+
+    col: int
+    """0-based source column."""
+
+    rule: str
+    """Rule id, e.g. ``"RL001"``."""
+
+    message: str
+    """Human-readable description of the violation."""
+
+    symbol: str = ""
+    """Dotted enclosing definition (``Class.method``) -- the stable
+    anchor used by baselines instead of the line number."""
+
+    fix: "TextFix | None" = field(default=None, compare=False)
+    """Optional automatic fix (applied by ``repro lint --fix``)."""
+
+    def fingerprint(self) -> str:
+        """Stable identity of this finding for baseline matching."""
+        key = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data.pop("fix", None)
+        data["fingerprint"] = self.fingerprint()
+        return data
+
+
+@dataclass(frozen=True)
+class TextFix:
+    """A line-scoped rewrite: replace ``old`` with ``new`` on ``line``.
+
+    Fixes are deliberately tiny (one line, exact-substring) so a
+    fixer can never mangle code it did not inspect; a fix whose
+    ``old`` text no longer matches is skipped, not forced.
+    """
+
+    line: int
+    old: str
+    new: str
+
+    def apply(self, lines: list[str]) -> bool:
+        """Rewrite ``lines`` in place; False when ``old`` is gone."""
+        index = self.line - 1
+        if index < 0 or index >= len(lines):
+            return False
+        if self.old not in lines[index]:
+            return False
+        lines[index] = lines[index].replace(self.old, self.new, 1)
+        return True

@@ -1,0 +1,81 @@
+"""The lint-rule registry: one more string-keyed factory table.
+
+Rules plug in exactly like storage backends or executors do in
+:mod:`repro.api.registry` -- the same :class:`~repro.api.registry
+.Registry` mechanism, keyed by rule id::
+
+    from repro.devtools.lint import Rule, register_rule
+
+    @register_rule
+    class NoEval(Rule):
+        id = "RL900"
+        name = "no-eval"
+        description = "eval() is banned in library code"
+
+        def check_file(self, ctx, config, project):
+            ...yield Finding(...)
+
+A registered rule immediately works everywhere ids are accepted:
+``repro lint --rules``, suppression comments, baselines and the JSON
+report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+from repro.api.registry import Registry
+from repro.devtools.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.lint.config import LintConfig
+    from repro.devtools.lint.context import FileContext, ProjectContext
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set ``id``/``name``/``description`` and implement
+    ``check_file`` (per-file findings) and/or ``finalize`` (findings
+    that need the whole project, e.g. lock-order cycles).
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext", config: "LintConfig",
+                   project: "ProjectContext") -> Iterable[Finding]:
+        """Findings local to one file (default: none).
+
+        ``project`` is the run-wide accumulator: per-file passes that
+        feed a ``finalize`` phase (e.g. the lock graph) record their
+        cross-file facts on it.
+        """
+        return ()
+
+    def finalize(self, project: "ProjectContext",
+                 config: "LintConfig") -> Iterable[Finding]:
+        """Findings that need every file seen first (default: none)."""
+        return ()
+
+
+#: All lint rules, keyed by rule id (``RL001`` ...).
+RULES = Registry("lint rule")
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering ``cls`` under ``cls.id``."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must set a non-empty id")
+    RULES.register(cls.id, cls)
+    return cls
+
+
+def all_rules() -> Iterator[Type[Rule]]:
+    """Every registered rule class, in id order."""
+    # Importing the built-in rule modules registers them on first use.
+    import repro.devtools.lint.rules  # noqa: F401
+
+    for rule_id in RULES.names():
+        yield RULES.get(rule_id)

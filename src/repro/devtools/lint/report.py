@@ -1,0 +1,48 @@
+"""Rendering lint results as text (humans) or JSON (CI artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.engine import LintResult
+from repro.devtools.lint.registry import all_rules
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Compiler-style ``path:line:col: RULE message`` listing."""
+    out: list[str] = []
+    for finding in result.active:
+        out.append(
+            f"{finding.location()}: {finding.rule} {finding.message}")
+    if verbose:
+        for finding in result.baselined:
+            out.append(
+                f"{finding.location()}: {finding.rule} "
+                f"[baselined] {finding.message}")
+    for entry in result.stale_baseline:
+        out.append(
+            f"{entry['path']}: {entry['rule']} [stale baseline] "
+            f"entry no longer matches any finding -- prune it with "
+            f"--write-baseline: {entry['message']}")
+    summary = (
+        f"checked {result.files_checked} files: "
+        f"{len(result.active)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    out.append(summary if result.ok and not result.stale_baseline
+               else summary + " -- FAIL" if result.active else summary)
+    return "\n".join(out)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.to_dict(), indent=2) + "\n"
+
+
+def render_rule_list() -> str:
+    """``repro lint --list-rules`` output."""
+    out = []
+    for cls in all_rules():
+        out.append(f"{cls.id}  {cls.name}")
+        out.append(f"       {cls.description}")
+    return "\n".join(out)

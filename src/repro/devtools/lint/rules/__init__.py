@@ -1,0 +1,10 @@
+"""Built-in lint rules (importing this package registers them)."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.rules import (  # noqa: F401
+    architecture,
+    determinism,
+    hygiene,
+    locks,
+)

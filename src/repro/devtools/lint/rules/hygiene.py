@@ -1,0 +1,80 @@
+"""Suppression hygiene: disable comments must earn their keep.
+
+A ``# repro-lint: disable=RULE`` that suppresses nothing is debt with
+the paperwork still attached -- either the violation was fixed (drop
+the comment) or the rule id is wrong (the real violation is live
+elsewhere).  This rule runs last, after every other rule recorded
+which suppressions actually fired.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.context import ProjectContext
+from repro.devtools.lint.findings import Finding, TextFix
+from repro.devtools.lint.registry import RULES, Rule, register_rule
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    """RL000: every disable comment suppresses something."""
+
+    id = "RL000"
+    name = "unused-suppression"
+    description = (
+        "a '# repro-lint: disable=...' comment that no longer "
+        "suppresses any finding (or names an unknown rule) must be "
+        "removed"
+    )
+
+    #: Runs after every other finalize pass (the engine sorts on this).
+    priority = 100
+
+    def finalize(self, project: ProjectContext,
+                 config: LintConfig) -> Iterable[Finding]:
+        hits = project.suppression_hits
+        for ctx in project.files:
+            for suppression in ctx.suppressions.values():
+                dead: list[str] = []
+                unknown: list[str] = []
+                for rule_id in suppression.rules:
+                    if rule_id == "all":
+                        if not any(hit[0] == ctx.path
+                                   and hit[1] == suppression.line
+                                   for hit in hits):
+                            dead.append(rule_id)
+                        continue
+                    if rule_id not in RULES:
+                        unknown.append(rule_id)
+                        continue
+                    if rule_id not in project.selected_rules:
+                        continue  # not run: cannot judge
+                    if (ctx.path, suppression.line, rule_id) not in hits:
+                        dead.append(rule_id)
+                if not dead and not unknown:
+                    continue
+                judged = [rule_id for rule_id in suppression.rules
+                          if rule_id == "all"
+                          or rule_id not in RULES
+                          or rule_id in project.selected_rules]
+                fix = None
+                if set(dead) | set(unknown) >= set(judged) \
+                        and set(judged) == set(suppression.rules):
+                    # The whole comment is dead: safe to remove.
+                    fix = TextFix(suppression.line, suppression.comment, "")
+                parts = []
+                if dead:
+                    parts.append(
+                        f"suppresses nothing for {', '.join(dead)}")
+                if unknown:
+                    parts.append(
+                        f"names unknown rule(s) {', '.join(unknown)}")
+                yield Finding(
+                    path=ctx.path, line=suppression.line, col=0,
+                    rule=self.id,
+                    symbol=ctx.symbol_at(suppression.line),
+                    message=f"suppression comment {'; '.join(parts)}",
+                    fix=fix,
+                )

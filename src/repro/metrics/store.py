@@ -36,12 +36,13 @@ class MetricsStore:
         self.cost_model = cost_model or CostModel()
         self.usage = ResourceUsage()
         if backend is None:
-            # Deferred import: repro.persistence.backend itself imports
-            # repro.metrics.timeseries, so a module-level import here
-            # would close an import cycle through the package inits.
-            from repro.persistence.backend import MemoryBackend
+            # Resolved through the registry (deferred import: the
+            # registry factory imports repro.persistence.backend,
+            # which itself imports repro.metrics.timeseries, so a
+            # module-level import here would close an import cycle).
+            from repro.api.registry import BACKENDS
 
-            backend = MemoryBackend()
+            backend = BACKENDS.create("memory")
         self.backend = backend
 
     # -- write path ---------------------------------------------------

@@ -36,7 +36,7 @@ class HealthModel:
     """Named liveness probes with an all-must-pass aggregate."""
 
     def __init__(self) -> None:
-        self._probes: dict[str, Probe] = {}
+        self._probes: dict[str, Probe] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def add_probe(self, name: str, probe: Probe) -> None:

@@ -368,9 +368,9 @@ class SourceGate:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._last_seq: dict[str, int] = {}
-        self.admitted = 0
-        self.duplicates = 0
+        self._last_seq: dict[str, int] = {}  # guarded-by: _lock
+        self.admitted = 0  # guarded-by: _lock
+        self.duplicates = 0  # guarded-by: _lock
 
     def admit(self, source: str, seq: int | None) -> bool:
         """True to publish, False for an already-seen retransmission."""

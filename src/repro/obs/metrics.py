@@ -223,8 +223,8 @@ class TelemetryRegistry:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._instruments: dict[str, Instrument] = {}
-        self._collectors: list[Callable[[], None]] = []
+        self._instruments: dict[str, Instrument] = {}  # guarded-by: _lock
+        self._collectors: list[Callable[[], None]] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # -- instrument factories -------------------------------------------
@@ -276,7 +276,8 @@ class TelemetryRegistry:
         pattern.  No-op on a disabled registry.
         """
         if self.enabled:
-            self._collectors.append(fn)
+            with self._lock:
+                self._collectors.append(fn)
 
     # -- read-out --------------------------------------------------------
 
@@ -294,13 +295,16 @@ class TelemetryRegistry:
 
     def get(self, name: str) -> Instrument | None:
         """A registered instrument by name (None when absent)."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def __iter__(self) -> Iterator[Instrument]:
         return iter(self.collect())
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)

@@ -84,9 +84,9 @@ class AnalysisView:
         if history < 1:
             raise ValueError("history must be >= 1")
         self._lock = threading.Lock()
-        self._summaries: deque[dict] = deque(maxlen=history)
-        self._latest: dict | None = None
-        self.published = 0
+        self._summaries: deque[dict] = deque(maxlen=history)  # guarded-by: _lock
+        self._latest: dict | None = None  # guarded-by: _lock
+        self.published = 0  # guarded-by: _lock
 
     def publish(self, analysis: Any) -> None:
         """Render and store one fresh window analysis (engine-side)."""
@@ -146,8 +146,8 @@ class EventLog:
         if history < 1:
             raise ValueError("history must be >= 1")
         self._lock = threading.Lock()
-        self._events: deque[dict] = deque(maxlen=history)
-        self._seq = 0
+        self._events: deque[dict] = deque(maxlen=history)  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
 
     def append(self, kind: str, time: float, payload: dict) -> int:
         """Record one event; returns its sequence number."""

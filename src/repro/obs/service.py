@@ -87,10 +87,10 @@ class OperationsService:
         self._stats_lock = threading.Lock()
         """Guards the request counters below: handler threads race on
         them and ``+=`` on an attribute is not atomic."""
-        self.ingest_requests = 0
-        self.ingest_rejected = 0
-        self.ingest_points = 0
-        self.backpressure_responses = 0
+        self.ingest_requests = 0  # guarded-by: _stats_lock
+        self.ingest_rejected = 0  # guarded-by: _stats_lock
+        self.ingest_points = 0  # guarded-by: _stats_lock
+        self.backpressure_responses = 0  # guarded-by: _stats_lock
 
     # -- ingest ----------------------------------------------------------
 

@@ -126,8 +126,8 @@ class SpanTracer:
             raise ValueError("history must be >= 1")
         self.enabled = enabled
         self.observe = observe
-        self._pending: dict[str, float] = {}
-        self._traces: deque[WindowTrace] = deque(maxlen=history)
+        self._pending: dict[str, float] = {}  # guarded-by: _lock
+        self._traces: deque[WindowTrace] = deque(maxlen=history)  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------

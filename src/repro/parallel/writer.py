@@ -83,7 +83,11 @@ class BatchingWriter:
             raise ValueError("max_batches must be >= 1")
         self.backend = backend
         self.max_batches = max_batches
-        self.stats = WriterStats()
+        self._stats_lock = threading.Lock()
+        """Guards :attr:`stats`: the caller thread (enqueue
+        counts), the writer thread (write counts) and telemetry
+        scrape threads all touch the same struct."""
+        self.stats = WriterStats()  # guarded-by: _stats_lock
         self._write_seconds = None
         self._flush_seconds = None
         self._errors_total = None
@@ -134,7 +138,9 @@ class BatchingWriter:
         )
 
         def sample() -> None:
-            for event, value in self.stats.as_dict().items():
+            with self._stats_lock:
+                stats = self.stats.as_dict()
+            for event, value in stats.items():
                 writer_total.set_total(
                     value, event=event.removeprefix("writer_"))
             depth_gauge.set(self.pending_batches)
@@ -161,8 +167,9 @@ class BatchingWriter:
                         self.backend.write(component, metric, t, v)
                         self._write_seconds.observe(
                             time.perf_counter() - started)
-                    self.stats.batches_written += 1
-                    self.stats.points_written += int(t.size)
+                    with self._stats_lock:
+                        self.stats.batches_written += 1
+                        self.stats.points_written += int(t.size)
                 except BaseException as exc:
                     self._error = exc
                     if self._errors_total is not None:
@@ -190,11 +197,12 @@ class BatchingWriter:
         if not t.size:
             return 0
         self._queue.put((component, metric, t.copy(), v.copy()))
-        self.stats.batches_enqueued += 1
-        self.stats.points_enqueued += int(t.size)
         depth = self._queue.qsize()
-        if depth > self.stats.max_queue_depth:
-            self.stats.max_queue_depth = depth
+        with self._stats_lock:
+            self.stats.batches_enqueued += 1
+            self.stats.points_enqueued += int(t.size)
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
         return int(t.size)
 
     def ingest(self, component: str, metric: str, times, values) -> None:
@@ -226,7 +234,8 @@ class BatchingWriter:
     def drain(self) -> None:
         """Block until every enqueued batch reached the backend."""
         self._queue.join()
-        self.stats.drains += 1
+        with self._stats_lock:
+            self.stats.drains += 1
         self._check()
 
     def flush(self) -> None:

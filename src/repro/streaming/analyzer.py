@@ -191,7 +191,11 @@ class WindowAnalyzer:
             shape_threshold=self.config.drift_shape_threshold,
         )
         self.seed = seed
-        self.executor = executor or ShardExecutor()
+        if executor is None:
+            from repro.api.registry import EXECUTORS
+
+            executor = EXECUTORS.create("serial")
+        self.executor = executor
         self.telemetry = telemetry or Telemetry.disabled()
         self.tracer = self.telemetry.tracer
         registry = self.telemetry.registry

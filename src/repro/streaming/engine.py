@@ -450,7 +450,9 @@ class StreamingSieve:
         if self.view is not None:
             # After consumers + events: queries see post-consumer state.
             self.view.publish(analysis)
-        self.last_analysis_walltime = time.time()
+        # Telemetry staleness gauge only -- never feeds analysis
+        # state, so the wall-clock read is deliberate here.
+        self.last_analysis_walltime = time.time()  # repro-lint: disable=RL010
         return analysis
 
     # -- consumer-facing views ------------------------------------------

@@ -68,7 +68,7 @@ class RallyRunner:
         # Lay out iterations: each worker runs its share sequentially.
         self.iterations: list[tuple[float, float, float]] = []
         worker_clock = np.zeros(concurrency)
-        for i in range(times):
+        for _ in range(times):
             worker = int(np.argmin(worker_clock))
             start = float(worker_clock[worker])
             wait = float(rng.uniform(self.task.wait_min, self.task.wait_max))
